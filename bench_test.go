@@ -1,0 +1,334 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as Go benchmarks. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the paper's headline quantities via
+// b.ReportMetric (negative percentages are savings), so the shape of the
+// paper's results is visible straight from the bench output:
+//
+//	BenchmarkFigure5/int_matmult/O2   ... energy%=-41.9 time%=+14.5
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/beebs"
+	"repro/internal/casestudy"
+	"repro/internal/core"
+	"repro/internal/evaluation"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sim"
+
+	"repro/internal/cfg"
+	"repro/internal/freq"
+)
+
+// BenchmarkFigure1 regenerates the per-instruction-class power table and
+// reports the flash/RAM power ratio that motivates the whole paper.
+func BenchmarkFigure1(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := evaluation.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var flash, ram float64
+		var nf, nr int
+		for _, r := range rows {
+			if r.Label == "flash load" {
+				continue
+			}
+			if r.Mem == power.Flash {
+				flash += r.PowerMW
+				nf++
+			} else {
+				ram += r.PowerMW
+				nr++
+			}
+		}
+		ratio = (flash / float64(nf)) / (ram / float64(nr))
+	}
+	b.ReportMetric(ratio, "flash/ram-power-ratio")
+}
+
+// BenchmarkFigure5 runs the full pipeline per benchmark at O2 (the
+// headline column of Figure 5) and reports the percentage changes.
+func BenchmarkFigure5(b *testing.B) {
+	for _, bench := range beebs.All() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				r, err := evaluation.RunBenchmark(bench, mcc.O2, evaluation.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			b.ReportMetric(100*rep.EnergyChange, "energy-%")
+			b.ReportMetric(100*rep.TimeChange, "time-%")
+			b.ReportMetric(100*rep.PowerChange, "power-%")
+		})
+	}
+}
+
+// BenchmarkFigure5Frequency is the "w/Frequency" variant (profiled
+// frequencies) for the paper's two highlighted benchmarks.
+func BenchmarkFigure5Frequency(b *testing.B) {
+	for _, name := range []string{"int_matmult", "fdct"} {
+		bench := beebs.Get(name)
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				r, err := evaluation.RunBenchmark(bench, mcc.O2, evaluation.Options{UseProfile: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			b.ReportMetric(100*rep.EnergyChange, "energy-%")
+			b.ReportMetric(100*rep.TimeChange, "time-%")
+		})
+	}
+}
+
+// BenchmarkAggregate regenerates the §6 averages over all ten benchmarks
+// at all five optimization levels (paper: −7.7% energy, −21.9% power,
+// +19.5% time).
+func BenchmarkAggregate(b *testing.B) {
+	var agg *evaluation.Aggregate
+	for i := 0; i < b.N; i++ {
+		var err error
+		agg, err = evaluation.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*agg.MeanEnergyChange, "mean-energy-%")
+	b.ReportMetric(100*agg.MeanPowerChange, "mean-power-%")
+	b.ReportMetric(100*agg.MeanTimeChange, "mean-time-%")
+	b.ReportMetric(100*agg.MaxEnergySaving, "max-energy-saving-%")
+	b.ReportMetric(100*agg.MaxPowerSaving, "max-power-saving-%")
+}
+
+// BenchmarkFigure6 enumerates the placement clouds for the two Figure 6
+// subjects and sweeps both constraints.
+func BenchmarkFigure6(b *testing.B) {
+	for _, name := range []string{"int_matmult", "fdct"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var data *evaluation.Figure6Data
+			for i := 0; i < b.N; i++ {
+				var err error
+				data, err = evaluation.Figure6(name, mcc.O2, 8,
+					[]float64{0, 64, 128, 256, 512, 1024, 2048},
+					[]float64{1.0, 1.05, 1.1, 1.2, 1.5, 2.0})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			best := data.RAMPath[len(data.RAMPath)-1]
+			b.ReportMetric(float64(len(data.Points)), "cloud-points")
+			b.ReportMetric(100*(1-best.EnergyNJ/data.BaseEnergyNJ), "unconstrained-saving-%")
+		})
+	}
+}
+
+// BenchmarkCaseStudy regenerates the §7 numbers: ke/kt measured on the
+// simulated fdct, Es per period, best saving and battery-life extension
+// (paper: Es=4.32 mJ with its measured values; up to 25% / 32%).
+func BenchmarkCaseStudy(b *testing.B) {
+	var sc casestudy.Scenario
+	for i := 0; i < b.N; i++ {
+		r, err := evaluation.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc = evaluation.Scenario(r)
+	}
+	saving, life := sc.BestSaving([]float64{1, 2, 3, 4, 6, 8, 12, 16})
+	b.ReportMetric(sc.Ke, "ke")
+	b.ReportMetric(sc.Kt, "kt")
+	b.ReportMetric(sc.EnergySaved(), "Es-mJ")
+	b.ReportMetric(saving, "best-saving-%")
+	b.ReportMetric(100*life, "battery-life-+%")
+}
+
+// BenchmarkFigure9 sweeps the sensing period for the paper's three curves.
+func BenchmarkFigure9(b *testing.B) {
+	var series []evaluation.Figure9Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, err = evaluation.Figure9(mcc.O2, []float64{1, 2, 3, 4, 6, 8, 12, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		b.ReportMetric(s.Points[0].EnergyPercent, s.Bench+"-energy-%-at-min-T")
+	}
+}
+
+// BenchmarkAblationSolvers compares the ILP against the greedy and
+// function-level baselines on measured (simulated) energy — the design
+// choice §4 argues for.
+func BenchmarkAblationSolvers(b *testing.B) {
+	for _, solver := range []core.Solver{core.SolverILP, core.SolverGreedy, core.SolverFunction} {
+		solver := solver
+		b.Run(string(solver), func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				r, err := evaluation.RunBenchmark(beebs.Get("dijkstra"), mcc.O2,
+					evaluation.Options{Solver: solver, Rspare: 512})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			b.ReportMetric(100*rep.EnergyChange, "energy-%")
+		})
+	}
+}
+
+// BenchmarkAblationFrequency quantifies §6's static-vs-profiled claim.
+func BenchmarkAblationFrequency(b *testing.B) {
+	for _, useProf := range []bool{false, true} {
+		name := "static"
+		if useProf {
+			name = "profiled"
+		}
+		useProf := useProf
+		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				r, err := evaluation.RunBenchmark(beebs.Get("sha"), mcc.O2,
+					evaluation.Options{UseProfile: useProf})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			b.ReportMetric(100*rep.EnergyChange, "energy-%")
+		})
+	}
+}
+
+// BenchmarkAblationXlimit sweeps the developer's time-factor knob.
+func BenchmarkAblationXlimit(b *testing.B) {
+	for _, xl := range []float64{1.05, 1.1, 1.25, 1.5, 2.0} {
+		xl := xl
+		b.Run(fmtF(xl), func(b *testing.B) {
+			var rep *core.Report
+			for i := 0; i < b.N; i++ {
+				r, err := evaluation.RunBenchmark(beebs.Get("int_matmult"), mcc.O2,
+					evaluation.Options{Xlimit: xl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r.Report
+			}
+			b.ReportMetric(100*rep.EnergyChange, "energy-%")
+			b.ReportMetric(100*rep.TimeChange, "time-%")
+		})
+	}
+}
+
+func fmtF(x float64) string {
+	return "Xlimit-" + string('0'+byte(int(x))) + "." +
+		string('0'+byte(int(x*10)%10)) + string('0'+byte(int(x*100)%10))
+}
+
+// BenchmarkLinkTimeExtension quantifies the paper's §8 future work: with
+// link-time visibility the library-bound benchmarks recover the savings
+// Figure 5 shows them missing.
+func BenchmarkLinkTimeExtension(b *testing.B) {
+	for _, name := range []string{"cubic", "float_matmult"} {
+		bench := beebs.Get(name)
+		for _, lt := range []bool{false, true} {
+			label := name + "/compiler-only"
+			if lt {
+				label = name + "/link-time"
+			}
+			lt := lt
+			b.Run(label, func(b *testing.B) {
+				var rep *core.Report
+				for i := 0; i < b.N; i++ {
+					r, err := evaluation.RunBenchmark(bench, mcc.O2,
+						evaluation.Options{LinkTime: lt})
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep = r.Report
+				}
+				b.ReportMetric(100*rep.EnergyChange, "energy-%")
+			})
+		}
+	}
+}
+
+// BenchmarkILPSolve isolates the solver cost on the int_matmult model.
+func BenchmarkILPSolve(b *testing.B) {
+	prog, err := mcc.Compile(beebs.Get("int_matmult").Source, mcc.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs, err := cfg.BuildAll(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := freq.Static(prog, graphs)
+	ef, er := power.STM32F100().Coefficients()
+	m, err := model.Build(prog, graphs, est, model.Params{
+		EFlash: ef, ERAM: er, Rspare: 1024, Xlimit: 1.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		res, err := placement.SolveILP(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = res.Nodes
+	}
+	b.ReportMetric(float64(nodes), "bb-nodes")
+}
+
+// BenchmarkSimulator measures raw simulation speed on the Figure 2
+// program (instructions per second of host time).
+func BenchmarkSimulator(b *testing.B) {
+	img, err := layout.New(ir.Figure2Program(), layout.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkCompiler measures mcc compile speed on the largest benchmark.
+func BenchmarkCompiler(b *testing.B) {
+	src := beebs.Get("rijndael").Source
+	for i := 0; i < b.N; i++ {
+		if _, err := mcc.Compile(src, mcc.O2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command beebsbench regenerates the paper's BEEBS evaluation:
+//
+//	beebsbench -fig5        Figure 5 (per-benchmark % change at O2 and Os,
+//	                        with the actual-frequency dots)
+//	beebsbench -aggregate   the §6 averages over O0..Os
+//	beebsbench -casestudy   the §7 periodic-sensing numbers for fdct
+//	beebsbench -fig9        Figure 9 (energy % versus period T)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/beebs"
+	"repro/internal/casestudy"
+	"repro/internal/evaluation"
+	"repro/internal/mcc"
+)
+
+func main() {
+	var (
+		fig5      = flag.Bool("fig5", false, "regenerate Figure 5")
+		aggregate = flag.Bool("aggregate", false, "regenerate the §6 aggregate numbers")
+		study     = flag.Bool("casestudy", false, "regenerate the §7 case study")
+		fig9      = flag.Bool("fig9", false, "regenerate Figure 9")
+		all       = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+	if !(*fig5 || *aggregate || *study || *fig9 || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *fig5 || *all {
+		runFig5()
+	}
+	if *aggregate || *all {
+		runAggregate()
+	}
+	if *study || *all {
+		runCaseStudy()
+	}
+	if *fig9 || *all {
+		runFig9()
+	}
+}
+
+func runFig5() {
+	fmt.Println("== Figure 5: % change per benchmark (energy, time), O2 and Os ==")
+	fmt.Println("   dots: the same run with actual (profiled) block frequencies")
+	rows, err := evaluation.Figure5([]mcc.OptLevel{mcc.O2, mcc.Os})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-15s %-4s %9s %9s %9s | %9s %9s\n",
+		"benchmark", "lvl", "energy%", "time%", "power%", "E%(freq)", "T%(freq)")
+	for _, r := range rows {
+		fmt.Printf("%-15s %-4v %+8.1f%% %+8.1f%% %+8.1f%% | %+8.1f%% %+8.1f%%\n",
+			r.Bench, r.Level, 100*r.EnergyChange, 100*r.TimeChange, 100*r.PowerChange,
+			100*r.ProfEnergyChange, 100*r.ProfTimeChange)
+	}
+	fmt.Println()
+}
+
+func runAggregate() {
+	fmt.Println("== §6 aggregate over O0, O1, O2, O3, Os ==")
+	agg, err := evaluation.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("runs: %d (10 benchmarks x 5 levels)\n", len(agg.Runs))
+	fmt.Printf("mean energy change: %+.1f%%   (paper: -7.7%%)\n", 100*agg.MeanEnergyChange)
+	fmt.Printf("mean power  change: %+.1f%%   (paper: -21.9%%)\n", 100*agg.MeanPowerChange)
+	fmt.Printf("mean time   change: %+.1f%%   (paper: +19.5%%)\n", 100*agg.MeanTimeChange)
+	fmt.Printf("max energy saving : %.1f%% on %s  (paper: 22%% on int_matmult O2)\n",
+		100*agg.MaxEnergySaving, agg.MaxEnergyBench)
+	fmt.Printf("max power  saving : %.1f%% on %s  (paper: 41%% on fdct O2)\n",
+		100*agg.MaxPowerSaving, agg.MaxPowerBench)
+	fmt.Println()
+}
+
+func runCaseStudy() {
+	fmt.Println("== §7 case study: periodic sensing with the fdct active region ==")
+	r, err := evaluation.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	sc := evaluation.Scenario(r)
+	fmt.Printf("measured: E0 = %.4f mJ, TA = %.4f ms, ke = %.3f, kt = %.3f, PS = %.1f mW\n",
+		sc.E0, 1e3*sc.TA, sc.Ke, sc.Kt, sc.PS)
+	fmt.Printf("paper   : E0 = 16.9 mJ,  TA = 1180 ms,  ke = 0.825, kt = 1.33,  PS = 3.5 mW\n")
+	fmt.Printf("energy saved per period Es = %.4f mJ (period independent; paper: 4.32 mJ with its values)\n",
+		sc.EnergySaved())
+
+	paper := casestudy.PaperScenario()
+	fmt.Printf("with the paper's printed values our model gives Es = %.2f mJ (paper: 4.32)\n",
+		paper.EnergySaved())
+
+	mult := []float64{1, 2, 3, 4, 6, 8, 12, 16}
+	saving, life := sc.BestSaving(mult)
+	fmt.Printf("best saving over T sweep: %.1f%%; battery life extension %.1f%% (paper: up to 25%% / 32%%)\n",
+		saving, 100*life)
+
+	u, o := casestudy.Figure8()
+	fmt.Printf("Figure 8 illustration: %.0f uJ -> %.0f uJ (paper: 60 -> 55)\n", u, o)
+	fmt.Println()
+}
+
+func runFig9() {
+	fmt.Println("== Figure 9: energy consumption (%) vs period T ==")
+	mult := []float64{1, 2, 3, 4, 6, 8, 12, 16}
+	series, err := evaluation.Figure9(mcc.O2, mult)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s", "T/TA")
+	for _, s := range series {
+		fmt.Printf(" %14s", s.Bench)
+	}
+	fmt.Println()
+	for i, m := range mult {
+		fmt.Printf("%-8.0f", m)
+		for _, s := range series {
+			fmt.Printf(" %13.1f%%", s.Points[i].EnergyPercent)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beebsbench:", err)
+	os.Exit(1)
+}

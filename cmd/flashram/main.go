@@ -1,0 +1,150 @@
+// Command flashram is the one-shot driver for the flash→RAM placement
+// optimization: it compiles a program (a built-in BEEBS benchmark or an
+// mcc source file), runs the paper's pipeline, and reports baseline
+// versus optimized energy, time and power on the simulated board.
+//
+// Usage:
+//
+//	flashram -bench int_matmult -O O2
+//	flashram -src kernel.c -O Os -xlimit 1.1 -rspare 1024
+//	flashram -fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/beebs"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/evaluation"
+	"repro/internal/mcc"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "built-in BEEBS benchmark name")
+		srcFile   = flag.String("src", "", "mcc source file to compile")
+		level     = flag.String("O", "O2", "optimization level: O0 O1 O2 O3 Os")
+		solver    = flag.String("solver", "ilp", "placement solver: ilp greedy function exhaustive")
+		xlimit    = flag.Float64("xlimit", 0, "max execution-time ratio (0 = default 2.0)")
+		rspare    = flag.Float64("rspare", 0, "RAM budget for code in bytes (0 = derive)")
+		profile   = flag.Bool("profile", false, "use measured block frequencies instead of the static estimate")
+		linktime  = flag.Bool("linktime", false, "link-time mode: library code (soft-float) becomes placeable (§8 future work)")
+		dump      = flag.Bool("dump", false, "dump the optimized assembly")
+		emit      = flag.String("emit", "", "write the encoded machine-code image to <prefix>.flash.bin and <prefix>.ram.bin")
+		disasm    = flag.Bool("disasm", false, "disassemble the optimized image (encoded bytes + assembly)")
+		fig1      = flag.Bool("fig1", false, "print the Figure 1 instruction-power table and exit")
+		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range beebs.All() {
+			kind := "integer"
+			if b.UsesFloat {
+				kind = "soft-float"
+			}
+			fmt.Printf("%-15s %s\n", b.Name, kind)
+		}
+		return
+	}
+	if *fig1 {
+		rows, err := evaluation.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 1: average power per instruction class (mW)")
+		fmt.Printf("%-12s %-7s %8s\n", "class", "memory", "power")
+		for _, r := range rows {
+			fmt.Printf("%-12s %-7s %8.2f\n", r.Label, r.Mem, r.PowerMW)
+		}
+		return
+	}
+
+	optLevel, err := mcc.ParseOptLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+
+	var source, name string
+	switch {
+	case *benchName != "":
+		b := beebs.Get(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *benchName))
+		}
+		source, name = b.Source, b.Name
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		source, name = string(data), *srcFile
+	default:
+		fatal(fmt.Errorf("one of -bench or -src is required"))
+	}
+
+	prog, err := mcc.Compile(source, optLevel)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Optimize(prog, core.Options{
+		Solver:     core.Solver(*solver),
+		Xlimit:     *xlimit,
+		Rspare:     *rspare,
+		UseProfile: *profile,
+		LinkTime:   *linktime,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s at %v (%s solver)\n", name, optLevel, *solver)
+	fmt.Printf("  baseline : %.4f mJ, %.3f ms, %.2f mW (%d cycles)\n",
+		rep.Baseline.EnergyMJ, 1e3*rep.Baseline.TimeS, rep.Baseline.PowerMW, rep.Baseline.Cycles)
+	fmt.Printf("  optimized: %.4f mJ, %.3f ms, %.2f mW (%d cycles)\n",
+		rep.Optimized.EnergyMJ, 1e3*rep.Optimized.TimeS, rep.Optimized.PowerMW, rep.Optimized.Cycles)
+	fmt.Printf("  change   : energy %+.1f%%, time %+.1f%%, power %+.1f%%\n",
+		100*rep.EnergyChange, 100*rep.TimeChange, 100*rep.PowerChange)
+	fmt.Printf("  placement: %d blocks (%d bytes RAM code), solver nodes %d, proven %v\n",
+		len(rep.MovedLabels()), rep.Optimized.RAMCodeBytes, rep.Placement.Nodes, rep.Placement.Proven)
+	fmt.Printf("  moved    : %v\n", rep.MovedLabels())
+	if *dump {
+		fmt.Println("---- optimized program ----")
+		fmt.Print(rep.Optimized0.String())
+	}
+	if *disasm {
+		lines, err := encode.Disassemble(rep.Image)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("---- disassembly ----")
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	if *emit != "" {
+		flash, ram, err := encode.Image(rep.Image)
+		if err != nil {
+			fatal(err)
+		}
+		flashFile := *emit + ".flash.bin"
+		ramFile := *emit + ".ram.bin"
+		flashLen := rep.Image.FlashCodeBytes + rep.Image.RodataBytes
+		if err := os.WriteFile(flashFile, flash[:flashLen], 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(ramFile, ram, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  emitted  : %s (%d bytes), %s (%d bytes of .ramcode, copied at boot)\n",
+			flashFile, flashLen, ramFile, len(ram))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashram:", err)
+	os.Exit(1)
+}

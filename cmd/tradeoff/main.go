@@ -1,0 +1,87 @@
+// Command tradeoff regenerates Figure 6: the space of possible basic-block
+// placements for a benchmark (energy, time, RAM of every subset of the k
+// hottest blocks) and the ILP solver's choices as the RAM and time
+// constraints are relaxed.
+//
+//	tradeoff -bench int_matmult -k 8
+//	tradeoff -bench fdct -k 8 -points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/evaluation"
+	"repro/internal/mcc"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "int_matmult", "benchmark (Figure 6 uses int_matmult and fdct)")
+		level     = flag.String("O", "O2", "optimization level")
+		k         = flag.Int("k", 8, "number of hottest blocks to enumerate (2^k placements)")
+		points    = flag.Bool("points", false, "dump every cloud point (mask energy cycles ram)")
+	)
+	flag.Parse()
+
+	optLevel, err := mcc.ParseOptLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	ramSweep := []float64{0, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096}
+	xSweep := []float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0}
+	data, err := evaluation.Figure6(*benchName, optLevel, *k, ramSweep, xSweep)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Figure 6 for %s at %v: 2^%d placements over blocks %v\n",
+		data.Bench, optLevel, len(data.Blocks), data.Blocks)
+	fmt.Printf("all-blocks-in-flash: %.1f uJ, %.0f cycles\n",
+		data.BaseEnergyNJ/1e3, data.BaseCycles)
+
+	if *points {
+		fmt.Println("mask  energy(uJ)  cycles  ram(bytes)  feasible")
+		for _, p := range data.Points {
+			fmt.Printf("%04x %11.2f %8.0f %10.0f  %v\n",
+				p.Mask, p.EnergyNJ/1e3, p.Cycles, p.RAMBytes, p.Feasible)
+		}
+	} else {
+		// Cloud summary: bounding box and cluster count by rounding.
+		minE, maxE := data.Points[0].EnergyNJ, data.Points[0].EnergyNJ
+		minC, maxC := data.Points[0].Cycles, data.Points[0].Cycles
+		for _, p := range data.Points {
+			if p.EnergyNJ < minE {
+				minE = p.EnergyNJ
+			}
+			if p.EnergyNJ > maxE {
+				maxE = p.EnergyNJ
+			}
+			if p.Cycles < minC {
+				minC = p.Cycles
+			}
+			if p.Cycles > maxC {
+				maxC = p.Cycles
+			}
+		}
+		fmt.Printf("cloud: %d points, energy %.1f..%.1f uJ, cycles %.0f..%.0f\n",
+			len(data.Points), minE/1e3, maxE/1e3, minC, maxC)
+	}
+
+	fmt.Println("\nConstraining RAM (dashed line): Rspare -> chosen energy/cycles/ram")
+	for _, p := range data.RAMPath {
+		fmt.Printf("  %6.0f B -> %9.2f uJ  %9.0f cy  %6.0f B\n",
+			p.Constraint, p.EnergyNJ/1e3, p.Cycles, p.RAMBytes)
+	}
+	fmt.Println("Constraining time (solid line): Xlimit -> chosen energy/cycles/ram")
+	for _, p := range data.TimePath {
+		fmt.Printf("  %6.2fx -> %9.2f uJ  %9.0f cy  %6.0f B\n",
+			p.Constraint, p.EnergyNJ/1e3, p.Cycles, p.RAMBytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tradeoff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+package beebs
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// runBenchmark compiles and simulates one benchmark at one level,
+// returning the result words and the run statistics.
+func runBenchmark(t *testing.T, b *Benchmark, level mcc.OptLevel) ([]uint32, *sim.Stats) {
+	t.Helper()
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		t.Fatalf("%s at %v: compile: %v", b.Name, level, err)
+	}
+	img, err := layout.New(prog, layout.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("%s at %v: layout: %v", b.Name, level, err)
+	}
+	m := sim.New(img, power.STM32F100())
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s at %v: run: %v", b.Name, level, err)
+	}
+	words := make([]uint32, b.ResultWords)
+	base := m.Img.Symbols["result"]
+	for i := range words {
+		w, err := m.ReadWord(base + uint32(4*i))
+		if err != nil {
+			t.Fatalf("%s: read result[%d]: %v", b.Name, i, err)
+		}
+		words[i] = w
+	}
+	return words, st
+}
+
+// TestAllBenchmarksAllLevels is the big integration test: every BEEBS
+// program must compile, run, and validate against its Go reference at all
+// five optimization levels.
+func TestAllBenchmarksAllLevels(t *testing.T) {
+	levels := []mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os}
+	if testing.Short() {
+		levels = []mcc.OptLevel{mcc.O0, mcc.O2}
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, level := range levels {
+				words, st := runBenchmark(t, b, level)
+				if err := b.Validate(words); err != nil {
+					t.Errorf("%v: %v", level, err)
+				}
+				if st.Instructions == 0 {
+					t.Errorf("%v: no instructions executed", level)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("len(All()) = %d, want 10 (the BEEBS set)", len(all))
+	}
+	if Get("fdct") == nil || Get("int_matmult") == nil {
+		t.Error("Get failed for known benchmarks")
+	}
+	if Get("nope") != nil {
+		t.Error("Get(nope) should be nil")
+	}
+	floatCount := 0
+	for _, b := range all {
+		if b.UsesFloat {
+			floatCount++
+		}
+	}
+	if floatCount != 2 {
+		t.Errorf("%d float benchmarks, want 2 (cubic, float_matmult)", floatCount)
+	}
+}
+
+// TestFloatBenchmarksUseLibraryCalls verifies cubic and float_matmult
+// link the soft-float runtime as Library functions — the paper's
+// explanation for their poor improvement.
+func TestFloatBenchmarksUseLibraryCalls(t *testing.T) {
+	for _, name := range []string{"cubic", "float_matmult"} {
+		b := Get(name)
+		prog, err := mcc.Compile(b.Source, mcc.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nLib := 0
+		for _, f := range prog.Funcs {
+			if f.Library {
+				nLib++
+			}
+		}
+		if nLib == 0 {
+			t.Errorf("%s: no library functions linked", name)
+		}
+	}
+	// And the integer benchmarks have none.
+	b := Get("crc32")
+	prog, err := mcc.Compile(b.Source, mcc.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range prog.Funcs {
+		if f.Library {
+			t.Errorf("crc32 linked library function %s", f.Name)
+		}
+	}
+}
+
+// TestBenchmarksFitTheSoC checks each program fits the 64 KiB flash and
+// leaves spare RAM for the optimization to use.
+func TestBenchmarksFitTheSoC(t *testing.T) {
+	for _, b := range All() {
+		prog, err := mcc.Compile(b.Source, mcc.O0) // O0 is the largest
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := layout.DefaultConfig()
+		img, err := layout.New(prog, cfg, nil)
+		if err != nil {
+			t.Fatalf("%s does not fit: %v", b.Name, err)
+		}
+		if spare := layout.SpareRAM(prog, cfg); spare < 256 {
+			t.Errorf("%s leaves only %d bytes of spare RAM", b.Name, spare)
+		}
+		if img.FlashCodeBytes > cfg.FlashSize/2 {
+			t.Errorf("%s uses %d flash bytes; suspiciously large", b.Name, img.FlashCodeBytes)
+		}
+	}
+}

@@ -1,0 +1,524 @@
+package beebs
+
+// The ten BEEBS benchmark programs, re-implemented in the mcc dialect.
+// Each writes its observable results into the global `result` array, which
+// the validation layer (and the paper-pipeline's semantic check) reads.
+// Sizes and repeat counts are chosen so loop structure — and therefore
+// placement behaviour — matches the original kernels while simulating
+// quickly.
+
+// src2DFIR is a 2-D FIR convolution (BEEBS fir2dim character): a 3x3
+// kernel swept over a 16x16 image.
+const src2DFIR = `
+int result[4];
+int image[16][16];
+int out_img[16][16];
+const int coeff[3][3] = {{1, 2, 1}, {2, 4, 2}, {1, 2, 1}};
+
+void init_image() {
+    int i, j;
+    for (i = 0; i < 16; i++)
+        for (j = 0; j < 16; j++)
+            image[i][j] = (i * 31 + j * 17 + 7) % 256;
+}
+
+void fir2d() {
+    int i, j, ki, kj, acc;
+    for (i = 1; i < 15; i++) {
+        for (j = 1; j < 15; j++) {
+            acc = 0;
+            for (ki = 0; ki < 3; ki++)
+                for (kj = 0; kj < 3; kj++)
+                    acc += image[i + ki - 1][j + kj - 1] * coeff[ki][kj];
+            out_img[i][j] = acc >> 4;
+        }
+    }
+}
+
+int main() {
+    int rep, i, j, sum = 0;
+    unsigned int h = 2166136261u;
+    init_image();
+    for (rep = 0; rep < 4; rep++) fir2d();
+    for (i = 0; i < 16; i++)
+        for (j = 0; j < 16; j++) {
+            sum += out_img[i][j];
+            h = (h ^ (unsigned int)out_img[i][j]) * 16777619u;
+        }
+    result[0] = sum;
+    result[1] = (int)h;
+    result[2] = out_img[8][8];
+    result[3] = out_img[1][14];
+    return 0;
+}
+`
+
+// srcBlowfish keeps the Feistel structure and S-box indexing of Blowfish:
+// 16 rounds over a block array with a P-array and one S-box (key schedule
+// replaced by a deterministic generator, as BEEBS fixes its key).
+const srcBlowfish = `
+int result[4];
+unsigned int parr[18];
+unsigned int sbox[256];
+unsigned int data[32];
+
+void bf_init() {
+    int i;
+    unsigned int x = 0x243f6a88u;
+    for (i = 0; i < 18; i++) {
+        x = x * 1664525u + 1013904223u;
+        parr[i] = x;
+    }
+    for (i = 0; i < 256; i++) {
+        x = x * 1664525u + 1013904223u;
+        sbox[i] = x;
+    }
+    for (i = 0; i < 32; i++) data[i] = (unsigned int)(i * 2654435761);
+}
+
+unsigned int bf_f(unsigned int x) {
+    unsigned int a = sbox[(x >> 24) & 255];
+    unsigned int b = sbox[(x >> 16) & 255];
+    unsigned int c = sbox[(x >> 8) & 255];
+    unsigned int d = sbox[x & 255];
+    return ((a + b) ^ c) + d;
+}
+
+void bf_encrypt_block(int idx) {
+    unsigned int l = data[idx];
+    unsigned int r = data[idx + 1];
+    unsigned int t;
+    int i;
+    for (i = 0; i < 16; i++) {
+        l = l ^ parr[i];
+        r = bf_f(l) ^ r;
+        t = l; l = r; r = t;
+    }
+    t = l; l = r; r = t;
+    r = r ^ parr[16];
+    l = l ^ parr[17];
+    data[idx] = l;
+    data[idx + 1] = r;
+}
+
+int main() {
+    int rep, i;
+    unsigned int h = 0;
+    bf_init();
+    for (rep = 0; rep < 3; rep++)
+        for (i = 0; i < 32; i += 2)
+            bf_encrypt_block(i);
+    for (i = 0; i < 32; i++) h = h * 31 + data[i];
+    result[0] = (int)h;
+    result[1] = (int)data[0];
+    result[2] = (int)data[31];
+    result[3] = (int)parr[17];
+    return 0;
+}
+`
+
+// srcCRC32 is the bitwise CRC-32 of BEEBS: polynomial 0xEDB88320 over a
+// generated buffer.
+const srcCRC32 = `
+int result[2];
+unsigned char buf[256];
+
+unsigned int crc32_buf() {
+    unsigned int crc = 0xFFFFFFFFu;
+    int i, k;
+    for (i = 0; i < 256; i++) {
+        crc = crc ^ (unsigned int)buf[i];
+        for (k = 0; k < 8; k++) {
+            if (crc & 1u) crc = (crc >> 1) ^ 0xEDB88320u;
+            else crc = crc >> 1;
+        }
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+int main() {
+    int i, rep;
+    unsigned int c = 0;
+    for (i = 0; i < 256; i++) buf[i] = (unsigned char)(i * 7 + 3);
+    for (rep = 0; rep < 4; rep++) c = crc32_buf();
+    result[0] = (int)c;
+    result[1] = buf[255];
+    return 0;
+}
+`
+
+// srcCubic solves cubic polynomials by Newton iteration in binary32 float
+// — every operation is a soft-float library call the optimizer cannot
+// move, reproducing the paper's observation that cubic barely improves.
+const srcCubic = `
+int result[4];
+float roots[8];
+
+float poly(float a, float b, float c, float x) {
+    return ((x + a) * x + b) * x + c;
+}
+
+float dpoly(float a, float b, float x) {
+    return (3.0f * x + 2.0f * a) * x + b;
+}
+
+float solve(float a, float b, float c, float x0) {
+    float x = x0;
+    int i;
+    for (i = 0; i < 24; i++) {
+        float fx = poly(a, b, c, x);
+        float dx = dpoly(a, b, x);
+        if (dx == 0.0f) return x;
+        x = x - fx / dx;
+    }
+    return x;
+}
+
+int main() {
+    int i;
+    // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
+    roots[0] = solve(-6.0f, 11.0f, -6.0f, 0.5f);
+    roots[1] = solve(-6.0f, 11.0f, -6.0f, 1.9f);
+    roots[2] = solve(-6.0f, 11.0f, -6.0f, 5.0f);
+    // x^3 - x = x(x-1)(x+1)
+    roots[3] = solve(0.0f, -1.0f, 0.0f, 0.8f);
+    roots[4] = solve(0.0f, -1.0f, 0.0f, -0.8f);
+    // x^3 + x^2 - 4x - 4
+    roots[5] = solve(1.0f, -4.0f, -4.0f, 1.5f);
+    roots[6] = solve(1.0f, -4.0f, -4.0f, -1.2f);
+    roots[7] = solve(1.0f, -4.0f, -4.0f, -3.0f);
+    for (i = 0; i < 4; i++)
+        result[i] = (int)(roots[i] * 1000.0f + 0.5f);
+    return 0;
+}
+`
+
+// srcDijkstra is single-source shortest paths on a dense 20-node graph.
+const srcDijkstra = `
+int result[4];
+int adj[20][20];
+int dist[20];
+int visited[20];
+
+void build_graph() {
+    int i, j;
+    for (i = 0; i < 20; i++)
+        for (j = 0; j < 20; j++) {
+            if (i == j) adj[i][j] = 0;
+            else adj[i][j] = ((i * 23 + j * 41 + 5) % 97) + 1;
+        }
+}
+
+void dijkstra(int src) {
+    int i, v, u, best, nd;
+    for (i = 0; i < 20; i++) { dist[i] = 1000000; visited[i] = 0; }
+    dist[src] = 0;
+    for (v = 0; v < 20; v++) {
+        u = -1; best = 1000000;
+        for (i = 0; i < 20; i++)
+            if (!visited[i] && dist[i] < best) { best = dist[i]; u = i; }
+        if (u < 0) return;
+        visited[u] = 1;
+        for (i = 0; i < 20; i++) {
+            nd = dist[u] + adj[u][i];
+            if (!visited[i] && nd < dist[i]) dist[i] = nd;
+        }
+    }
+}
+
+int main() {
+    int s, i, acc = 0;
+    build_graph();
+    for (s = 0; s < 8; s++) {
+        dijkstra(s);
+        for (i = 0; i < 20; i++) acc += dist[i];
+    }
+    result[0] = acc;
+    dijkstra(0);
+    result[1] = dist[19];
+    result[2] = dist[10];
+    result[3] = dist[1];
+    return 0;
+}
+`
+
+// srcFDCT is the classic integer 8x8 forward DCT (row pass then column
+// pass — the two large similarly-sized blocks of Figure 6b).
+const srcFDCT = `
+int result[4];
+int block[8][8];
+
+void fdct_rows() {
+    int i;
+    for (i = 0; i < 8; i++) {
+        int s07 = block[i][0] + block[i][7];
+        int d07 = block[i][0] - block[i][7];
+        int s16 = block[i][1] + block[i][6];
+        int d16 = block[i][1] - block[i][6];
+        int s25 = block[i][2] + block[i][5];
+        int d25 = block[i][2] - block[i][5];
+        int s34 = block[i][3] + block[i][4];
+        int d34 = block[i][3] - block[i][4];
+        int a = s07 + s34;
+        int b = s16 + s25;
+        int c = s07 - s34;
+        int d = s16 - s25;
+        block[i][0] = a + b;
+        block[i][4] = a - b;
+        block[i][2] = (c * 17 + d * 7) >> 4;
+        block[i][6] = (c * 7 - d * 17) >> 4;
+        block[i][1] = (d07 * 23 + d16 * 19 + d25 * 13 + d34 * 5) >> 4;
+        block[i][3] = (d07 * 19 - d16 * 5 - d25 * 23 - d34 * 13) >> 4;
+        block[i][5] = (d07 * 13 - d16 * 23 + d25 * 5 + d34 * 19) >> 4;
+        block[i][7] = (d07 * 5 - d16 * 13 + d25 * 19 - d34 * 23) >> 4;
+    }
+}
+
+void fdct_cols() {
+    int j;
+    for (j = 0; j < 8; j++) {
+        int s07 = block[0][j] + block[7][j];
+        int d07 = block[0][j] - block[7][j];
+        int s16 = block[1][j] + block[6][j];
+        int d16 = block[1][j] - block[6][j];
+        int s25 = block[2][j] + block[5][j];
+        int d25 = block[2][j] - block[5][j];
+        int s34 = block[3][j] + block[4][j];
+        int d34 = block[3][j] - block[4][j];
+        int a = s07 + s34;
+        int b = s16 + s25;
+        int c = s07 - s34;
+        int d = s16 - s25;
+        block[0][j] = (a + b) >> 3;
+        block[4][j] = (a - b) >> 3;
+        block[2][j] = (c * 17 + d * 7) >> 7;
+        block[6][j] = (c * 7 - d * 17) >> 7;
+        block[1][j] = (d07 * 23 + d16 * 19 + d25 * 13 + d34 * 5) >> 7;
+        block[3][j] = (d07 * 19 - d16 * 5 - d25 * 23 - d34 * 13) >> 7;
+        block[5][j] = (d07 * 13 - d16 * 23 + d25 * 5 + d34 * 19) >> 7;
+        block[7][j] = (d07 * 5 - d16 * 13 + d25 * 19 - d34 * 23) >> 7;
+    }
+}
+
+int main() {
+    int rep, i, j, sum = 0;
+    unsigned int h = 2166136261u;
+    for (rep = 0; rep < 16; rep++) {
+        for (i = 0; i < 8; i++)
+            for (j = 0; j < 8; j++)
+                block[i][j] = ((i * 8 + j) * 29 + rep * 13) % 256 - 128;
+        fdct_rows();
+        fdct_cols();
+        for (i = 0; i < 8; i++)
+            for (j = 0; j < 8; j++) {
+                sum += block[i][j];
+                h = (h ^ (unsigned int)block[i][j]) * 16777619u;
+            }
+    }
+    result[0] = sum;
+    result[1] = (int)h;
+    result[2] = block[0][0];
+    result[3] = block[7][7];
+    return 0;
+}
+`
+
+// srcFloatMatmult multiplies 10x10 float matrices — soft-float bound.
+const srcFloatMatmult = `
+int result[4];
+float ma[10][10];
+float mb[10][10];
+float mc[10][10];
+
+int main() {
+    int i, j, k, rep;
+    float acc;
+    for (i = 0; i < 10; i++)
+        for (j = 0; j < 10; j++) {
+            ma[i][j] = (float)((i * 13 + j * 7) % 10) * 0.5f;
+            mb[i][j] = (float)((i * 5 + j * 11) % 10) * 0.25f;
+        }
+    for (rep = 0; rep < 2; rep++) {
+        for (i = 0; i < 10; i++)
+            for (j = 0; j < 10; j++) {
+                acc = 0.0f;
+                for (k = 0; k < 10; k++)
+                    acc = acc + ma[i][k] * mb[k][j];
+                mc[i][j] = acc;
+            }
+    }
+    acc = 0.0f;
+    for (i = 0; i < 10; i++) acc = acc + mc[i][i];
+    result[0] = (int)(acc * 100.0f);
+    result[1] = (int)(mc[0][0] * 100.0f);
+    result[2] = (int)(mc[9][9] * 100.0f);
+    result[3] = (int)(mc[4][7] * 100.0f);
+    return 0;
+}
+`
+
+// srcIntMatmult multiplies 20x20 integer matrices (Figure 6a's subject).
+const srcIntMatmult = `
+int result[4];
+int ma[20][20];
+int mb[20][20];
+int mc[20][20];
+
+void initm() {
+    int i, j;
+    for (i = 0; i < 20; i++)
+        for (j = 0; j < 20; j++) {
+            ma[i][j] = (i * 3 + j * 5) % 17 - 8;
+            mb[i][j] = (i * 7 + j * 2) % 19 - 9;
+        }
+}
+
+void matmult() {
+    int i, j, k, acc;
+    for (i = 0; i < 20; i++)
+        for (j = 0; j < 20; j++) {
+            acc = 0;
+            for (k = 0; k < 20; k++)
+                acc += ma[i][k] * mb[k][j];
+            mc[i][j] = acc;
+        }
+}
+
+int main() {
+    int rep, i, trace = 0;
+    unsigned int h = 2166136261u;
+    int j;
+    initm();
+    for (rep = 0; rep < 3; rep++) matmult();
+    for (i = 0; i < 20; i++) trace += mc[i][i];
+    for (i = 0; i < 20; i++)
+        for (j = 0; j < 20; j++)
+            h = (h ^ (unsigned int)mc[i][j]) * 16777619u;
+    result[0] = trace;
+    result[1] = (int)h;
+    result[2] = mc[0][19];
+    result[3] = mc[19][0];
+    return 0;
+}
+`
+
+// srcRijndael is the AES round structure: SubBytes (const S-box in
+// flash), ShiftRows, MixColumns with xtime, AddRoundKey; ten rounds over
+// four 16-byte states.
+const srcRijndael = `
+int result[4];
+unsigned char sbox[256];
+unsigned char state[4][16];
+unsigned char rk[176];
+
+unsigned char xtime(unsigned char x) {
+    int v = (int)x << 1;
+    if (x & 128) v = v ^ 27;
+    return (unsigned char)v;
+}
+
+void make_tables() {
+    int i;
+    unsigned int x = 99;
+    for (i = 0; i < 256; i++) {
+        x = (x * 167 + 77) % 256;
+        sbox[i] = (unsigned char)(x ^ (unsigned int)(i >> 1));
+    }
+    x = 0x52u;
+    for (i = 0; i < 176; i++) {
+        x = (x * 73 + 11) % 256;
+        rk[i] = (unsigned char)x;
+    }
+}
+
+void encrypt(int s) {
+    int round, i, c;
+    unsigned char a0, a1, a2, a3, t;
+    for (i = 0; i < 16; i++) state[s][i] = state[s][i] ^ rk[i];
+    for (round = 1; round <= 10; round++) {
+        for (i = 0; i < 16; i++) state[s][i] = sbox[state[s][i]];
+        // ShiftRows over column-major state[r + 4c]
+        t = state[s][1]; state[s][1] = state[s][5]; state[s][5] = state[s][9];
+        state[s][9] = state[s][13]; state[s][13] = t;
+        t = state[s][2]; state[s][2] = state[s][10]; state[s][10] = t;
+        t = state[s][6]; state[s][6] = state[s][14]; state[s][14] = t;
+        t = state[s][15]; state[s][15] = state[s][11]; state[s][11] = state[s][7];
+        state[s][7] = state[s][3]; state[s][3] = t;
+        if (round < 10) {
+            for (c = 0; c < 4; c++) {
+                a0 = state[s][4*c]; a1 = state[s][4*c+1];
+                a2 = state[s][4*c+2]; a3 = state[s][4*c+3];
+                t = a0 ^ a1 ^ a2 ^ a3;
+                state[s][4*c]   = state[s][4*c]   ^ t ^ xtime(a0 ^ a1);
+                state[s][4*c+1] = state[s][4*c+1] ^ t ^ xtime(a1 ^ a2);
+                state[s][4*c+2] = state[s][4*c+2] ^ t ^ xtime(a2 ^ a3);
+                state[s][4*c+3] = state[s][4*c+3] ^ t ^ xtime(a3 ^ a0);
+            }
+        }
+        for (i = 0; i < 16; i++)
+            state[s][i] = state[s][i] ^ rk[round * 16 + i];
+    }
+}
+
+int main() {
+    int s, i, rep;
+    unsigned int h = 0;
+    make_tables();
+    for (s = 0; s < 4; s++)
+        for (i = 0; i < 16; i++)
+            state[s][i] = (unsigned char)(s * 16 + i * 3 + 1);
+    for (rep = 0; rep < 4; rep++)
+        for (s = 0; s < 4; s++) encrypt(s);
+    for (s = 0; s < 4; s++)
+        for (i = 0; i < 16; i++) h = h * 31 + (unsigned int)state[s][i];
+    result[0] = (int)h;
+    result[1] = state[0][0];
+    result[2] = state[3][15];
+    result[3] = rk[175];
+    return 0;
+}
+`
+
+// srcSHA is the SHA-1 compression function: message schedule expansion
+// plus the 80-round loop over two blocks, repeated.
+const srcSHA = `
+int result[5];
+unsigned int w[80];
+unsigned int hstate[5];
+unsigned int msg[32];
+
+unsigned int rol(unsigned int x, unsigned int n) {
+    return (x << n) | (x >> (32u - n));
+}
+
+void sha_block(int base) {
+    unsigned int a, b, c, d, e, f, k, tmp;
+    int t;
+    for (t = 0; t < 16; t++) w[t] = msg[base + t];
+    for (t = 16; t < 80; t++)
+        w[t] = rol(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1u);
+    a = hstate[0]; b = hstate[1]; c = hstate[2]; d = hstate[3]; e = hstate[4];
+    for (t = 0; t < 80; t++) {
+        if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999u; }
+        else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1u; }
+        else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDCu; }
+        else { f = b ^ c ^ d; k = 0xCA62C1D6u; }
+        tmp = rol(a, 5u) + f + e + k + w[t];
+        e = d; d = c; c = rol(b, 30u); b = a; a = tmp;
+    }
+    hstate[0] += a; hstate[1] += b; hstate[2] += c; hstate[3] += d; hstate[4] += e;
+}
+
+int main() {
+    int i, rep;
+    for (i = 0; i < 32; i++) msg[i] = (unsigned int)(i * 2246822519) ^ 0x9E3779B9u;
+    hstate[0] = 0x67452301u; hstate[1] = 0xEFCDAB89u; hstate[2] = 0x98BADCFEu;
+    hstate[3] = 0x10325476u; hstate[4] = 0xC3D2E1F0u;
+    for (rep = 0; rep < 4; rep++) {
+        sha_block(0);
+        sha_block(16);
+    }
+    for (i = 0; i < 5; i++) result[i] = (int)hstate[i];
+    return 0;
+}
+`

@@ -1,0 +1,354 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func figure2CFG(t *testing.T) (*ir.Program, *Graph) {
+	t.Helper()
+	p := ir.Figure2Program()
+	g, err := Build(p, p.Func("fn"))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p, g
+}
+
+func labelsOf(bs []*ir.Block) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Label)
+	}
+	return out
+}
+
+func hasLabel(bs []*ir.Block, label string) bool {
+	for _, b := range bs {
+		if b.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFigure2Successors(t *testing.T) {
+	_, g := figure2CFG(t)
+	f := g.Func
+
+	init := f.Block("fn_init")
+	loop := f.Block("fn_loop")
+	ifB := f.Block("fn_if")
+	iftrue := f.Block("fn_iftrue")
+	ret := f.Block("fn_return")
+
+	if s := g.Succs(init); len(s) != 1 || s[0] != loop {
+		t.Errorf("Succs(init) = %v", labelsOf(s))
+	}
+	if s := g.Succs(loop); len(s) != 2 || !hasLabel(s, "fn_loop") || !hasLabel(s, "fn_if") {
+		t.Errorf("Succs(loop) = %v, want [fn_loop fn_if]", labelsOf(s))
+	}
+	if s := g.Succs(ifB); len(s) != 2 || !hasLabel(s, "fn_return") || !hasLabel(s, "fn_iftrue") {
+		t.Errorf("Succs(if) = %v", labelsOf(s))
+	}
+	if s := g.Succs(iftrue); len(s) != 1 || s[0] != ret {
+		t.Errorf("Succs(iftrue) = %v", labelsOf(s))
+	}
+	if s := g.Succs(ret); len(s) != 0 {
+		t.Errorf("Succs(return) = %v, want empty", labelsOf(s))
+	}
+	if p := g.Preds(ret); len(p) != 2 {
+		t.Errorf("Preds(return) = %v, want 2", labelsOf(p))
+	}
+}
+
+func TestFigure2Dominators(t *testing.T) {
+	_, g := figure2CFG(t)
+	f := g.Func
+	init := f.Block("fn_init")
+	loop := f.Block("fn_loop")
+	ifB := f.Block("fn_if")
+	iftrue := f.Block("fn_iftrue")
+	ret := f.Block("fn_return")
+
+	if g.Idom(init) != nil {
+		t.Error("entry idom should be nil")
+	}
+	if g.Idom(loop) != init {
+		t.Errorf("idom(loop) = %v", g.Idom(loop))
+	}
+	if g.Idom(ifB) != loop {
+		t.Errorf("idom(if) = %v", g.Idom(ifB))
+	}
+	if g.Idom(iftrue) != ifB {
+		t.Errorf("idom(iftrue) = %v", g.Idom(iftrue))
+	}
+	if g.Idom(ret) != ifB {
+		t.Errorf("idom(return) = %v, want fn_if", g.Idom(ret))
+	}
+	if !g.Dominates(init, ret) || !g.Dominates(loop, ret) {
+		t.Error("init and loop must dominate return")
+	}
+	if g.Dominates(iftrue, ret) {
+		t.Error("iftrue must not dominate return")
+	}
+	if !g.Dominates(ret, ret) {
+		t.Error("dominance must be reflexive")
+	}
+}
+
+func TestFigure2Loops(t *testing.T) {
+	_, g := figure2CFG(t)
+	f := g.Func
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("len(loops) = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header.Label != "fn_loop" || l.Latch.Label != "fn_loop" {
+		t.Errorf("loop header=%s latch=%s, want fn_loop self-loop", l.Header.Label, l.Latch.Label)
+	}
+	if len(l.Blocks) != 1 {
+		t.Errorf("loop body size = %d, want 1", len(l.Blocks))
+	}
+	if d := g.LoopDepth(f.Block("fn_loop")); d != 1 {
+		t.Errorf("depth(loop) = %d, want 1", d)
+	}
+	for _, lbl := range []string{"fn_init", "fn_if", "fn_iftrue", "fn_return"} {
+		if d := g.LoopDepth(f.Block(lbl)); d != 0 {
+			t.Errorf("depth(%s) = %d, want 0", lbl, d)
+		}
+	}
+}
+
+func TestCallEdges(t *testing.T) {
+	p, _ := figure2CFG(t)
+	g, err := Build(p, p.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := p.Func("main").Block("main_entry")
+	calls := g.CallsOut[mb]
+	if len(calls) != 1 || calls[0].Label != "fn_init" {
+		t.Errorf("CallsOut = %v, want [fn_init]", labelsOf(calls))
+	}
+}
+
+// nestedLoopProgram builds a classic doubly nested loop:
+//
+//	for (i=0;i<N;i++) for (j=0;j<M;j++) body
+func nestedLoopProgram() *ir.Program {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	entry := f.AddBlock("entry")
+	ir.Build(entry).MovImm(isa.R0, 0)
+	outer := f.AddBlock("outer")
+	ir.Build(outer).MovImm(isa.R1, 0)
+	inner := f.AddBlock("inner")
+	ir.Build(inner).
+		AddImm(isa.R1, isa.R1, 1).
+		CmpImm(isa.R1, 8).
+		Bcond(isa.LT, "inner")
+	outerLatch := f.AddBlock("outer_latch")
+	ir.Build(outerLatch).
+		AddImm(isa.R0, isa.R0, 1).
+		CmpImm(isa.R0, 8).
+		Bcond(isa.LT, "outer")
+	exit := f.AddBlock("exit")
+	ir.Build(exit).Ret()
+	p.Reindex()
+	return p
+}
+
+func TestNestedLoopDepths(t *testing.T) {
+	p := nestedLoopProgram()
+	g, err := Build(p, p.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func("main")
+	wants := map[string]int{
+		"entry": 0, "outer": 1, "inner": 2, "outer_latch": 1, "exit": 0,
+	}
+	for lbl, want := range wants {
+		if got := g.LoopDepth(f.Block(lbl)); got != want {
+			t.Errorf("depth(%s) = %d, want %d", lbl, got, want)
+		}
+	}
+	loops := g.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("len(loops) = %d, want 2", len(loops))
+	}
+	if loops[0].Depth != 1 || loops[0].Header.Label != "outer" {
+		t.Errorf("outermost loop = %s depth %d", loops[0].Header.Label, loops[0].Depth)
+	}
+	if loops[1].Depth != 2 || loops[1].Header.Label != "inner" {
+		t.Errorf("inner loop = %s depth %d", loops[1].Header.Label, loops[1].Depth)
+	}
+}
+
+func TestMultiLatchLoopMerged(t *testing.T) {
+	// One header, two latches (a loop with a continue path).
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	entry := f.AddBlock("entry")
+	ir.Build(entry).MovImm(isa.R0, 0)
+	head := f.AddBlock("head")
+	ir.Build(head).CmpImm(isa.R0, 10).Bcond(isa.GE, "exit")
+	body := f.AddBlock("body")
+	ir.Build(body).
+		AddImm(isa.R0, isa.R0, 1).
+		CmpImm(isa.R0, 5).
+		Bcond(isa.EQ, "head") // continue-style latch
+	latch := f.AddBlock("latch")
+	ir.Build(latch).AddImm(isa.R0, isa.R0, 1).B("head")
+	exit := f.AddBlock("exit")
+	ir.Build(exit).Ret()
+	p.Reindex()
+
+	g, err := Build(p, p.Func("main"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Loops()); n != 1 {
+		t.Fatalf("loops = %d, want 1 (merged multi-latch)", n)
+	}
+	l := g.Loops()[0]
+	for _, lbl := range []string{"head", "body", "latch"} {
+		if !l.Blocks[f.Block(lbl)] {
+			t.Errorf("loop missing block %s", lbl)
+		}
+	}
+	if l.Blocks[f.Block("exit")] || l.Blocks[f.Block("entry")] {
+		t.Error("loop includes blocks outside the natural loop")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Fall-through off the end.
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("b")
+	ir.Build(b).MovImm(isa.R0, 0)
+	p.Reindex()
+	if _, err := Build(p, f); err == nil {
+		t.Error("expected fall-through error")
+	}
+
+	// Unknown branch label.
+	p2 := ir.NewProgram()
+	f2 := p2.AddFunc(&ir.Function{Name: "main"})
+	b2 := f2.AddBlock("b")
+	ir.Build(b2).B("nowhere")
+	p2.Reindex()
+	if _, err := Build(p2, f2); err == nil {
+		t.Error("expected unknown-label error")
+	}
+
+	// Unknown call target.
+	p3 := ir.NewProgram()
+	f3 := p3.AddFunc(&ir.Function{Name: "main"})
+	b3 := f3.AddBlock("b")
+	ir.Build(b3).Bl("ghost").Ret()
+	p3.Reindex()
+	if _, err := Build(p3, f3); err == nil {
+		t.Error("expected unknown-callee error")
+	}
+}
+
+func TestBuildAll(t *testing.T) {
+	p := ir.Figure2Program()
+	gs, err := BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("BuildAll returned %d graphs, want 2", len(gs))
+	}
+	if gs["fn"] == nil || gs["main"] == nil {
+		t.Error("missing graphs for fn/main")
+	}
+}
+
+// randomCFG builds a random single-function program whose blocks each end
+// in either a conditional branch to a random earlier-or-later block or a
+// fall-through, with the final block returning. Used for property tests.
+func randomCFG(rng *rand.Rand, nBlocks int) (*ir.Program, *Graph, error) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	for i := 0; i < nBlocks; i++ {
+		f.AddBlock(blockName(i))
+	}
+	for i, b := range f.Blocks {
+		bb := ir.Build(b)
+		bb.AddImm(isa.R0, isa.R0, 1)
+		if i == nBlocks-1 {
+			bb.Ret()
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // fall through
+		case 1:
+			bb.CmpImm(isa.R0, 5).Bcond(isa.NE, blockName(rng.Intn(nBlocks)))
+		case 2:
+			bb.B(blockName(rng.Intn(nBlocks)))
+		}
+	}
+	// Ensure no unconditional jump strands the last block unreachable—
+	// fine for analysis; verify structural invariant only via cfg.Build.
+	p.Reindex()
+	g, err := Build(p, f)
+	return p, g, err
+}
+
+func blockName(i int) string {
+	return "b" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+// TestDominatorProperties checks, on random CFGs, that (1) every reachable
+// block except entry has an idom that dominates it, (2) the entry
+// dominates every reachable block, and (3) loop headers dominate their
+// latches.
+func TestDominatorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		_, g, err := Build2(randomCFG(rng, n))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		entry := g.Func.Entry()
+		for _, b := range g.Blocks {
+			if b == entry {
+				continue
+			}
+			if g.Idom(b) == nil {
+				continue // unreachable
+			}
+			if !g.Dominates(g.Idom(b), b) {
+				t.Fatalf("trial %d: idom(%s)=%s does not dominate it",
+					trial, b.Label, g.Idom(b).Label)
+			}
+			if !g.Dominates(entry, b) {
+				t.Fatalf("trial %d: entry does not dominate reachable %s", trial, b.Label)
+			}
+		}
+		for _, l := range g.Loops() {
+			if !g.Dominates(l.Header, l.Latch) {
+				t.Fatalf("trial %d: loop header %s does not dominate latch %s",
+					trial, l.Header.Label, l.Latch.Label)
+			}
+			if !l.Blocks[l.Header] || !l.Blocks[l.Latch] {
+				t.Fatalf("trial %d: loop misses its own header/latch", trial)
+			}
+		}
+	}
+}
+
+// Build2 adapts randomCFG's 3-value return for use in property loops.
+func Build2(p *ir.Program, g *Graph, err error) (*ir.Program, *Graph, error) {
+	return p, g, err
+}

@@ -1,0 +1,301 @@
+// Package evaluation orchestrates the paper's experiments end-to-end:
+// compile each BEEBS benchmark with mcc at the requested optimization
+// level, run the placement pipeline (internal/core), and collect the
+// numbers behind Figure 5, the §6 aggregate, Figure 6, the §7 case study
+// and Figure 9.
+package evaluation
+
+import (
+	"fmt"
+
+	"repro/internal/beebs"
+	"repro/internal/casestudy"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/freq"
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+)
+
+// Run is one benchmark × level × configuration outcome.
+type Run struct {
+	Bench  string
+	Level  mcc.OptLevel
+	Report *core.Report
+}
+
+// Options tune the pipeline for an evaluation run.
+type Options struct {
+	// UseProfile feeds measured block frequencies to the model (the
+	// Figure 5 "w/Frequency" dots).
+	UseProfile bool
+	// Solver overrides the placement algorithm ("" = ILP).
+	Solver core.Solver
+	// Xlimit overrides the time constraint (0 = pipeline default 2.0).
+	Xlimit float64
+	// Rspare overrides the RAM budget (0 = derive statically).
+	Rspare float64
+	// LinkTime enables the §8 link-time extension (library code becomes
+	// placeable).
+	LinkTime bool
+}
+
+// RunBenchmark executes the full pipeline for one benchmark at one level.
+func RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
+	}
+	rep, err := core.Optimize(prog, core.Options{
+		UseProfile: opts.UseProfile,
+		Solver:     opts.Solver,
+		Xlimit:     opts.Xlimit,
+		Rspare:     opts.Rspare,
+		LinkTime:   opts.LinkTime,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
+	}
+	return &Run{Bench: b.Name, Level: level, Report: rep}, nil
+}
+
+// Figure5Row is one pair of bars (plus the frequency dots) of Figure 5.
+type Figure5Row struct {
+	Bench string
+	Level mcc.OptLevel
+	// Static-estimate results (the bars).
+	EnergyChange, TimeChange, PowerChange float64
+	// Profiled-frequency results (the dots).
+	ProfEnergyChange, ProfTimeChange float64
+}
+
+// Figure5 reproduces the Figure 5 sweep: every benchmark at the given
+// levels (the paper plots O2 and Os), with both the static estimate and
+// actual frequencies.
+func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
+	var rows []Figure5Row
+	for _, b := range beebs.All() {
+		for _, level := range levels {
+			static, err := RunBenchmark(b, level, Options{})
+			if err != nil {
+				return nil, err
+			}
+			prof, err := RunBenchmark(b, level, Options{UseProfile: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure5Row{
+				Bench:            b.Name,
+				Level:            level,
+				EnergyChange:     static.Report.EnergyChange,
+				TimeChange:       static.Report.TimeChange,
+				PowerChange:      static.Report.PowerChange,
+				ProfEnergyChange: prof.Report.EnergyChange,
+				ProfTimeChange:   prof.Report.TimeChange,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Aggregate is the §6 summary over all benchmarks and levels: "the average
+// reduction in energy and power is 7.7% and 21.9% respectively. The
+// execution time is increased by an average of 19.5%."
+type Aggregate struct {
+	Levels           []mcc.OptLevel
+	MeanEnergyChange float64
+	MeanPowerChange  float64
+	MeanTimeChange   float64
+	MaxEnergySaving  float64 // most negative energy change, as a positive fraction
+	MaxEnergyBench   string
+	MaxPowerSaving   float64
+	MaxPowerBench    string
+	Runs             []Run
+	FailedPlacement  int // runs where nothing could be placed
+}
+
+// RunAggregate evaluates all benchmarks across the given levels.
+func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
+	agg := &Aggregate{Levels: levels}
+	n := 0
+	for _, b := range beebs.All() {
+		for _, level := range levels {
+			r, err := RunBenchmark(b, level, Options{})
+			if err != nil {
+				return nil, err
+			}
+			agg.Runs = append(agg.Runs, *r)
+			rep := r.Report
+			agg.MeanEnergyChange += rep.EnergyChange
+			agg.MeanPowerChange += rep.PowerChange
+			agg.MeanTimeChange += rep.TimeChange
+			if saving := -rep.EnergyChange; saving > agg.MaxEnergySaving {
+				agg.MaxEnergySaving = saving
+				agg.MaxEnergyBench = fmt.Sprintf("%s %v", b.Name, level)
+			}
+			if saving := -rep.PowerChange; saving > agg.MaxPowerSaving {
+				agg.MaxPowerSaving = saving
+				agg.MaxPowerBench = fmt.Sprintf("%s %v", b.Name, level)
+			}
+			if len(rep.MovedLabels()) == 0 {
+				agg.FailedPlacement++
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		agg.MeanEnergyChange /= float64(n)
+		agg.MeanPowerChange /= float64(n)
+		agg.MeanTimeChange /= float64(n)
+	}
+	return agg, nil
+}
+
+// Figure6Data carries the trade-off cloud and solver paths for one
+// benchmark (Figure 6a: int_matmult, 6b: fdct).
+type Figure6Data struct {
+	Bench  string
+	Points []placement.Point
+	Blocks []string // labels of the enumerated top-k blocks
+	// RAMPath are solver picks as Rspare grows (the dashed line).
+	RAMPath []PathPoint
+	// TimePath are solver picks as Xlimit grows (the solid line).
+	TimePath []PathPoint
+	// Base is the all-flash model point.
+	BaseEnergyNJ, BaseCycles float64
+}
+
+// PathPoint is one solver decision along a constraint sweep.
+type PathPoint struct {
+	Constraint float64 // the Rspare bytes or Xlimit value
+	EnergyNJ   float64
+	Cycles     float64
+	RAMBytes   float64
+}
+
+// Figure6 enumerates the 2^k placement space of a benchmark under the
+// model and traces the ILP solver's choices as each constraint is relaxed.
+func Figure6(benchName string, level mcc.OptLevel, k int,
+	ramSweep []float64, xlimitSweep []float64) (*Figure6Data, error) {
+	b := beebs.Get(benchName)
+	if b == nil {
+		return nil, fmt.Errorf("evaluation: unknown benchmark %q", benchName)
+	}
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		return nil, err
+	}
+	graphs, err := cfg.BuildAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	est := freq.Static(prog, graphs)
+	prof := power.STM32F100()
+	ef, er := prof.Coefficients()
+	cfgLayout := layout.DefaultConfig()
+	spare := float64(layout.SpareRAM(prog, cfgLayout))
+
+	// Restrict the model to the same k hottest blocks the cloud
+	// enumerates, so the solver's path stays within the plotted space
+	// (the paper's programs are small enough that its k is all blocks).
+	build := func(rspare, xlimit float64) (*model.Model, error) {
+		return model.Build(prog, graphs, est, model.Params{
+			EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: xlimit,
+			MaxCandidates: k,
+		})
+	}
+
+	// The cloud: no RAM or time constraint (within physical spare RAM).
+	mFree, err := build(spare, 1e9)
+	if err != nil {
+		return nil, err
+	}
+	points, blocks, err := placement.Enumerate(mFree, k)
+	if err != nil {
+		return nil, err
+	}
+	data := &Figure6Data{
+		Bench:        benchName,
+		Points:       points,
+		BaseEnergyNJ: mFree.BaseEnergyNJ,
+		BaseCycles:   mFree.BaseCycles,
+	}
+	for _, bd := range blocks {
+		data.Blocks = append(data.Blocks, bd.Block.Label)
+	}
+
+	for _, rs := range ramSweep {
+		m, err := build(rs, 1e9)
+		if err != nil {
+			return nil, err
+		}
+		res, err := placement.SolveILP(m)
+		if err != nil {
+			return nil, err
+		}
+		data.RAMPath = append(data.RAMPath, PathPoint{
+			Constraint: rs,
+			EnergyNJ:   res.Outcome.EnergyNJ,
+			Cycles:     res.Outcome.Cycles,
+			RAMBytes:   res.Outcome.RAMBytes,
+		})
+	}
+	for _, xl := range xlimitSweep {
+		m, err := build(spare, xl)
+		if err != nil {
+			return nil, err
+		}
+		res, err := placement.SolveILP(m)
+		if err != nil {
+			return nil, err
+		}
+		data.TimePath = append(data.TimePath, PathPoint{
+			Constraint: xl,
+			EnergyNJ:   res.Outcome.EnergyNJ,
+			Cycles:     res.Outcome.Cycles,
+			RAMBytes:   res.Outcome.RAMBytes,
+		})
+	}
+	return data, nil
+}
+
+// Scenario builds the §7 case-study scenario from a measured pipeline run.
+func Scenario(r *Run) casestudy.Scenario {
+	rep := r.Report
+	return casestudy.Scenario{
+		E0: rep.Baseline.EnergyMJ,
+		TA: rep.Baseline.TimeS,
+		Ke: rep.Ke,
+		Kt: rep.Kt,
+		PS: power.STM32F100().SleepPower,
+	}
+}
+
+// Figure9Series is one benchmark's curve in Figure 9.
+type Figure9Series struct {
+	Bench    string
+	Scenario casestudy.Scenario
+	Points   []casestudy.Point
+}
+
+// Figure9 sweeps the periodic-sensing period for the paper's three
+// benchmarks (fdct, int_matmult, 2dfir) using measured ke/kt.
+func Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
+	var out []Figure9Series
+	for _, name := range []string{"fdct", "int_matmult", "2dfir"} {
+		r, err := RunBenchmark(beebs.Get(name), level, Options{})
+		if err != nil {
+			return nil, err
+		}
+		sc := Scenario(r)
+		out = append(out, Figure9Series{
+			Bench:    name,
+			Scenario: sc,
+			Points:   sc.Sweep(multiples),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+// Package freq estimates the model's Fb parameter: how many times each
+// basic block executes. The paper (§4.1) uses either a profile of the
+// application or a static estimate from the block's loop depth, and shows
+// (§6, Figure 5) that the rough static estimate is good enough.
+//
+// The static estimator propagates flow over the loop-reduced DAG of each
+// function (entry = 1, splits divide evenly), multiplies blocks by
+// trip^depth for loop nesting, and scales whole functions by how often
+// their call sites run (call-graph topological pass; recursion falls back
+// to a conservative default).
+package freq
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// DefaultTrip is the assumed iteration count of a loop whose bound is not
+// known statically.
+const DefaultTrip = 10
+
+// Estimate holds per-block execution frequencies, keyed by block label.
+type Estimate map[string]float64
+
+// Static computes the loop-depth frequency estimate for the program.
+func Static(p *ir.Program, graphs map[string]*cfg.Graph) Estimate {
+	est := make(Estimate)
+
+	// Per-function relative frequencies (entry = 1).
+	rel := make(map[string]map[string]float64, len(p.Funcs))
+	for name, g := range graphs {
+		rel[name] = functionRelative(g)
+	}
+
+	// Function activation counts: main = 1, propagate through call sites
+	// in call-graph topological order; cycles (recursion) get handled by
+	// bounded iteration.
+	fnFreq := make(map[string]float64, len(p.Funcs))
+	for _, f := range p.Funcs {
+		fnFreq[f.Name] = 0
+	}
+	if p.Func(p.Entry) != nil {
+		fnFreq[p.Entry] = 1
+	}
+	// Bounded relaxation: propagate call frequencies a few rounds; for
+	// acyclic call graphs this converges in ≤ depth rounds.
+	for round := 0; round < 2*len(p.Funcs)+2; round++ {
+		changed := false
+		next := make(map[string]float64, len(fnFreq))
+		for name := range fnFreq {
+			next[name] = 0
+		}
+		next[p.Entry] = 1
+		for name, g := range graphs {
+			callerF := fnFreq[name]
+			if callerF == 0 {
+				continue
+			}
+			for b, callees := range g.CallsOut {
+				bf := rel[name][b.Label] * callerF
+				for _, e := range callees {
+					next[e.Func.Name] += bf
+				}
+			}
+		}
+		for name, v := range next {
+			if v != fnFreq[name] {
+				changed = true
+			}
+			fnFreq[name] = v
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for name, g := range graphs {
+		ff := fnFreq[name]
+		if ff == 0 && name != p.Entry {
+			// Unreached (dead) function: keep a nominal frequency so the
+			// model does not divide by zero; it will never be worth RAM.
+			ff = 0
+		}
+		for _, b := range g.Blocks {
+			est[b.Label] = rel[name][b.Label] * ff
+		}
+	}
+	return est
+}
+
+// functionRelative computes intra-function relative block frequencies:
+// entry = 1, even split at branches (back edges excluded), blocks inside
+// loops multiplied by DefaultTrip^depth.
+func functionRelative(g *cfg.Graph) map[string]float64 {
+	rel := make(map[string]float64, len(g.Blocks))
+	entry := g.Func.Entry()
+	if entry == nil {
+		return rel
+	}
+
+	// Back edges: b→h where h dominates b.
+	isBack := func(b, h *ir.Block) bool { return g.Dominates(h, b) }
+
+	// Flow propagation in reverse postorder over forward edges.
+	order := rpo(g)
+	flow := make(map[*ir.Block]float64, len(order))
+	flow[entry] = 1
+	for _, b := range order {
+		f := flow[b]
+		if f == 0 {
+			continue
+		}
+		// Split only among forward successors: flow that would follow a
+		// back edge re-enters the loop and eventually leaves through the
+		// forward edges, so they carry the full amount (the trip-count
+		// multiplier separately accounts for the repetition).
+		var fwd []*ir.Block
+		for _, s := range g.Succs(b) {
+			if !isBack(b, s) {
+				fwd = append(fwd, s)
+			}
+		}
+		if len(fwd) == 0 {
+			continue
+		}
+		share := f / float64(len(fwd))
+		for _, s := range fwd {
+			flow[s] += share
+		}
+	}
+
+	for _, b := range g.Blocks {
+		mult := 1.0
+		for d := 0; d < g.LoopDepth(b); d++ {
+			mult *= DefaultTrip
+		}
+		v := flow[b] * mult
+		if v == 0 && b == entry {
+			v = 1
+		}
+		rel[b.Label] = v
+	}
+	return rel
+}
+
+func rpo(g *cfg.Graph) []*ir.Block {
+	entry := g.Func.Entry()
+	seen := map[*ir.Block]bool{entry: true}
+	var post []*ir.Block
+	var dfs func(*ir.Block)
+	dfs = func(b *ir.Block) {
+		for _, s := range g.Succs(b) {
+			if !seen[s] {
+				seen[s] = true
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// FromProfile converts simulator block counts into an Estimate — the
+// "actual basic block frequency" runs of Figure 5.
+func FromProfile(st *sim.Stats) Estimate {
+	est := make(Estimate, len(st.BlockCounts))
+	for label, n := range st.BlockCounts {
+		est[label] = float64(n)
+	}
+	return est
+}
+
+// Of returns the frequency of a block, 0 when unknown.
+func (e Estimate) Of(b *ir.Block) float64 { return e[b.Label] }

@@ -1,0 +1,169 @@
+package freq
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func estimateOf(t *testing.T, p *ir.Program) Estimate {
+	t.Helper()
+	gs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Static(p, gs)
+}
+
+func TestFigure2StaticEstimate(t *testing.T) {
+	p := ir.Figure2Program()
+	est := estimateOf(t, p)
+
+	// The loop body dominates: 10x its surroundings.
+	if est["fn_loop"] != 10*est["fn_init"] {
+		t.Errorf("loop freq %v, want 10x init %v", est["fn_loop"], est["fn_init"])
+	}
+	// The if block runs once per call, like init.
+	if est["fn_if"] != est["fn_init"] {
+		t.Errorf("if freq %v != init freq %v", est["fn_if"], est["fn_init"])
+	}
+	// The conditional split halves iftrue.
+	if est["fn_iftrue"] >= est["fn_if"] {
+		t.Errorf("iftrue %v should be below if %v", est["fn_iftrue"], est["fn_if"])
+	}
+	// return receives both paths: taken half + fall-through half of the
+	// split plus iftrue's flow — at least as frequent as iftrue.
+	if est["fn_return"] <= est["fn_iftrue"] {
+		t.Errorf("return %v should exceed iftrue %v", est["fn_return"], est["fn_iftrue"])
+	}
+	// fn is called once from main.
+	if est["fn_init"] != 1 {
+		t.Errorf("fn_init freq = %v, want 1 (single call site)", est["fn_init"])
+	}
+	if est["main_entry"] != 1 {
+		t.Errorf("main freq = %v, want 1", est["main_entry"])
+	}
+}
+
+func TestNestedLoopEstimate(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	entry := f.AddBlock("entry")
+	ir.Build(entry).MovImm(isa.R0, 0)
+	outer := f.AddBlock("outer")
+	ir.Build(outer).MovImm(isa.R1, 0)
+	inner := f.AddBlock("inner")
+	ir.Build(inner).AddImm(isa.R1, isa.R1, 1).CmpImm(isa.R1, 8).Bcond(isa.LT, "inner")
+	latch := f.AddBlock("latch")
+	ir.Build(latch).AddImm(isa.R0, isa.R0, 1).CmpImm(isa.R0, 8).Bcond(isa.LT, "outer")
+	exit := f.AddBlock("exit")
+	ir.Build(exit).Ret()
+	p.Reindex()
+
+	est := estimateOf(t, p)
+	if est["inner"] != 100*est["entry"] {
+		t.Errorf("inner %v, want 100x entry %v (depth 2)", est["inner"], est["entry"])
+	}
+	if est["outer"] != 10*est["entry"] {
+		t.Errorf("outer %v, want 10x entry", est["outer"])
+	}
+}
+
+func TestCalledTwiceDoublesFrequency(t *testing.T) {
+	p := ir.NewProgram()
+	callee := p.AddFunc(&ir.Function{Name: "leaf"})
+	lb := callee.AddBlock("leaf_body")
+	ir.Build(lb).MovImm(isa.R0, 1).Ret()
+	m := p.AddFunc(&ir.Function{Name: "main"})
+	mb := m.AddBlock("main_entry")
+	ir.Build(mb).Push(isa.R4, isa.LR).Bl("leaf").Bl("leaf").Pop(isa.R4, isa.PC)
+	p.Reindex()
+
+	est := estimateOf(t, p)
+	if est["leaf_body"] != 2 {
+		t.Errorf("leaf freq = %v, want 2 (two call sites)", est["leaf_body"])
+	}
+}
+
+func TestCallInsideLoopMultiplies(t *testing.T) {
+	p := ir.NewProgram()
+	callee := p.AddFunc(&ir.Function{Name: "leaf"})
+	lb := callee.AddBlock("leaf_body")
+	ir.Build(lb).MovImm(isa.R0, 1).Ret()
+	m := p.AddFunc(&ir.Function{Name: "main"})
+	e := m.AddBlock("main_entry")
+	ir.Build(e).Push(isa.R4, isa.LR).MovImm(isa.R4, 0)
+	lp := m.AddBlock("main_loop")
+	ir.Build(lp).Bl("leaf").AddImm(isa.R4, isa.R4, 1).CmpImm(isa.R4, 8).Bcond(isa.LT, "main_loop")
+	x := m.AddBlock("main_exit")
+	ir.Build(x).Pop(isa.R4, isa.PC)
+	p.Reindex()
+
+	est := estimateOf(t, p)
+	if est["leaf_body"] != 10 {
+		t.Errorf("leaf freq = %v, want 10 (called from a loop)", est["leaf_body"])
+	}
+}
+
+func TestDeadFunctionHasZeroFrequency(t *testing.T) {
+	p := ir.Figure2Program()
+	dead := p.AddFunc(&ir.Function{Name: "dead"})
+	db := dead.AddBlock("dead_body")
+	ir.Build(db).Ret()
+	p.Reindex()
+	est := estimateOf(t, p)
+	if est["dead_body"] != 0 {
+		t.Errorf("dead block freq = %v, want 0", est["dead_body"])
+	}
+}
+
+func TestProfileMatchesStaticShape(t *testing.T) {
+	p := ir.Figure2Program()
+	img, err := layout.New(p, layout.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := FromProfile(st)
+	if prof["fn_loop"] != 64 {
+		t.Errorf("profiled loop freq = %v, want 64", prof["fn_loop"])
+	}
+	if prof["fn_init"] != 1 {
+		t.Errorf("profiled init freq = %v, want 1", prof["fn_init"])
+	}
+	// Shape agreement: the static estimate also puts the loop on top.
+	est := estimateOf(t, p)
+	if est["fn_loop"] <= est["fn_if"] {
+		t.Error("static estimate must rank the loop hottest, as the profile does")
+	}
+	// Of() accessor.
+	loop := p.Func("fn").Block("fn_loop")
+	if prof.Of(loop) != 64 {
+		t.Errorf("Of(loop) = %v, want 64", prof.Of(loop))
+	}
+}
+
+func TestRecursionDoesNotDiverge(t *testing.T) {
+	p := ir.NewProgram()
+	rec := p.AddFunc(&ir.Function{Name: "rec"})
+	rb := rec.AddBlock("rec_body")
+	ir.Build(rb).Push(isa.R4, isa.LR).Bl("rec").Pop(isa.R4, isa.PC)
+	m := p.AddFunc(&ir.Function{Name: "main"})
+	mb := m.AddBlock("main_entry")
+	ir.Build(mb).Push(isa.R4, isa.LR).Bl("rec").Pop(isa.R4, isa.PC)
+	p.Reindex()
+
+	est := estimateOf(t, p) // must terminate
+	if est["rec_body"] < 0 {
+		t.Error("negative frequency")
+	}
+}

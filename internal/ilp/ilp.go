@@ -1,0 +1,281 @@
+// Package ilp solves 0–1 integer linear programs by LP-based branch and
+// bound over the solver in internal/lp. Together the two packages replace
+// the GNU Linear Programming Kit the paper integrates into its
+// optimization (§4.3).
+//
+// Only a designated subset of variables is branched on. The placement
+// model exploits this: given an integral assignment of the r_b ("block b
+// in RAM") variables, the auxiliary i_b (instrumented) and p_b (product)
+// variables are automatically integral at any LP optimum, so branching is
+// restricted to the r_b variables and the search tree stays small.
+package ilp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Status of an ILP solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible: an incumbent was found but the node limit stopped the
+	// proof of optimality.
+	Feasible
+	// Infeasible: no integer solution exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded below.
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible (node limit)"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Solver is a 0–1 branch-and-bound instance.
+type Solver struct {
+	// Base is the LP relaxation. It must already include x_j ≤ 1 rows
+	// (or equivalent) for every variable in Binaries.
+	Base *lp.Problem
+	// Binaries lists the variable indices required to be integer (0 or 1).
+	Binaries []int
+	// MaxNodes bounds the search (0 = default 100000).
+	MaxNodes int
+	// Rounder, if set, converts a fractional relaxation solution into a
+	// feasible integer candidate (used to seed and tighten the incumbent).
+	// It must return a complete variable vector and true on success.
+	Rounder func(x []float64) ([]float64, bool)
+}
+
+// Result of a solve.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Nodes  int // LP relaxations solved
+}
+
+const intTol = 1e-6
+
+type node struct {
+	bound float64
+	fixes []fix
+}
+
+type fix struct {
+	j   int
+	val float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Solve runs branch and bound and returns the best integer solution.
+func (s *Solver) Solve() (*Result, error) {
+	maxNodes := s.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 100000
+	}
+	isBinary := make(map[int]bool, len(s.Binaries))
+	for _, j := range s.Binaries {
+		isBinary[j] = true
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1)
+		nodes        int
+	)
+
+	solveNode := func(fixes []fix) (*lp.Solution, error) {
+		p := s.Base.Clone()
+		for _, f := range fixes {
+			p.AddRow(map[int]float64{f.j: 1}, lp.EQ, f.val)
+		}
+		nodes++
+		return p.Solve()
+	}
+
+	tryIncumbent := func(x []float64) {
+		if !s.integral(x) {
+			if s.Rounder == nil {
+				return
+			}
+			rx, ok := s.Rounder(x)
+			if !ok || !s.integral(rx) || !s.Base.Feasible(rx, 1e-6) {
+				return
+			}
+			x = rx
+		}
+		obj := s.Base.Objective(x)
+		if obj < incumbentObj-1e-9 {
+			incumbentObj = obj
+			incumbent = append([]float64(nil), x...)
+		}
+	}
+
+	// Root node.
+	rootSol, err := solveNode(nil)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Result{Status: Infeasible, Nodes: nodes}, nil
+	case lp.Unbounded:
+		return &Result{Status: Unbounded, Nodes: nodes}, nil
+	case lp.IterLimit:
+		return nil, fmt.Errorf("ilp: root relaxation hit the simplex iteration limit")
+	}
+	tryIncumbent(rootSol.X)
+	if s.integral(rootSol.X) {
+		return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+	}
+
+	open := &nodeHeap{{bound: rootSol.Obj}}
+	heap.Init(open)
+
+	for open.Len() > 0 && nodes < maxNodes {
+		nd := heap.Pop(open).(*node)
+		if nd.bound >= incumbentObj-1e-9 {
+			continue // pruned by bound
+		}
+		sol, err := solveNode(nd.fixes)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible or numerically stuck branch
+		}
+		if sol.Obj >= incumbentObj-1e-9 {
+			continue
+		}
+		tryIncumbent(sol.X)
+		j := s.mostFractional(sol.X)
+		if j < 0 {
+			continue // integral; tryIncumbent already recorded it
+		}
+		for _, v := range [2]float64{0, 1} {
+			child := &node{
+				bound: sol.Obj,
+				fixes: append(append([]fix(nil), nd.fixes...), fix{j, v}),
+			}
+			heap.Push(open, child)
+		}
+	}
+
+	switch {
+	case incumbent == nil && open.Len() == 0:
+		return &Result{Status: Infeasible, Nodes: nodes}, nil
+	case incumbent == nil:
+		return nil, fmt.Errorf("ilp: node limit %d reached with no incumbent", maxNodes)
+	case open.Len() > 0:
+		// Check whether remaining nodes could improve on the incumbent.
+		best := math.Inf(1)
+		for _, nd := range *open {
+			if nd.bound < best {
+				best = nd.bound
+			}
+		}
+		if best < incumbentObj-1e-9 {
+			return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+		}
+	}
+	return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+}
+
+// integral reports whether every branching variable of x is 0/1.
+func (s *Solver) integral(x []float64) bool {
+	for _, j := range s.Binaries {
+		f := x[j]
+		if math.Abs(f-math.Round(f)) > intTol {
+			return false
+		}
+	}
+	return true
+}
+
+// mostFractional returns the branching variable whose value is closest to
+// 0.5, or -1 if all are integral.
+func (s *Solver) mostFractional(x []float64) int {
+	best, bestDist := -1, math.Inf(1)
+	for _, j := range s.Binaries {
+		f := x[j]
+		frac := math.Abs(f - math.Round(f))
+		if frac <= intTol {
+			continue
+		}
+		d := math.Abs(f - 0.5)
+		if d < bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+// SolveExhaustive enumerates every assignment of the binaries (2^k) and
+// returns the true optimum. Only usable for small k; serves as the oracle
+// in tests and as the Figure 6 point-cloud generator's core.
+func (s *Solver) SolveExhaustive() (*Result, error) {
+	k := len(s.Binaries)
+	if k > 24 {
+		return nil, fmt.Errorf("ilp: exhaustive enumeration over %d binaries refused", k)
+	}
+	bestObj := math.Inf(1)
+	var bestX []float64
+	nodes := 0
+	for mask := 0; mask < 1<<k; mask++ {
+		p := s.Base.Clone()
+		for bi, j := range s.Binaries {
+			v := 0.0
+			if mask&(1<<bi) != 0 {
+				v = 1.0
+			}
+			p.AddRow(map[int]float64{j: 1}, lp.EQ, v)
+		}
+		nodes++
+		sol, err := p.Solve()
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		if sol.Obj < bestObj-1e-9 {
+			bestObj = sol.Obj
+			bestX = append([]float64(nil), sol.X...)
+		}
+	}
+	if bestX == nil {
+		return &Result{Status: Infeasible, Nodes: nodes}, nil
+	}
+	return &Result{Status: Optimal, X: bestX, Obj: bestObj, Nodes: nodes}, nil
+}

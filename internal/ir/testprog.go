@@ -1,0 +1,61 @@
+package ir
+
+import "repro/internal/isa"
+
+// Figure2Program builds the paper's motivating example (Figure 2):
+//
+//	int fn(int k) {
+//	    int i, x;
+//	    x = 1;
+//	    for (i = 0; i < 64; ++i) x *= k;
+//	    if (x > 255) x = 255;
+//	    return x;
+//	}
+//
+// compiled the way the paper shows, with k in r2, plus a trivial main that
+// calls it. Used across the test suites and the quickstart example.
+func Figure2Program() *Program {
+	p := NewProgram()
+
+	fn := p.AddFunc(&Function{Name: "fn"})
+	initB := fn.AddBlock("fn_init")
+	Build(initB).
+		Mov(isa.R2, isa.R0). // k arrives in r0; the paper's body uses r2
+		MovImm(isa.R1, 1).
+		MovImm(isa.R0, 0)
+
+	loop := fn.AddBlock("fn_loop")
+	Build(loop).
+		Mul(isa.R1, isa.R1, isa.R2).
+		AddImm(isa.R0, isa.R0, 1).
+		CmpImm(isa.R0, 64).
+		Bcond(isa.NE, "fn_loop")
+
+	ifB := fn.AddBlock("fn_if")
+	Build(ifB).
+		CmpImm(isa.R1, 255).
+		Bcond(isa.LE, "fn_return")
+
+	iftrue := fn.AddBlock("fn_iftrue")
+	Build(iftrue).
+		MovImm(isa.R1, 255)
+
+	ret := fn.AddBlock("fn_return")
+	Build(ret).
+		Mov(isa.R0, isa.R1).
+		Ret()
+
+	m := p.AddFunc(&Function{Name: "main"})
+	mb := m.AddBlock("main_entry")
+	Build(mb).
+		Push(isa.R4, isa.LR).
+		MovImm(isa.R0, 3).
+		Bl("fn").
+		LdrLit(isa.R4, "result").
+		Str(isa.R0, isa.R4, 0).
+		Pop(isa.R4, isa.PC)
+
+	p.AddGlobal(&Global{Name: "result", Size: 4})
+	p.Reindex()
+	return p
+}

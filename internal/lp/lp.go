@@ -1,0 +1,481 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ
+//	            x ≥ 0
+//
+// It stands in for the GNU Linear Programming Kit the paper integrates
+// (§4.3): the placement ILP's relaxations are solved here, driven by the
+// branch-and-bound in internal/ilp.
+//
+// The implementation is a textbook full-tableau method: phase 1 minimizes
+// the sum of artificial variables to find a basic feasible solution, phase
+// 2 optimizes the real objective. Dantzig's rule selects entering columns,
+// falling back to Bland's rule when progress stalls so cycling cannot
+// occur. Upper bounds are expressed as explicit rows by the caller (the
+// ILP layer only needs them on branching variables).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // aᵀx ≤ b
+	GE            // aᵀx ≥ b
+	EQ            // aᵀx = b
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Problem is an LP under construction. Create with NewProblem, then set
+// objective coefficients and add rows.
+type Problem struct {
+	n   int // structural variables
+	obj []float64
+
+	rowCoef [][]float64 // dense row coefficients, length n
+	rowRel  []Rel
+	rowRHS  []float64
+
+	// MaxIter bounds total simplex pivots (both phases). Zero means the
+	// default (50 per row+column, at least 10000).
+	MaxIter int
+}
+
+// Solution is the result of a successful solve.
+type Solution struct {
+	Status Status
+	X      []float64 // structural variable values (len = NumVars)
+	Obj    float64   // objective value cᵀx
+}
+
+// NewProblem returns a minimization problem with n structural variables,
+// all constrained to x ≥ 0, with zero objective coefficients.
+func NewProblem(n int) *Problem {
+	if n < 0 {
+		panic("lp: negative variable count")
+	}
+	return &Problem{n: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.rowRel) }
+
+// SetObj sets the objective coefficient of variable j.
+func (p *Problem) SetObj(j int, c float64) {
+	p.obj[j] = c
+}
+
+// AddRow adds the constraint Σ coeffs[j]·x_j rel rhs. Variables absent
+// from coeffs have coefficient zero.
+func (p *Problem) AddRow(coeffs map[int]float64, rel Rel, rhs float64) {
+	row := make([]float64, p.n)
+	for j, c := range coeffs {
+		if j < 0 || j >= p.n {
+			panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", j, p.n))
+		}
+		row[j] = c
+	}
+	p.rowCoef = append(p.rowCoef, row)
+	p.rowRel = append(p.rowRel, rel)
+	p.rowRHS = append(p.rowRHS, rhs)
+}
+
+// AddDenseRow adds a constraint from a dense coefficient slice (length
+// must equal NumVars).
+func (p *Problem) AddDenseRow(coeffs []float64, rel Rel, rhs float64) {
+	if len(coeffs) != p.n {
+		panic("lp: dense row length mismatch")
+	}
+	p.rowCoef = append(p.rowCoef, append([]float64(nil), coeffs...))
+	p.rowRel = append(p.rowRel, rel)
+	p.rowRHS = append(p.rowRHS, rhs)
+}
+
+// Row returns row i's dense coefficients (not a copy), relation and RHS.
+func (p *Problem) Row(i int) ([]float64, Rel, float64) {
+	return p.rowCoef[i], p.rowRel[i], p.rowRHS[i]
+}
+
+// Obj returns the objective coefficient of variable j.
+func (p *Problem) Obj(j int) float64 { return p.obj[j] }
+
+// Clone deep-copies the problem so rows can be appended per branch-and-
+// bound node without disturbing the base relaxation.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		n:       p.n,
+		obj:     append([]float64(nil), p.obj...),
+		rowRel:  append([]Rel(nil), p.rowRel...),
+		rowRHS:  append([]float64(nil), p.rowRHS...),
+		MaxIter: p.MaxIter,
+	}
+	q.rowCoef = make([][]float64, len(p.rowCoef))
+	for i, r := range p.rowCoef {
+		q.rowCoef[i] = append([]float64(nil), r...)
+	}
+	return q
+}
+
+// Eval computes aᵢᵀx for row i.
+func (p *Problem) Eval(i int, x []float64) float64 {
+	v := 0.0
+	for j, c := range p.rowCoef[i] {
+		if c != 0 {
+			v += c * x[j]
+		}
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies every row (within tol) and x ≥ 0.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	for j := 0; j < p.n; j++ {
+		if x[j] < -tol {
+			return false
+		}
+	}
+	for i := range p.rowRel {
+		v := p.Eval(i, x)
+		switch p.rowRel[i] {
+		case LE:
+			if v > p.rowRHS[i]+tol {
+				return false
+			}
+		case GE:
+			if v < p.rowRHS[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(v-p.rowRHS[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Objective computes cᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	v := 0.0
+	for j := 0; j < p.n; j++ {
+		if p.obj[j] != 0 {
+			v += p.obj[j] * x[j]
+		}
+	}
+	return v
+}
+
+const eps = 1e-9
+
+// ErrBadProblem reports a structurally invalid problem.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+// Solve runs two-phase simplex and returns the solution. Status Infeasible
+// and Unbounded are reported in Solution.Status with a nil error; only
+// structural problems return an error.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.rowRel)
+	n := p.n
+
+	// Column layout: [0,n) structural, [n, n+slacks) slack/surplus,
+	// [n+slacks, n+slacks+arts) artificial.
+	slackOf := make([]int, m) // column of this row's slack, or -1
+	artOf := make([]int, m)   // column of this row's artificial, or -1
+	nSlack, nArt := 0, 0
+	for i := 0; i < m; i++ {
+		rel, rhs := p.rowRel[i], p.rowRHS[i]
+		neg := rhs < 0
+		effRel := rel
+		if neg {
+			// Row will be negated below; flip the relation.
+			switch rel {
+			case LE:
+				effRel = GE
+			case GE:
+				effRel = LE
+			}
+		}
+		slackOf[i], artOf[i] = -1, -1
+		switch effRel {
+		case LE:
+			slackOf[i] = nSlack
+			nSlack++
+		case GE:
+			slackOf[i] = nSlack
+			nSlack++
+			artOf[i] = nArt
+			nArt++
+		case EQ:
+			artOf[i] = nArt
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	// Tableau: m rows × (total+1) columns; last column is RHS.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		sign := 1.0
+		rhs := p.rowRHS[i]
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * p.rowCoef[i][j]
+		}
+		t[i][total] = rhs
+
+		effRel := p.rowRel[i]
+		if sign < 0 {
+			switch effRel {
+			case LE:
+				effRel = GE
+			case GE:
+				effRel = LE
+			}
+		}
+		switch effRel {
+		case LE:
+			t[i][n+slackOf[i]] = 1
+			basis[i] = n + slackOf[i]
+		case GE:
+			t[i][n+slackOf[i]] = -1
+			t[i][n+nSlack+artOf[i]] = 1
+			basis[i] = n + nSlack + artOf[i]
+		case EQ:
+			t[i][n+nSlack+artOf[i]] = 1
+			basis[i] = n + nSlack + artOf[i]
+		}
+	}
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 50 * (m + total)
+		if maxIter < 10000 {
+			maxIter = 10000
+		}
+	}
+	iters := 0
+
+	// Phase 1: minimize sum of artificials.
+	if nArt > 0 {
+		cost := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			cost[j] = 1
+		}
+		st := simplex(t, basis, cost, total, maxIter, &iters)
+		if st == IterLimit {
+			return &Solution{Status: IterLimit}, nil
+		}
+		// Compute phase-1 objective value.
+		v := 0.0
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+nSlack {
+				v += t[i][total]
+			}
+		}
+		if v > 1e-6 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > 1e-7 {
+					pivot(t, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; artificial stays basic at zero. Zero the
+				// row so it cannot interfere.
+				for j := 0; j < total; j++ {
+					if j < n+nSlack {
+						t[i][j] = 0
+					}
+				}
+			}
+		}
+		// Forbid artificial columns from re-entering: zero them out.
+		for i := 0; i < m; i++ {
+			for j := n + nSlack; j < total; j++ {
+				if basis[i] != j {
+					t[i][j] = 0
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective.
+	cost := make([]float64, total)
+	copy(cost, p.obj)
+	// Artificials must not re-enter; give them prohibitive cost.
+	for j := n + nSlack; j < total; j++ {
+		cost[j] = math.Inf(1)
+	}
+	st := simplex(t, basis, cost, total, maxIter, &iters)
+	switch st {
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit}, nil
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+// simplex optimizes the tableau in place for the given cost vector.
+// Returns Optimal, Unbounded or IterLimit.
+func simplex(t [][]float64, basis []int, cost []float64, total, maxIter int, iters *int) Status {
+	m := len(t)
+	reduced := make([]float64, total)
+	blandAfter := maxIter / 2
+
+	for {
+		if *iters >= maxIter {
+			return IterLimit
+		}
+		*iters++
+
+		// Reduced costs: c_j - c_B · B⁻¹A_j (tableau form: c_j - Σ c_basis[i]·t[i][j]).
+		for j := 0; j < total; j++ {
+			if math.IsInf(cost[j], 1) {
+				reduced[j] = math.Inf(1)
+				// An infinite-cost column may still be basic (artificial at
+				// zero); it never enters.
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				cb := cost[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0 // basic artificial at value 0 contributes nothing
+				}
+				if cb != 0 && t[i][j] != 0 {
+					r -= cb * t[i][j]
+				}
+			}
+			reduced[j] = r
+		}
+
+		// Entering column: most negative reduced cost (Dantzig), or the
+		// lowest-index negative column (Bland) once we are past the
+		// midpoint, which guarantees termination.
+		enter := -1
+		if *iters < blandAfter {
+			best := -eps
+			for j := 0; j < total; j++ {
+				if reduced[j] < best {
+					best = reduced[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < total; j++ {
+				if reduced[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// Ratio test; Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a > eps {
+				ratio := t[i][total] / a
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && leave >= 0 && basis[i] < basis[leave]) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		pivot(t, basis, leave, enter, total)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on t[row][col].
+func pivot(t [][]float64, basis []int, row, col, total int) {
+	m := len(t)
+	pv := t[row][col]
+	inv := 1.0 / pv
+	for j := 0; j <= total; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1 // exact
+	for i := 0; i < m; i++ {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0 // exact
+	}
+	basis[row] = col
+}

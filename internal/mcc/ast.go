@@ -1,0 +1,301 @@
+package mcc
+
+import "fmt"
+
+// Type is a (simplified) C type.
+type Type struct {
+	Kind TypeKind
+	// For TInt: Size (1, 2, 4) and Signed.
+	Size   int
+	Signed bool
+	// For TPtr and TArray: element type; for TArray: Len.
+	Elem *Type
+	Len  int
+}
+
+// TypeKind discriminates types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TVoid TypeKind = iota
+	TInt
+	TFloat
+	TPtr
+	TArray
+)
+
+// Common type singletons.
+var (
+	TypeVoid   = &Type{Kind: TVoid}
+	TypeInt    = &Type{Kind: TInt, Size: 4, Signed: true}
+	TypeUInt   = &Type{Kind: TInt, Size: 4, Signed: false}
+	TypeChar   = &Type{Kind: TInt, Size: 1, Signed: true}
+	TypeUChar  = &Type{Kind: TInt, Size: 1, Signed: false}
+	TypeShort  = &Type{Kind: TInt, Size: 2, Signed: true}
+	TypeUShort = &Type{Kind: TInt, Size: 2, Signed: false}
+	TypeFloat  = &Type{Kind: TFloat, Size: 4}
+)
+
+// PtrTo returns a pointer type.
+func PtrTo(e *Type) *Type { return &Type{Kind: TPtr, Size: 4, Elem: e} }
+
+// ArrayOf returns an array type.
+func ArrayOf(e *Type, n int) *Type { return &Type{Kind: TArray, Elem: e, Len: n} }
+
+// ByteSize returns the storage size of the type.
+func (t *Type) ByteSize() int {
+	switch t.Kind {
+	case TInt, TFloat, TPtr:
+		return t.Size
+	case TArray:
+		return t.Elem.ByteSize() * t.Len
+	}
+	return 0
+}
+
+// IsInteger reports integer-kind types.
+func (t *Type) IsInteger() bool { return t.Kind == TInt }
+
+// IsScalar reports types that fit a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TInt || t.Kind == TFloat || t.Kind == TPtr
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TFloat:
+		return "float"
+	case TInt:
+		s := "u"
+		if t.Signed {
+			s = ""
+		}
+		switch t.Size {
+		case 1:
+			return s + "char"
+		case 2:
+			return s + "short"
+		default:
+			return s + "int"
+		}
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	}
+	return "?"
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(u *Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TInt:
+		return t.Size == u.Size && t.Signed == u.Signed
+	case TPtr:
+		return t.Elem.Equal(u.Elem)
+	case TArray:
+		return t.Len == u.Len && t.Elem.Equal(u.Elem)
+	}
+	return true
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node. Sema fills Type.
+type Expr interface {
+	exprNode()
+	TypeOf() *Type
+}
+
+type exprBase struct{ T *Type }
+
+func (e *exprBase) exprNode()     {}
+func (e *exprBase) TypeOf() *Type { return e.T }
+
+// IntLit is an integer constant.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a float constant.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// VarRef names a variable (local, param or global).
+type VarRef struct {
+	exprBase
+	Name string
+	// Sym is resolved by sema.
+	Sym *Symbol
+}
+
+// Unary is op expr: - ! ~ * (deref) & (addr) ++ -- (prefix when Post false).
+type Unary struct {
+	exprBase
+	Op   string
+	X    Expr
+	Post bool // post-increment/decrement
+}
+
+// Binary is a binary operation (arithmetic, comparison, logic).
+type Binary struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// Assign is L = R, or compound (op non-empty: "+"", "-", ...).
+type Assign struct {
+	exprBase
+	Op   string // "" for plain assignment
+	L, R Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	exprBase
+	C, A, B Expr
+}
+
+// Call is a function call.
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Fn is resolved by sema.
+	Fn *FuncDecl
+}
+
+// Index is a[i].
+type Index struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// Cast is (type)expr.
+type Cast struct {
+	exprBase
+	X Expr
+}
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+type stmtBase struct{}
+
+func (stmtBase) stmtNode() {}
+
+// Block is { ... }.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	stmtBase
+	Decls []*VarDecl
+}
+
+// If statement.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile loop.
+type DoWhile struct {
+	stmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For loop.
+type For struct {
+	stmtBase
+	Init Stmt // may be nil (DeclStmt or ExprStmt)
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Return statement.
+type Return struct {
+	stmtBase
+	X Expr // may be nil
+}
+
+// Break statement.
+type Break struct{ stmtBase }
+
+// Continue statement.
+type Continue struct{ stmtBase }
+
+// ---- Declarations ----
+
+// VarDecl declares one variable (global or local).
+type VarDecl struct {
+	Name  string
+	Type  *Type
+	Const bool
+	// Init is the scalar initializer, or nil.
+	Init Expr
+	// InitList is the brace initializer for arrays (possibly nested for
+	// 2-D arrays), or nil.
+	InitList []Expr
+	// Sym is resolved by sema.
+	Sym *Symbol
+}
+
+// FuncDecl declares or defines a function.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []*VarDecl
+	Body   *Block // nil for a prototype
+}
+
+// Program is a parsed translation unit.
+type SourceProgram struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Name   string
+	Type   *Type
+	Global bool
+	Const  bool
+	// Param index (0-3) when IsParam.
+	IsParam  bool
+	ParamIdx int
+	// Local slot id assigned by sema (unique per function).
+	LocalID int
+}

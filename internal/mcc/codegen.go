@@ -1,0 +1,353 @@
+package mcc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// ccToCond maps MIR conditions to ARM condition codes.
+func ccToCond(c CC) isa.Cond {
+	switch c {
+	case CCEq:
+		return isa.EQ
+	case CCNe:
+		return isa.NE
+	case CCLt:
+		return isa.LT
+	case CCLe:
+		return isa.LE
+	case CCGt:
+		return isa.GT
+	case CCGe:
+		return isa.GE
+	case CCULt:
+		return isa.CC
+	case CCULe:
+		return isa.LS
+	case CCUGt:
+		return isa.HI
+	case CCUGe:
+		return isa.CS
+	}
+	panic("mcc: bad cc")
+}
+
+// codegen emits one MIR function as an ir.Function.
+type codegen struct {
+	f     *MFunc
+	alloc *Allocation
+	out   *ir.Function
+
+	// frame layout (SP-relative byte offsets)
+	spillOff []int32
+	slotOff  []int32
+	frame    int32
+
+	cur *ir.Block
+}
+
+// GenFunc lowers an MIR function to machine IR.
+func GenFunc(f *MFunc, alloc *Allocation) (*ir.Function, error) {
+	cg := &codegen{f: f, alloc: alloc, out: &ir.Function{Name: f.Name}}
+	cg.layoutFrame()
+	for bi, b := range f.Blocks {
+		cg.cur = cg.out.AddBlock(b.Label)
+		if bi == 0 {
+			cg.prologue()
+		}
+		next := ""
+		if bi+1 < len(f.Blocks) {
+			next = f.Blocks[bi+1].Label
+		}
+		for i := range b.Ins {
+			if err := cg.ins(&b.Ins[i], next); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", f.Name, b.Label, err)
+			}
+		}
+	}
+	return cg.out, nil
+}
+
+func (cg *codegen) layoutFrame() {
+	off := int32(0)
+	cg.spillOff = make([]int32, cg.alloc.NumSpills)
+	for i := range cg.spillOff {
+		cg.spillOff[i] = off
+		off += 4
+	}
+	cg.slotOff = make([]int32, len(cg.f.SlotSizes))
+	for i, sz := range cg.f.SlotSizes {
+		cg.slotOff[i] = off
+		off += int32((sz + 3) &^ 3)
+	}
+	if off%8 != 0 {
+		off += 8 - off%8
+	}
+	cg.frame = off
+}
+
+// pushList returns the callee-saved register list plus LR.
+func (cg *codegen) pushList() []isa.Reg {
+	regs := append([]isa.Reg(nil), cg.alloc.UsedCalleeSaved...)
+	return append(regs, isa.LR)
+}
+
+func (cg *codegen) prologue() {
+	bb := ir.Build(cg.cur)
+	bb.Push(cg.pushList()...)
+	if cg.frame > 0 {
+		bb.SubImm(isa.SP, isa.SP, cg.frame)
+	}
+	// Move incoming arguments (r0-r3) to their allocated homes.
+	for i, pv := range cg.f.ParamRegs {
+		src := isa.Reg(i) // r0..r3
+		if r, ok := cg.alloc.Reg[pv]; ok {
+			bb.Mov(r, src)
+		} else if slot, ok := cg.alloc.Spill[pv]; ok {
+			bb.Str(src, isa.SP, cg.spillOff[slot])
+		}
+	}
+}
+
+func (cg *codegen) epilogue(bb *ir.BlockBuilder) {
+	if cg.frame > 0 {
+		bb.AddImm(isa.SP, isa.SP, cg.frame)
+	}
+	regs := append([]isa.Reg(nil), cg.alloc.UsedCalleeSaved...)
+	bb.Pop(append(regs, isa.PC)...)
+}
+
+// read ensures the vreg's value is in a register, using scratch when
+// spilled, and returns that register.
+func (cg *codegen) read(v VReg, scratch isa.Reg) isa.Reg {
+	if r, ok := cg.alloc.Reg[v]; ok {
+		return r
+	}
+	slot := cg.alloc.Spill[v]
+	ir.Build(cg.cur).Ldr(scratch, isa.SP, cg.spillOff[slot])
+	return scratch
+}
+
+// dst returns the register to compute a result into, and a commit
+// function that stores it back if the vreg is spilled.
+func (cg *codegen) dst(v VReg, scratch isa.Reg) (isa.Reg, func()) {
+	if r, ok := cg.alloc.Reg[v]; ok {
+		return r, func() {}
+	}
+	slot := cg.alloc.Spill[v]
+	off := cg.spillOff[slot]
+	return scratch, func() { ir.Build(cg.cur).Str(scratch, isa.SP, off) }
+}
+
+func (cg *codegen) ins(in *MIns, next string) error {
+	bb := ir.Build(cg.cur)
+	switch in.Op {
+	case MConst:
+		d, commit := cg.dst(in.Dst, isa.R0)
+		if in.Imm >= 0 && in.Imm <= 65535 {
+			bb.MovImm(d, in.Imm)
+		} else {
+			bb.LdrConst(d, in.Imm)
+		}
+		commit()
+		return nil
+
+	case MMov:
+		a := cg.read(in.A, isa.R0)
+		d, commit := cg.dst(in.Dst, isa.R0)
+		if d != a {
+			bb.Mov(d, a)
+		}
+		commit()
+		return nil
+
+	case MAdd, MSub, MMul, MAnd, MOr, MXor, MShl, MShr, MSar,
+		MSDiv, MUDiv:
+		a := cg.read(in.A, isa.R0)
+		b := cg.read(in.B, isa.R1)
+		d, commit := cg.dst(in.Dst, isa.R0)
+		op := map[MOp]isa.Op{
+			MAdd: isa.ADD, MSub: isa.SUB, MMul: isa.MUL,
+			MAnd: isa.AND, MOr: isa.ORR, MXor: isa.EOR,
+			MShl: isa.LSL, MShr: isa.LSR, MSar: isa.ASR,
+			MSDiv: isa.SDIV, MUDiv: isa.UDIV,
+		}[in.Op]
+		bb.Op3(op, d, a, b)
+		commit()
+		return nil
+
+	case MSRem, MURem:
+		// rem = a - (a/b)*b; the Cortex-M3 has no remainder instruction.
+		a := cg.read(in.A, isa.R0)
+		b := cg.read(in.B, isa.R1)
+		div := isa.SDIV
+		if in.Op == MURem {
+			div = isa.UDIV
+		}
+		d, commit := cg.dst(in.Dst, isa.R2)
+		bb.Op3(div, isa.R3, a, b)
+		bb.Op3(isa.MUL, isa.R3, isa.R3, b)
+		bb.Op3(isa.SUB, d, a, isa.R3)
+		commit()
+		return nil
+
+	case MNeg:
+		a := cg.read(in.A, isa.R0)
+		d, commit := cg.dst(in.Dst, isa.R0)
+		bb.OpImm(isa.RSB, d, a, 0)
+		commit()
+		return nil
+
+	case MNot:
+		a := cg.read(in.A, isa.R0)
+		d, commit := cg.dst(in.Dst, isa.R0)
+		cg.cur.Append(isa.Instr{Op: isa.MVN, Rd: d, Rm: a})
+		commit()
+		return nil
+
+	case MExt:
+		a := cg.read(in.A, isa.R0)
+		d, commit := cg.dst(in.Dst, isa.R0)
+		var op isa.Op
+		switch {
+		case in.Width == 1 && in.Signed:
+			op = isa.SXTB
+		case in.Width == 1:
+			op = isa.UXTB
+		case in.Width == 2 && in.Signed:
+			op = isa.SXTH
+		default:
+			op = isa.UXTH
+		}
+		cg.cur.Append(isa.Instr{Op: op, Rd: d, Rm: a})
+		commit()
+		return nil
+
+	case MSetCC:
+		a := cg.read(in.A, isa.R0)
+		b := cg.read(in.B, isa.R1)
+		d, commit := cg.dst(in.Dst, isa.R2)
+		bb.Cmp(a, b)
+		bb.MovImm(d, 0)
+		cond := ccToCond(in.CC)
+		cg.cur.Append(isa.Instr{Op: isa.IT, Cond: cond})
+		cg.cur.Append(isa.Instr{Op: isa.MOV, Cond: cond, Rd: d, Imm: 1, HasImm: true})
+		commit()
+		return nil
+
+	case MLoad:
+		a := cg.read(in.A, isa.R0)
+		d, commit := cg.dst(in.Dst, isa.R1)
+		var op isa.Op
+		switch {
+		case in.Width == 1 && in.Signed:
+			op = isa.LDRSB
+		case in.Width == 1:
+			op = isa.LDRB
+		case in.Width == 2 && in.Signed:
+			op = isa.LDRSH
+		case in.Width == 2:
+			op = isa.LDRH
+		default:
+			op = isa.LDR
+		}
+		cg.cur.Append(isa.Instr{Op: op, Rd: d, Rn: a, Mode: isa.AddrOffset})
+		commit()
+		return nil
+
+	case MStore:
+		a := cg.read(in.A, isa.R0)
+		v := cg.read(in.B, isa.R1)
+		var op isa.Op
+		switch in.Width {
+		case 1:
+			op = isa.STRB
+		case 2:
+			op = isa.STRH
+		default:
+			op = isa.STR
+		}
+		cg.cur.Append(isa.Instr{Op: op, Rd: v, Rn: a, Mode: isa.AddrOffset})
+		return nil
+
+	case MAddrG:
+		d, commit := cg.dst(in.Dst, isa.R0)
+		bb.LdrLit(d, in.Sym)
+		commit()
+		return nil
+
+	case MAddrL:
+		d, commit := cg.dst(in.Dst, isa.R0)
+		bb.AddImm(d, isa.SP, cg.slotOff[in.Imm])
+		commit()
+		return nil
+
+	case MCall:
+		if len(in.Args) > 4 {
+			return fmt.Errorf("call to %s with %d args (max 4)", in.Sym, len(in.Args))
+		}
+		// Stage arguments: sources live in callee-saved registers or
+		// spill slots, so writing r0-r3 in order cannot clobber a source.
+		for i, a := range in.Args {
+			tgt := isa.Reg(i)
+			if r, ok := cg.alloc.Reg[a]; ok {
+				if r != tgt {
+					bb.Mov(tgt, r)
+				}
+			} else {
+				bb.Ldr(tgt, isa.SP, cg.spillOff[cg.alloc.Spill[a]])
+			}
+		}
+		bb.Bl(in.Sym)
+		if in.Dst != NoVReg {
+			if r, ok := cg.alloc.Reg[in.Dst]; ok {
+				bb.Mov(r, isa.R0)
+			} else {
+				bb.Str(isa.R0, isa.SP, cg.spillOff[cg.alloc.Spill[in.Dst]])
+			}
+		}
+		return nil
+
+	case MJmp:
+		if in.L1 != next {
+			bb.B(in.L1)
+		}
+		return nil
+
+	case MCmpBr:
+		a := cg.read(in.A, isa.R0)
+		b := cg.read(in.B, isa.R1)
+		bb.Cmp(a, b)
+		cond := ccToCond(in.CC)
+		switch {
+		case in.L2 == next:
+			bb.Bcond(cond, in.L1)
+		case in.L1 == next:
+			bb.Bcond(invertCond(cond), in.L2)
+		default:
+			// Neither target follows: take the conditional branch and
+			// fall into a trampoline block that jumps to the false
+			// target. The trampoline is appended immediately so it is
+			// the next block in layout order.
+			bb.Bcond(cond, in.L1)
+			tramp := cg.out.AddBlock(cg.cur.Label + "_tr")
+			ir.Build(tramp).B(in.L2)
+		}
+		return nil
+
+	case MRet:
+		if in.A != NoVReg {
+			a := cg.read(in.A, isa.R0)
+			if a != isa.R0 {
+				bb.Mov(isa.R0, a)
+			}
+		}
+		cg.epilogue(bb)
+		return nil
+	}
+	return fmt.Errorf("codegen: unhandled %s", in.String())
+}
+
+func invertCond(c isa.Cond) isa.Cond { return c.Invert() }

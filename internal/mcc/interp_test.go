@@ -1,0 +1,285 @@
+package mcc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// runInterp lowers src, optionally optimizes, interprets, and returns the
+// named global's bytes.
+func runInterp(t *testing.T, src string, level OptLevel, global string, n int) []byte {
+	t.Helper()
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(mp, level)
+	if err := mp.Verify(); err != nil {
+		t.Fatalf("%v: optimized MIR invalid: %v", level, err)
+	}
+	it, err := NewInterp(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err != nil {
+		t.Fatalf("%v: interp: %v", level, err)
+	}
+	out, err := it.ReadGlobal(global, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runSim compiles fully and executes on the board simulator.
+func runSim(t *testing.T, src string, level OptLevel, global string, n int) []byte {
+	t.Helper()
+	prog, err := Compile(src, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := layout.New(prog, layout.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("%v: sim: %v", level, err)
+	}
+	out, err := m.ReadGlobalBytes(global, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// threeWay checks interpreter-vs-interpreter-vs-simulator agreement for a
+// program across optimization levels.
+func threeWay(t *testing.T, src string, global string, n int) {
+	t.Helper()
+	ref := runInterp(t, src, O0, global, n)
+	for _, level := range []OptLevel{O1, O2, O3} {
+		if got := runInterp(t, src, level, global, n); !bytes.Equal(got, ref) {
+			t.Errorf("interp %v disagrees with interp O0:\n got  %v\n want %v", level, got, ref)
+		}
+	}
+	for _, level := range []OptLevel{O0, O2} {
+		if got := runSim(t, src, level, global, n); !bytes.Equal(got, ref) {
+			t.Errorf("simulator %v disagrees with interp O0:\n got  %v\n want %v", level, got, ref)
+		}
+	}
+}
+
+func TestInterpBasics(t *testing.T) {
+	threeWay(t, `
+int out[3];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 10; i++) s += i * i;
+    out[0] = s;            // 285
+    out[1] = s % 7;        // 285 % 7 = 5
+    out[2] = -s >> 3;      // arithmetic shift of negative
+    return 0;
+}
+`, "out", 12)
+}
+
+func TestInterpCallsAndMemory(t *testing.T) {
+	threeWay(t, `
+int out[2];
+int tab[8];
+int sum(int *p, int n) {
+    int i, s = 0;
+    for (i = 0; i < n; i++) s += p[i];
+    return s;
+}
+int main() {
+    int i;
+    for (i = 0; i < 8; i++) tab[i] = i * 3 + 1;
+    out[0] = sum(tab, 8);
+    out[1] = sum(tab + 2, 3);
+    return 0;
+}
+`, "out", 8)
+}
+
+func TestInterpFloatBuiltins(t *testing.T) {
+	// Interpreter uses Go float32 natively; simulator uses the soft-float
+	// MIR. Integer results derived from floats must agree (the values are
+	// exactly representable so truncation rounding cannot differ).
+	threeWay(t, `
+int out[3];
+float a = 12.5;
+float b = 0.5;
+int main() {
+    out[0] = (int)(a * b);       // 6
+    out[1] = (int)(a / b);       // 25
+    out[2] = (a > b) + (a == a); // 2
+    return 0;
+}
+`, "out", 12)
+}
+
+// TestInterpMatchesSimOnRandomPrograms is the compiler fuzzer: generate
+// random (but well-formed, terminating) integer programs and require the
+// O0 interpreter, the optimized interpreters and the simulator to agree.
+func TestInterpMatchesSimOnRandomPrograms(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < trials; trial++ {
+		src := randomProgram(rng)
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			defer func() {
+				if t.Failed() {
+					t.Logf("source:\n%s", src)
+				}
+			}()
+			threeWay(t, src, "out", 16)
+		})
+	}
+}
+
+// randomProgram emits a random straight-line-plus-loops integer program
+// writing four words to out. All loops have constant trip counts, so the
+// program always terminates; all divisors are nonzero constants.
+func randomProgram(rng *rand.Rand) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "int out[4];\nint g0 = %d, g1 = %d;\n", rng.Intn(100)-50, rng.Intn(100)+1)
+	fmt.Fprintf(&b, "int arr[8];\n")
+
+	// A helper function with 1-2 args.
+	fmt.Fprintf(&b, "int helper(int x, int y) { return ")
+	fmt.Fprintf(&b, "%s; }\n", randomExpr(rng, []string{"x", "y"}, 3))
+
+	fmt.Fprintf(&b, "int main() {\n")
+	vars := []string{"g0", "g1"}
+	nLocals := 2 + rng.Intn(3)
+	for i := 0; i < nLocals; i++ {
+		name := fmt.Sprintf("v%d", i)
+		fmt.Fprintf(&b, "    int %s = %d;\n", name, rng.Intn(64)-32)
+		vars = append(vars, name)
+	}
+	fmt.Fprintf(&b, "    int i;\n")
+	fmt.Fprintf(&b, "    for (i = 0; i < 8; i++) arr[i] = i * %d + %d;\n",
+		rng.Intn(9)-4, rng.Intn(16))
+
+	nStmts := 3 + rng.Intn(5)
+	for i := 0; i < nStmts; i++ {
+		v := vars[rng.Intn(len(vars))]
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "    %s = %s;\n", v, randomExpr(rng, vars, 3))
+		case 1:
+			fmt.Fprintf(&b, "    if (%s) { %s = %s; } else { %s = %s; }\n",
+				randomExpr(rng, vars, 2), v, randomExpr(rng, vars, 2),
+				v, randomExpr(rng, vars, 2))
+		case 2:
+			fmt.Fprintf(&b, "    for (i = 0; i < %d; i++) { %s += %s; }\n",
+				1+rng.Intn(6), v, randomExpr(rng, vars, 2))
+		case 3:
+			fmt.Fprintf(&b, "    %s = helper(%s, %s);\n", v,
+				randomExpr(rng, vars, 2), randomExpr(rng, vars, 2))
+		case 4:
+			fmt.Fprintf(&b, "    arr[%d] = %s;\n", rng.Intn(8), randomExpr(rng, vars, 2))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "    out[%d] = %s ^ arr[%d];\n", i,
+			randomExpr(rng, vars, 3), rng.Intn(8))
+	}
+	fmt.Fprintf(&b, "    return 0;\n}\n")
+	return b.String()
+}
+
+// randomExpr builds a random integer expression over the given variables;
+// divisions and shifts only use safe constant right operands.
+func randomExpr(rng *rand.Rand, vars []string, depth int) string {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return fmt.Sprintf("%d", rng.Intn(200)-100)
+	}
+	l := randomExpr(rng, vars, depth-1)
+	r := randomExpr(rng, vars, depth-1)
+	switch rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r)
+	case 3:
+		return fmt.Sprintf("(%s / %d)", l, 1+rng.Intn(9))
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", l, 1+rng.Intn(9))
+	case 5:
+		return fmt.Sprintf("(%s & %s)", l, r)
+	case 6:
+		return fmt.Sprintf("(%s | %s)", l, r)
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", l, r)
+	case 8:
+		return fmt.Sprintf("(%s << %d)", l, rng.Intn(8))
+	default:
+		return fmt.Sprintf("(%s < %s)", l, r)
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	// Step limit.
+	src := `int out[1]; int main() { while (1) { out[0] = out[0] + 1; } return 0; }`
+	ast, _ := Parse(src)
+	if err := Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	mp, _ := Lower(ast)
+	it, err := NewInterp(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.MaxSteps = 10000
+	if err := it.Run(); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+	// Unknown global read.
+	if _, err := it.ReadGlobal("nope", 4); err == nil {
+		t.Fatal("expected unknown-global error")
+	}
+}
+
+func TestInterpStackOverflow(t *testing.T) {
+	src := `
+int out[1];
+int rec(int n) { int pad[200]; pad[0] = n; return rec(n + pad[0]); }
+int main() { out[0] = rec(1); return 0; }
+`
+	ast, _ := Parse(src)
+	if err := Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	mp, _ := Lower(ast)
+	it, err := NewInterp(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err == nil {
+		t.Fatal("expected stack overflow or step limit")
+	}
+}

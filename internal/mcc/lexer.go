@@ -1,0 +1,265 @@
+package mcc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			startLine := lx.line
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return fmt.Errorf("mcc: %d: unterminated block comment", startLine)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPunct lists two-character operators; three-character ones are
+// checked first.
+var threeCharPunct = []string{"<<=", ">>="}
+var twoCharPunct = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	line, col := lx.line, lx.col
+	c := lx.peek()
+
+	switch {
+	case isAlpha(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		return lx.number(line, col)
+
+	case c == '\'':
+		lx.advance()
+		if lx.pos >= len(lx.src) {
+			return Token{}, fmt.Errorf("mcc: %d:%d: unterminated char literal", line, col)
+		}
+		var v int64
+		ch := lx.advance()
+		if ch == '\\' {
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case 'r':
+				v = '\r'
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return Token{}, fmt.Errorf("mcc: %d:%d: unknown escape \\%c", line, col, esc)
+			}
+		} else {
+			v = int64(ch)
+		}
+		if lx.pos >= len(lx.src) || lx.advance() != '\'' {
+			return Token{}, fmt.Errorf("mcc: %d:%d: unterminated char literal", line, col)
+		}
+		return Token{Kind: TokCharLit, Val: v, Line: line, Col: col}, nil
+
+	default:
+		rest := lx.src[lx.pos:]
+		for _, p := range threeCharPunct {
+			if strings.HasPrefix(rest, p) {
+				lx.advance()
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+			}
+		}
+		for _, p := range twoCharPunct {
+			if strings.HasPrefix(rest, p) {
+				lx.advance()
+				lx.advance()
+				return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%<>=!&|^~?:;,.(){}[]", rune(c)) {
+			lx.advance()
+			return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+		}
+		return Token{}, fmt.Errorf("mcc: %d:%d: unexpected character %q", line, col, c)
+	}
+}
+
+func (lx *Lexer) number(line, col int) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && isHex(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("mcc: %d:%d: bad hex literal %q", line, col, text)
+		}
+		lx.eatIntSuffix()
+		return Token{Kind: TokNumber, Text: text, Val: int64(v), Line: line, Col: col}, nil
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		isFloat = true
+		lx.advance()
+		for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := lx.pos
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for lx.pos < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if lx.peek() == 'f' || lx.peek() == 'F' {
+		lx.advance()
+		isFloat = true
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("mcc: %d:%d: bad float literal %q", line, col, text)
+		}
+		return Token{Kind: TokNumber, Text: text, IsFloat: true, FVal: f, Line: line, Col: col}, nil
+	}
+	v, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("mcc: %d:%d: bad integer literal %q", line, col, text)
+	}
+	lx.eatIntSuffix()
+	return Token{Kind: TokNumber, Text: text, Val: int64(v), Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) eatIntSuffix() {
+	for lx.peek() == 'u' || lx.peek() == 'U' || lx.peek() == 'l' || lx.peek() == 'L' {
+		lx.advance()
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,246 @@
+package mcc
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, `int x = 42; // comment
+/* block
+   comment */ x += 0x1F;`)
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tk.String())
+	}
+	joined := strings.Join(texts, " ")
+	for _, want := range []string{`"int"`, `"x"`, `num(42)`, `"+="`, `num(31)`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tokens %s missing %s", joined, want)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src   string
+		val   int64
+		isF   bool
+		fval  float64
+		isHex bool
+	}{
+		{"0", 0, false, 0, false},
+		{"123", 123, false, 0, false},
+		{"0xFF", 255, false, 0, true},
+		{"0x80000000", 0x80000000, false, 0, true},
+		{"42u", 42, false, 0, false},
+		{"7L", 7, false, 0, false},
+		{"1.5", 0, true, 1.5, false},
+		{"2.5e3", 0, true, 2500, false},
+		{"1e-2", 0, true, 0.01, false},
+		{"3f", 0, true, 3, false},
+		{"0.125f", 0, true, 0.125, false},
+	}
+	for _, c := range cases {
+		toks := lexKinds(t, c.src)
+		tk := toks[0]
+		if tk.Kind != TokNumber {
+			t.Errorf("%q: kind = %v", c.src, tk.Kind)
+			continue
+		}
+		if tk.IsFloat != c.isF {
+			t.Errorf("%q: IsFloat = %v, want %v", c.src, tk.IsFloat, c.isF)
+		}
+		if c.isF && tk.FVal != c.fval {
+			t.Errorf("%q: FVal = %v, want %v", c.src, tk.FVal, c.fval)
+		}
+		if !c.isF && tk.Val != c.val {
+			t.Errorf("%q: Val = %v, want %v", c.src, tk.Val, c.val)
+		}
+	}
+}
+
+func TestLexCharLiterals(t *testing.T) {
+	cases := map[string]int64{
+		`'a'`: 'a', `'0'`: '0', `'\n'`: '\n', `'\t'`: '\t',
+		`'\0'`: 0, `'\\'`: '\\', `'\''`: '\'',
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].Kind != TokCharLit || toks[0].Val != want {
+			t.Errorf("%s: got %v val=%d, want %d", src, toks[0].Kind, toks[0].Val, want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexKinds(t, "a <<= b >>= c << >> <= >= == != && || ++ -- -> no")
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokPunct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "-", ">"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops[%d] = %q, want %q (all: %v)", i, ops[i], want[i], ops)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "int\n  x;")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("int at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("x at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+	if toks[1].Pos() != "2:3" {
+		t.Errorf("Pos() = %s", toks[1].Pos())
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"$", "'a", `'\q'`, "/* unterminated", "'ab'",
+	} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	prog, err := Parse(`
+const int k = 5;
+unsigned char buf[16];
+short m[2][3];
+int *p;
+float f = 1.5;
+int add(int a, int b);
+int add(int a, int b) { return a + b; }
+void nothing(void) { }
+int main() { return add(k, 1); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 5 {
+		t.Fatalf("globals = %d, want 5", len(prog.Globals))
+	}
+	if !prog.Globals[0].Const || prog.Globals[0].Name != "k" {
+		t.Error("const int k not parsed")
+	}
+	if prog.Globals[1].Type.Kind != TArray || prog.Globals[1].Type.Len != 16 ||
+		prog.Globals[1].Type.Elem != TypeUChar {
+		t.Errorf("buf type = %v", prog.Globals[1].Type)
+	}
+	if prog.Globals[2].Type.ByteSize() != 12 {
+		t.Errorf("m size = %d, want 12", prog.Globals[2].Type.ByteSize())
+	}
+	if prog.Globals[3].Type.Kind != TPtr {
+		t.Errorf("p type = %v", prog.Globals[3].Type)
+	}
+	if len(prog.Funcs) != 4 { // prototype + definition + nothing + main
+		t.Fatalf("funcs = %d, want 4", len(prog.Funcs))
+	}
+	if prog.Funcs[0].Body != nil {
+		t.Error("prototype should have no body")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// 1 + 2 * 3 == 7, not 9; (1+2)*3 == 9; shifts bind looser than +.
+	prog, err := Parse(`int main() { return 1 + 2 * 3 + (1 << 2 + 1); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*Return)
+	v, _, ok := ConstEval(ret.X)
+	if !ok {
+		t.Fatal("not const-evaluable")
+	}
+	// 1 + 6 + (1 << 3) = 15.
+	if v != 15 {
+		t.Errorf("const eval = %d, want 15", v)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	prog, err := Parse(`
+int main() {
+    int x = 5;
+    float f = (float)x;      // cast
+    int y = (x) + 1;         // parenthesized expr
+    unsigned char c = (unsigned char)(x + y);
+    return c;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int main() { return 1 + ; }",
+		"int main() { if (1 { } return 0; }",
+		"int main() { int a[; return 0; }",
+		"int 5x;",
+		"banana main() { }",
+		"int main() { for (;;; ) {} }",
+		"int main() { x = } ",
+		"int main() { do {} while (1) }", // missing semicolon
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if TypeInt.String() != "int" || TypeUChar.String() != "uchar" ||
+		TypeFloat.String() != "float" {
+		t.Error("type names wrong")
+	}
+	pt := PtrTo(TypeInt)
+	if pt.String() != "int*" || pt.ByteSize() != 4 {
+		t.Errorf("ptr type: %v size %d", pt, pt.ByteSize())
+	}
+	at := ArrayOf(TypeShort, 5)
+	if at.ByteSize() != 10 {
+		t.Errorf("array size = %d", at.ByteSize())
+	}
+	if !TypeInt.Equal(&Type{Kind: TInt, Size: 4, Signed: true}) {
+		t.Error("Equal failed")
+	}
+	if TypeInt.Equal(TypeUInt) {
+		t.Error("int == uint?")
+	}
+	if !PtrTo(TypeInt).Equal(PtrTo(TypeInt)) {
+		t.Error("ptr equality failed")
+	}
+}

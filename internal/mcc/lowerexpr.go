@@ -1,0 +1,665 @@
+package mcc
+
+import (
+	"fmt"
+	"math"
+)
+
+// floatCall emits a call to a soft-float runtime routine.
+func (lw *lowerer) floatCall(name string, args ...VReg) VReg {
+	lw.prog.FloatCalled[name] = true
+	d := lw.newVReg()
+	lw.emit(MIns{Op: MCall, Dst: d, Sym: name, Args: args})
+	return d
+}
+
+func isFloat(t *Type) bool { return t != nil && t.Kind == TFloat }
+
+// elemSizeOf returns the pointee size for pointer arithmetic.
+func elemSizeOf(t *Type) int {
+	dt := decay(t)
+	if dt.Kind == TPtr {
+		return dt.Elem.ByteSize()
+	}
+	return 1
+}
+
+// scaleIndex multiplies an index vreg by a constant element size.
+func (lw *lowerer) scaleIndex(idx VReg, size int) VReg {
+	if size == 1 {
+		return idx
+	}
+	d := lw.newVReg()
+	if size&(size-1) == 0 {
+		sh := lw.constV(int32(log2(size)))
+		lw.emit(MIns{Op: MShl, Dst: d, A: idx, B: sh})
+	} else {
+		sz := lw.constV(int32(size))
+		lw.emit(MIns{Op: MMul, Dst: d, A: idx, B: sz})
+	}
+	return d
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// expr lowers an expression to a value vreg.
+func (lw *lowerer) expr(e Expr) (VReg, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return lw.constV(int32(x.Val)), nil
+	case *FloatLit:
+		return lw.constV(int32(math.Float32bits(float32(x.Val)))), nil
+	case *VarRef:
+		return lw.loadVar(x.Sym)
+	case *Unary:
+		return lw.unary(x)
+	case *Binary:
+		return lw.binary(x)
+	case *Assign:
+		return lw.assign(x)
+	case *Cond:
+		thenB := lw.newBlock("ct")
+		elseB := lw.newBlock("cf")
+		endB := lw.newBlock("cend")
+		res := lw.newVReg()
+		if err := lw.cond(x.C, thenB.Label, elseB.Label); err != nil {
+			return NoVReg, err
+		}
+		lw.cur = thenB
+		av, err := lw.expr(x.A)
+		if err != nil {
+			return NoVReg, err
+		}
+		lw.emit(MIns{Op: MMov, Dst: res, A: av})
+		lw.seal(endB)
+		lw.cur = elseB
+		bv, err := lw.expr(x.B)
+		if err != nil {
+			return NoVReg, err
+		}
+		lw.emit(MIns{Op: MMov, Dst: res, A: bv})
+		lw.seal(endB)
+		lw.cur = endB
+		return res, nil
+	case *Call:
+		var args []VReg
+		for _, a := range x.Args {
+			v, err := lw.expr(a)
+			if err != nil {
+				return NoVReg, err
+			}
+			args = append(args, v)
+		}
+		d := NoVReg
+		if x.Fn.Ret.Kind != TVoid {
+			d = lw.newVReg()
+		}
+		lw.emit(MIns{Op: MCall, Dst: d, Sym: x.Name, Args: args})
+		return d, nil
+	case *Index:
+		addr, err := lw.addr(x)
+		if err != nil {
+			return NoVReg, err
+		}
+		if x.T.Kind == TArray {
+			return addr, nil // 2-D row decays to its address
+		}
+		return lw.loadFrom(addr, x.T), nil
+	case *Cast:
+		return lw.cast(x)
+	}
+	return NoVReg, fmt.Errorf("mcc: lower: unknown expression %T", e)
+}
+
+func (lw *lowerer) loadVar(sym *Symbol) (VReg, error) {
+	switch {
+	case sym.Global:
+		a := lw.newVReg()
+		lw.emit(MIns{Op: MAddrG, Dst: a, Sym: sym.Name})
+		if sym.Type.Kind == TArray {
+			return a, nil
+		}
+		return lw.loadFrom(a, sym.Type), nil
+	default:
+		if v, ok := lw.vregOf[sym]; ok {
+			return v, nil
+		}
+		slot, ok := lw.slotOf[sym]
+		if !ok {
+			return NoVReg, fmt.Errorf("mcc: lower: no storage for %q", sym.Name)
+		}
+		a := lw.newVReg()
+		lw.emit(MIns{Op: MAddrL, Dst: a, Imm: int32(slot)})
+		if sym.Type.Kind == TArray {
+			return a, nil
+		}
+		return lw.loadFrom(a, sym.Type), nil
+	}
+}
+
+func (lw *lowerer) loadFrom(addr VReg, t *Type) VReg {
+	d := lw.newVReg()
+	signed := true
+	if t.Kind == TInt {
+		signed = t.Signed
+	}
+	lw.emit(MIns{Op: MLoad, Dst: d, A: addr, Width: widthOf(t), Signed: signed})
+	return d
+}
+
+// addr lowers an lvalue expression to its address.
+func (lw *lowerer) addr(e Expr) (VReg, error) {
+	switch x := e.(type) {
+	case *VarRef:
+		sym := x.Sym
+		if sym.Global {
+			a := lw.newVReg()
+			lw.emit(MIns{Op: MAddrG, Dst: a, Sym: sym.Name})
+			return a, nil
+		}
+		if slot, ok := lw.slotOf[sym]; ok {
+			a := lw.newVReg()
+			lw.emit(MIns{Op: MAddrL, Dst: a, Imm: int32(slot)})
+			return a, nil
+		}
+		return NoVReg, fmt.Errorf("mcc: lower: address of register variable %q", sym.Name)
+	case *Index:
+		base, err := lw.baseAddr(x.Arr)
+		if err != nil {
+			return NoVReg, err
+		}
+		idx, err := lw.expr(x.Idx)
+		if err != nil {
+			return NoVReg, err
+		}
+		scaled := lw.scaleIndex(idx, x.T.ByteSize())
+		d := lw.newVReg()
+		lw.emit(MIns{Op: MAdd, Dst: d, A: base, B: scaled})
+		return d, nil
+	case *Unary:
+		if x.Op == "*" {
+			return lw.expr(x.X)
+		}
+	}
+	return NoVReg, fmt.Errorf("mcc: lower: not an lvalue: %T", e)
+}
+
+// baseAddr lowers the array part of an index expression: arrays give
+// their address, pointers give their value.
+func (lw *lowerer) baseAddr(e Expr) (VReg, error) {
+	t := e.TypeOf()
+	if t.Kind == TArray {
+		switch x := e.(type) {
+		case *VarRef, *Index:
+			return lw.addr(x)
+		default:
+			return lw.expr(e) // already an address value
+		}
+	}
+	return lw.expr(e)
+}
+
+func (lw *lowerer) unary(x *Unary) (VReg, error) {
+	switch x.Op {
+	case "-":
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return NoVReg, err
+		}
+		d := lw.newVReg()
+		if isFloat(x.T) {
+			sign := lw.constV(int32(-0x80000000))
+			lw.emit(MIns{Op: MXor, Dst: d, A: v, B: sign})
+		} else {
+			lw.emit(MIns{Op: MNeg, Dst: d, A: v})
+		}
+		return d, nil
+	case "~":
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return NoVReg, err
+		}
+		d := lw.newVReg()
+		lw.emit(MIns{Op: MNot, Dst: d, A: v})
+		return d, nil
+	case "!":
+		v, err := lw.expr(x.X)
+		if err != nil {
+			return NoVReg, err
+		}
+		z := lw.constV(0)
+		d := lw.newVReg()
+		lw.emit(MIns{Op: MSetCC, Dst: d, A: v, B: z, CC: CCEq})
+		return d, nil
+	case "*":
+		a, err := lw.expr(x.X)
+		if err != nil {
+			return NoVReg, err
+		}
+		return lw.loadFrom(a, x.T), nil
+	case "&":
+		return lw.addr(x.X)
+	case "++", "--":
+		return lw.incDec(x)
+	}
+	return NoVReg, fmt.Errorf("mcc: lower: unary %q", x.Op)
+}
+
+// incDec lowers ++/-- (pre and post, integer and pointer).
+func (lw *lowerer) incDec(x *Unary) (VReg, error) {
+	step := int32(1)
+	t := x.X.TypeOf()
+	if decay(t).Kind == TPtr {
+		step = int32(elemSizeOf(t))
+	}
+	op := MAdd
+	if x.Op == "--" {
+		op = MSub
+	}
+
+	// Register-resident scalar: operate in place.
+	if v, ok := x.X.(*VarRef); ok && !v.Sym.Global {
+		if reg, isReg := lw.vregOf[v.Sym]; isReg {
+			old := NoVReg
+			if x.Post {
+				old = lw.newVReg()
+				lw.emit(MIns{Op: MMov, Dst: old, A: reg})
+			}
+			s := lw.constV(step)
+			lw.emit(MIns{Op: op, Dst: reg, A: reg, B: s})
+			if t.Kind == TInt && t.Size < 4 {
+				lw.emit(MIns{Op: MExt, Dst: reg, A: reg, Width: t.Size, Signed: t.Signed})
+			}
+			if x.Post {
+				return old, nil
+			}
+			return reg, nil
+		}
+	}
+
+	addr, err := lw.addr(x.X)
+	if err != nil {
+		return NoVReg, err
+	}
+	old := lw.loadFrom(addr, t)
+	s := lw.constV(step)
+	nv := lw.newVReg()
+	lw.emit(MIns{Op: op, Dst: nv, A: old, B: s})
+	lw.emit(MIns{Op: MStore, A: addr, B: nv, Width: widthOf(t)})
+	if x.Post {
+		return old, nil
+	}
+	return nv, nil
+}
+
+var intBinOps = map[string]struct {
+	signed, unsigned MOp
+}{
+	"+": {MAdd, MAdd}, "-": {MSub, MSub}, "*": {MMul, MMul},
+	"/": {MSDiv, MUDiv}, "%": {MSRem, MURem},
+	"&": {MAnd, MAnd}, "|": {MOr, MOr}, "^": {MXor, MXor},
+	"<<": {MShl, MShl}, ">>": {MSar, MShr},
+}
+
+var cmpCC = map[string]struct {
+	signed, unsigned, float CC
+}{
+	"==": {CCEq, CCEq, CCEq},
+	"!=": {CCNe, CCNe, CCNe},
+	"<":  {CCLt, CCULt, CCLt},
+	"<=": {CCLe, CCULe, CCLe},
+	">":  {CCGt, CCUGt, CCGt},
+	">=": {CCGe, CCUGe, CCGe},
+}
+
+func (lw *lowerer) binary(x *Binary) (VReg, error) {
+	switch x.Op {
+	case "&&", "||":
+		// Value context: materialize 0/1 via control flow.
+		oneB := lw.newBlock("sc1")
+		zeroB := lw.newBlock("sc0")
+		endB := lw.newBlock("scend")
+		res := lw.newVReg()
+		if err := lw.cond(x, oneB.Label, zeroB.Label); err != nil {
+			return NoVReg, err
+		}
+		lw.cur = oneB
+		one := lw.constV(1)
+		lw.emit(MIns{Op: MMov, Dst: res, A: one})
+		lw.emit(MIns{Op: MJmp, L1: endB.Label})
+		lw.cur = zeroB
+		zero := lw.constV(0)
+		lw.emit(MIns{Op: MMov, Dst: res, A: zero})
+		lw.emit(MIns{Op: MJmp, L1: endB.Label})
+		lw.cur = endB
+		return res, nil
+
+	case "==", "!=", "<", "<=", ">", ">=":
+		return lw.comparison(x)
+	}
+
+	lt := decay(x.L.TypeOf())
+	rt := decay(x.R.TypeOf())
+
+	// Float arithmetic → soft-float calls.
+	if isFloat(x.T) {
+		lv, err := lw.expr(x.L)
+		if err != nil {
+			return NoVReg, err
+		}
+		rv, err := lw.expr(x.R)
+		if err != nil {
+			return NoVReg, err
+		}
+		switch x.Op {
+		case "+":
+			return lw.floatCall(FnFAdd, lv, rv), nil
+		case "-":
+			return lw.floatCall(FnFSub, lv, rv), nil
+		case "*":
+			return lw.floatCall(FnFMul, lv, rv), nil
+		case "/":
+			return lw.floatCall(FnFDiv, lv, rv), nil
+		}
+		return NoVReg, fmt.Errorf("mcc: lower: float op %q", x.Op)
+	}
+
+	// Pointer arithmetic.
+	if (x.Op == "+" || x.Op == "-") && (lt.Kind == TPtr || rt.Kind == TPtr) {
+		return lw.pointerArith(x, lt, rt)
+	}
+
+	lv, err := lw.expr(x.L)
+	if err != nil {
+		return NoVReg, err
+	}
+	rv, err := lw.expr(x.R)
+	if err != nil {
+		return NoVReg, err
+	}
+	ops, ok := intBinOps[x.Op]
+	if !ok {
+		return NoVReg, fmt.Errorf("mcc: lower: binary %q", x.Op)
+	}
+	op := ops.signed
+	if x.T.Kind == TInt && !x.T.Signed {
+		op = ops.unsigned
+	}
+	// Shifts use the left operand's signedness.
+	if x.Op == ">>" {
+		leftT := promote(lt)
+		if leftT.Signed {
+			op = MSar
+		} else {
+			op = MShr
+		}
+	}
+	d := lw.newVReg()
+	lw.emit(MIns{Op: op, Dst: d, A: lv, B: rv})
+	return d, nil
+}
+
+func (lw *lowerer) pointerArith(x *Binary, lt, rt *Type) (VReg, error) {
+	lv, err := lw.expr(x.L)
+	if err != nil {
+		return NoVReg, err
+	}
+	rv, err := lw.expr(x.R)
+	if err != nil {
+		return NoVReg, err
+	}
+	d := lw.newVReg()
+	switch {
+	case lt.Kind == TPtr && rt.Kind == TPtr: // p - q
+		diff := lw.newVReg()
+		lw.emit(MIns{Op: MSub, Dst: diff, A: lv, B: rv})
+		size := elemSizeOf(lt)
+		if size == 1 {
+			return diff, nil
+		}
+		sz := lw.constV(int32(size))
+		lw.emit(MIns{Op: MSDiv, Dst: d, A: diff, B: sz})
+		return d, nil
+	case lt.Kind == TPtr: // p ± i
+		scaled := lw.scaleIndex(rv, elemSizeOf(lt))
+		op := MAdd
+		if x.Op == "-" {
+			op = MSub
+		}
+		lw.emit(MIns{Op: op, Dst: d, A: lv, B: scaled})
+		return d, nil
+	default: // i + p
+		scaled := lw.scaleIndex(lv, elemSizeOf(rt))
+		lw.emit(MIns{Op: MAdd, Dst: d, A: rv, B: scaled})
+		return d, nil
+	}
+}
+
+func (lw *lowerer) comparison(x *Binary) (VReg, error) {
+	lv, err := lw.expr(x.L)
+	if err != nil {
+		return NoVReg, err
+	}
+	rv, err := lw.expr(x.R)
+	if err != nil {
+		return NoVReg, err
+	}
+	if isFloat(x.L.TypeOf()) || isFloat(x.R.TypeOf()) {
+		return lw.floatCompare(x.Op, lv, rv)
+	}
+	ccs := cmpCC[x.Op]
+	cc := ccs.signed
+	if unsignedCompare(x.L.TypeOf(), x.R.TypeOf()) {
+		cc = ccs.unsigned
+	}
+	d := lw.newVReg()
+	lw.emit(MIns{Op: MSetCC, Dst: d, A: lv, B: rv, CC: cc})
+	return d, nil
+}
+
+// unsignedCompare decides whether a comparison uses unsigned conditions.
+func unsignedCompare(lt, rt *Type) bool {
+	l, r := promote(decay(lt)), promote(decay(rt))
+	if l.Kind == TPtr || r.Kind == TPtr {
+		return true
+	}
+	return (l.Kind == TInt && !l.Signed) || (r.Kind == TInt && !r.Signed)
+}
+
+// floatCompare lowers a float comparison to soft-float calls returning
+// 0/1, normalized so only eq/lt/le are needed.
+func (lw *lowerer) floatCompare(op string, lv, rv VReg) (VReg, error) {
+	switch op {
+	case "==":
+		return lw.floatCall(FnFCmpEq, lv, rv), nil
+	case "!=":
+		eq := lw.floatCall(FnFCmpEq, lv, rv)
+		z := lw.constV(0)
+		d := lw.newVReg()
+		lw.emit(MIns{Op: MSetCC, Dst: d, A: eq, B: z, CC: CCEq})
+		return d, nil
+	case "<":
+		return lw.floatCall(FnFCmpLt, lv, rv), nil
+	case "<=":
+		return lw.floatCall(FnFCmpLe, lv, rv), nil
+	case ">":
+		return lw.floatCall(FnFCmpLt, rv, lv), nil
+	case ">=":
+		return lw.floatCall(FnFCmpLe, rv, lv), nil
+	}
+	return NoVReg, fmt.Errorf("mcc: lower: float compare %q", op)
+}
+
+func (lw *lowerer) assign(x *Assign) (VReg, error) {
+	lt := x.L.TypeOf()
+
+	// Register-resident scalar destination.
+	if v, ok := x.L.(*VarRef); ok && !v.Sym.Global {
+		if reg, isReg := lw.vregOf[v.Sym]; isReg {
+			val, err := lw.assignValue(x, nil, reg)
+			if err != nil {
+				return NoVReg, err
+			}
+			val = lw.normalize(val, lt)
+			lw.emit(MIns{Op: MMov, Dst: reg, A: val})
+			return reg, nil
+		}
+	}
+
+	addr, err := lw.addr(x.L)
+	if err != nil {
+		return NoVReg, err
+	}
+	val, err := lw.assignValue(x, &addr, NoVReg)
+	if err != nil {
+		return NoVReg, err
+	}
+	lw.emit(MIns{Op: MStore, A: addr, B: val, Width: widthOf(lt)})
+	return val, nil
+}
+
+// assignValue computes the RHS of an assignment; for compound assignment
+// the current value is read from addr (or curReg when register resident).
+func (lw *lowerer) assignValue(x *Assign, addr *VReg, curReg VReg) (VReg, error) {
+	rv, err := lw.expr(x.R)
+	if err != nil {
+		return NoVReg, err
+	}
+	if x.Op == "" {
+		return rv, nil
+	}
+	lt := x.L.TypeOf()
+	var cur VReg
+	if addr != nil {
+		cur = lw.loadFrom(*addr, lt)
+	} else {
+		cur = curReg
+	}
+	if isFloat(lt) {
+		switch x.Op {
+		case "+":
+			return lw.floatCall(FnFAdd, cur, rv), nil
+		case "-":
+			return lw.floatCall(FnFSub, cur, rv), nil
+		case "*":
+			return lw.floatCall(FnFMul, cur, rv), nil
+		case "/":
+			return lw.floatCall(FnFDiv, cur, rv), nil
+		}
+		return NoVReg, fmt.Errorf("mcc: lower: float compound %q=", x.Op)
+	}
+	// Pointer compound: p += i scales.
+	if decay(lt).Kind == TPtr {
+		scaled := lw.scaleIndex(rv, elemSizeOf(lt))
+		op := MAdd
+		if x.Op == "-" {
+			op = MSub
+		}
+		d := lw.newVReg()
+		lw.emit(MIns{Op: op, Dst: d, A: cur, B: scaled})
+		return d, nil
+	}
+	ops, ok := intBinOps[x.Op]
+	if !ok {
+		return NoVReg, fmt.Errorf("mcc: lower: compound %q=", x.Op)
+	}
+	op := ops.signed
+	t := promote(lt)
+	if t.Kind == TInt && !t.Signed {
+		op = ops.unsigned
+	}
+	if x.Op == ">>" && lt.Kind == TInt && !lt.Signed {
+		op = MShr
+	}
+	if x.Op == ">>" && lt.Kind == TInt && lt.Signed {
+		op = MSar
+	}
+	d := lw.newVReg()
+	lw.emit(MIns{Op: op, Dst: d, A: cur, B: rv})
+	return d, nil
+}
+
+func (lw *lowerer) cast(x *Cast) (VReg, error) {
+	v, err := lw.expr(x.X)
+	if err != nil {
+		return NoVReg, err
+	}
+	src := decay(x.X.TypeOf())
+	dst := x.T
+	switch {
+	case dst.Kind == TVoid:
+		return v, nil
+	case isFloat(src) && dst.IsInteger():
+		r := lw.floatCall(FnF2IZ, v)
+		return lw.normalize(r, dst), nil
+	case src.IsInteger() && isFloat(dst):
+		if src.Signed || src.Size < 4 {
+			return lw.floatCall(FnI2F, v), nil
+		}
+		return lw.floatCall(FnUI2F, v), nil
+	case dst.Kind == TInt && dst.Size < 4:
+		return lw.normalize(v, dst), nil
+	default:
+		return v, nil
+	}
+}
+
+// cond lowers an expression in branch context.
+func (lw *lowerer) cond(e Expr, trueL, falseL string) error {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := lw.newBlock("and")
+			if err := lw.cond(x.L, mid.Label, falseL); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.cond(x.R, trueL, falseL)
+		case "||":
+			mid := lw.newBlock("or")
+			if err := lw.cond(x.L, trueL, mid.Label); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.cond(x.R, trueL, falseL)
+		case "==", "!=", "<", "<=", ">", ">=":
+			if isFloat(x.L.TypeOf()) || isFloat(x.R.TypeOf()) {
+				break // fall through to generic path
+			}
+			lv, err := lw.expr(x.L)
+			if err != nil {
+				return err
+			}
+			rv, err := lw.expr(x.R)
+			if err != nil {
+				return err
+			}
+			ccs := cmpCC[x.Op]
+			cc := ccs.signed
+			if unsignedCompare(x.L.TypeOf(), x.R.TypeOf()) {
+				cc = ccs.unsigned
+			}
+			lw.emit(MIns{Op: MCmpBr, A: lv, B: rv, CC: cc, L1: trueL, L2: falseL})
+			return nil
+		}
+	case *Unary:
+		if x.Op == "!" {
+			return lw.cond(x.X, falseL, trueL)
+		}
+	}
+	v, err := lw.expr(e)
+	if err != nil {
+		return err
+	}
+	z := lw.constV(0)
+	lw.emit(MIns{Op: MCmpBr, A: v, B: z, CC: CCNe, L1: trueL, L2: falseL})
+	return nil
+}

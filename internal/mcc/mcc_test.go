@@ -1,0 +1,613 @@
+package mcc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+var allLevels = []OptLevel{O0, O1, O2, O3, Os}
+
+// compileRun compiles at one level, runs on the simulator, and returns the
+// machine for result inspection.
+func compileRun(t *testing.T, src string, level OptLevel) *sim.Machine {
+	t.Helper()
+	prog, err := Compile(src, level)
+	if err != nil {
+		t.Fatalf("%v: compile: %v", level, err)
+	}
+	img, err := layout.New(prog, layout.DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("%v: layout: %v", level, err)
+	}
+	m := sim.New(img, power.STM32F100())
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("%v: run: %v", level, err)
+	}
+	return m
+}
+
+// expectOut checks out[i] == want[i] at every optimization level.
+func expectOut(t *testing.T, src string, want []uint32) {
+	t.Helper()
+	for _, level := range allLevels {
+		m := compileRun(t, src, level)
+		base := m.Img.Symbols["out"]
+		for i, w := range want {
+			got, err := m.ReadWord(base + uint32(4*i))
+			if err != nil {
+				t.Fatalf("%v: read out[%d]: %v", level, i, err)
+			}
+			if got != w {
+				t.Errorf("%v: out[%d] = %d (%#x), want %d (%#x)", level, i, got, got, w, w)
+			}
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectOut(t, `
+int out[1];
+int main() { out[0] = 42; return 0; }
+`, []uint32{42})
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, `
+int out[12];
+int main() {
+    int a = 100, b = 7;
+    out[0] = a + b;
+    out[1] = a - b;
+    out[2] = a * b;
+    out[3] = a / b;
+    out[4] = a % b;
+    out[5] = a << 3;
+    out[6] = a >> 2;
+    out[7] = a & b;
+    out[8] = a | b;
+    out[9] = a ^ b;
+    out[10] = -a;
+    out[11] = ~a;
+    return 0;
+}
+`, []uint32{107, 93, 700, 14, 2, 800, 25, 4, 103, 99,
+		uint32(0xFFFFFF9C), uint32(0xFFFFFF9B)})
+}
+
+func TestSignedUnsignedDivisionShift(t *testing.T) {
+	expectOut(t, `
+int out[6];
+int main() {
+    int a = -100;
+    unsigned int u = 0x80000000u;
+    out[0] = a / 7;            // -14
+    out[1] = a % 7;            // -2
+    out[2] = a >> 2;           // arithmetic: -25
+    out[3] = (int)(u >> 28);   // logical: 8
+    out[4] = (int)(u / 2u);    // 0x40000000
+    out[5] = a * -3;           // 300
+    return 0;
+}
+`, []uint32{uint32(0xFFFFFFF2), uint32(0xFFFFFFFE), uint32(0xFFFFFFE7),
+		8, 0x40000000, 300})
+}
+
+func TestCharShortTruncation(t *testing.T) {
+	expectOut(t, `
+int out[6];
+int main() {
+    char c = 200;          // truncates to -56
+    unsigned char uc = 200;
+    short s = 40000;       // truncates to -25536
+    unsigned short us = 40000;
+    out[0] = c;
+    out[1] = uc;
+    out[2] = s;
+    out[3] = us;
+    c = c + 100;           // -56+100 = 44
+    out[4] = c;
+    uc = uc + 100;         // 300 & 0xff = 44
+    out[5] = uc;
+    return 0;
+}
+`, []uint32{uint32(0xFFFFFFC8), 200, uint32(0xFFFF9C40), 40000, 44, 44})
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOut(t, `
+int out[5];
+int main() {
+    int i, sum = 0, prod = 1, n = 0;
+    for (i = 1; i <= 10; i++) sum += i;
+    out[0] = sum;                       // 55
+    i = 0;
+    while (i < 5) { prod *= 2; i++; }
+    out[1] = prod;                      // 32
+    i = 0;
+    do { n += 3; i++; } while (i < 4);
+    out[2] = n;                         // 12
+    sum = 0;
+    for (i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        sum += i;
+    }
+    out[3] = sum;                       // 0+1+2+4+5+6 = 18
+    if (sum > 17 && sum < 19) out[4] = 1; else out[4] = 2;
+    return 0;
+}
+`, []uint32{55, 32, 12, 18, 1})
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	expectOut(t, `
+int out[6];
+int tab[8];
+const int rom[4] = {10, 20, 30, 40};
+int main() {
+    int i;
+    int local[4];
+    int *p;
+    for (i = 0; i < 8; i++) tab[i] = i * i;
+    out[0] = tab[5];               // 25
+    for (i = 0; i < 4; i++) local[i] = rom[i] + 1;
+    out[1] = local[2];             // 31
+    p = tab;
+    p = p + 3;
+    out[2] = *p;                   // 9
+    p++;
+    out[3] = *p;                   // 16
+    out[4] = p - tab;              // 4
+    *p = 99;
+    out[5] = tab[4];               // 99
+    return 0;
+}
+`, []uint32{25, 31, 9, 16, 4, 99})
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	expectOut(t, `
+int out[3];
+int m[3][4];
+const short k[2][2] = {{1, 2}, {3, 4}};
+int main() {
+    int i, j, sum = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    out[0] = m[2][3];     // 23
+    for (i = 0; i < 3; i++) sum += m[i][1];
+    out[1] = sum;         // 1+11+21 = 33
+    out[2] = k[1][0];     // 3
+    return 0;
+}
+`, []uint32{23, 33, 3})
+}
+
+func TestAddressOfAndSwap(t *testing.T) {
+	expectOut(t, `
+int out[2];
+void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+int main() {
+    int x = 3, y = 9;
+    swap(&x, &y);
+    out[0] = x;
+    out[1] = y;
+    return 0;
+}
+`, []uint32{9, 3})
+}
+
+func TestRecursion(t *testing.T) {
+	expectOut(t, `
+int out[2];
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    out[0] = fact(6);  // 720
+    out[1] = fib(10);  // 55
+    return 0;
+}
+`, []uint32{720, 55})
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	expectOut(t, `
+int out[4];
+int calls;
+int bump() { calls++; return 1; }
+int main() {
+    calls = 0;
+    out[0] = (0 && bump());
+    out[1] = calls;          // 0: RHS not evaluated
+    out[2] = (1 || bump());
+    out[3] = calls;          // still 0
+    return 0;
+}
+`, []uint32{0, 0, 1, 0})
+}
+
+func TestTernaryAndCompound(t *testing.T) {
+	expectOut(t, `
+int out[4];
+int main() {
+    int a = 5, b = 12;
+    out[0] = a > b ? a : b;   // 12
+    a += 10; out[1] = a;      // 15
+    a <<= 2; out[2] = a;      // 60
+    b %= 5; out[3] = b;       // 2
+    return 0;
+}
+`, []uint32{12, 15, 60, 2})
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	expectOut(t, `
+int out[6];
+int a[4];
+int main() {
+    int i = 5;
+    out[0] = i++;   // 5
+    out[1] = i;     // 6
+    out[2] = ++i;   // 7
+    out[3] = i--;   // 7
+    out[4] = --i;   // 5
+    a[0] = 10;
+    a[0]++;
+    out[5] = a[0];  // 11
+    return 0;
+}
+`, []uint32{5, 6, 7, 7, 5, 11})
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	expectOut(t, `
+int out[5];
+int g = 1000;
+unsigned char bytes[4] = {1, 2, 3, 255};
+short halves[2] = {-5, 300};
+int main() {
+    out[0] = g;
+    out[1] = bytes[3];
+    out[2] = halves[0];
+    out[3] = halves[1];
+    out[4] = bytes[0] + bytes[1] + bytes[2];
+    return 0;
+}
+`, []uint32{1000, 255, uint32(0xFFFFFFFB), 300, 6})
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	const src = `
+float out[6];
+int iout[4];
+float fa = 3.5;
+float fb = -1.25;
+int main() {
+    out[0] = fa + fb;       // 2.25
+    out[1] = fa - fb;       // 4.75
+    out[2] = fa * fb;       // -4.375
+    out[3] = fa / fb;       // -2.8
+    out[4] = (float)7;      // 7.0
+    out[5] = fa + 1;        // 4.5 (int converted)
+    iout[0] = (int)(fa * 2.0f);   // 7
+    iout[1] = fa < fb;      // 0
+    iout[2] = fa >= fb;     // 1
+    iout[3] = (int)fb;      // -1 (truncation toward zero)
+    return 0;
+}
+`
+	for _, level := range allLevels {
+		m := compileRun(t, src, level)
+		outBase := m.Img.Symbols["out"]
+		wantF := []float32{2.25, 4.75, -4.375, -2.8, 7.0, 4.5}
+		for i, w := range wantF {
+			bits, _ := m.ReadWord(outBase + uint32(4*i))
+			got := math.Float32frombits(bits)
+			if math.Abs(float64(got-w)) > 1e-5*math.Max(1, math.Abs(float64(w))) {
+				t.Errorf("%v: out[%d] = %v, want %v", level, i, got, w)
+			}
+		}
+		iBase := m.Img.Symbols["iout"]
+		wantI := []uint32{7, 0, 1, uint32(0xFFFFFFFF)}
+		for i, w := range wantI {
+			got, _ := m.ReadWord(iBase + uint32(4*i))
+			if got != w {
+				t.Errorf("%v: iout[%d] = %d, want %d", level, i, got, w)
+			}
+		}
+	}
+}
+
+// TestSoftFloatProperty drives the soft-float runtime with random inputs
+// by patching two float globals and comparing against Go's float32
+// arithmetic within a truncation-rounding tolerance.
+func TestSoftFloatProperty(t *testing.T) {
+	const src = `
+float fa = 0.0;
+float fb = 0.0;
+float out[4];
+int cmp[3];
+int main() {
+    out[0] = fa + fb;
+    out[1] = fa - fb;
+    out[2] = fa * fb;
+    out[3] = fa / fb;
+    cmp[0] = fa < fb;
+    cmp[1] = fa == fb;
+    cmp[2] = fa <= fb;
+    return 0;
+}
+`
+	prog, err := Compile(src, O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]float32{
+		{1, 2}, {-1.5, 3.25}, {100.125, -0.5}, {3.14159, 2.71828},
+		{1e10, 1e-10}, {-7, -7}, {0.1, 0.2}, {1234.5678, -0.0001},
+		{2, 0.5}, {-1e20, 1e20}, {6.02e23, 1.6e-19}, {1, 3},
+	}
+	for _, c := range cases {
+		a, b := c[0], c[1]
+		setF := func(name string, v float32) {
+			g := prog.Global(name)
+			bits := math.Float32bits(v)
+			g.Init = []byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)}
+		}
+		setF("fa", a)
+		setF("fb", b)
+		img, err := layout.New(prog, layout.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(img, power.STM32F100())
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("a=%v b=%v: %v", a, b, err)
+		}
+		outBase := m.Img.Symbols["out"]
+		want := []float32{a + b, a - b, a * b, a / b}
+		for i, w := range want {
+			bits, _ := m.ReadWord(outBase + uint32(4*i))
+			got := math.Float32frombits(bits)
+			rel := math.Abs(float64(got-w)) / math.Max(1e-30, math.Abs(float64(w)))
+			if rel > 2e-6 && math.Abs(float64(got-w)) > 1e-30 {
+				t.Errorf("a=%v b=%v op%d: got %v, want %v (rel %.2e)", a, b, i, got, w, rel)
+			}
+		}
+		cmpBase := m.Img.Symbols["cmp"]
+		wantC := []uint32{b2u(a < b), b2u(a == b), b2u(a <= b)}
+		for i, w := range wantC {
+			got, _ := m.ReadWord(cmpBase + uint32(4*i))
+			if got != w {
+				t.Errorf("a=%v b=%v cmp%d: got %d, want %d", a, b, i, got, w)
+			}
+		}
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestLevelsAgree compiles a mixed workload at every level and checks all
+// five produce identical output (differential testing of the optimizer).
+func TestLevelsAgree(t *testing.T) {
+	const src = `
+int out[4];
+int scratch[16];
+int helper(int x, int y) { return x * y + (x >> 1) - (y & 3); }
+int main() {
+    int i, acc = 0;
+    unsigned int h = 2166136261u;
+    for (i = 0; i < 16; i++) {
+        scratch[i] = helper(i, 16 - i);
+        acc += scratch[i];
+        h = (h ^ (unsigned int)scratch[i]) * 16777619u;
+    }
+    out[0] = acc;
+    out[1] = (int)h;
+    out[2] = scratch[7];
+    out[3] = helper(acc, 3);
+    return 0;
+}
+`
+	var ref []uint32
+	for _, level := range allLevels {
+		m := compileRun(t, src, level)
+		base := m.Img.Symbols["out"]
+		var got []uint32
+		for i := 0; i < 4; i++ {
+			w, _ := m.ReadWord(base + uint32(4*i))
+			got = append(got, w)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%v: out[%d] = %d, O0 said %d", level, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestOptimizationReducesWork: O2 must execute fewer instructions than O0
+// on a compute-heavy kernel.
+func TestOptimizationReducesWork(t *testing.T) {
+	const src = `
+int out[1];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 100; i++) s += i * 2 + 1;
+    out[0] = s;
+    return 0;
+}
+`
+	counts := map[OptLevel]uint64{}
+	for _, level := range allLevels {
+		prog, err := Compile(src, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := layout.New(prog, layout.DefaultConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(img, power.STM32F100())
+		st, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.ReadGlobal("out")
+		if got != 10000 {
+			t.Fatalf("%v: out = %d, want 10000", level, got)
+		}
+		counts[level] = st.Instructions
+	}
+	if counts[O2] >= counts[O0] {
+		t.Errorf("O2 executed %d instructions, O0 %d; optimization had no effect",
+			counts[O2], counts[O0])
+	}
+	if counts[O1] > counts[O0] {
+		t.Errorf("O1 executed more instructions (%d) than O0 (%d)", counts[O1], counts[O0])
+	}
+}
+
+func TestInliningAtO3(t *testing.T) {
+	const src = `
+int out[1];
+int tiny(int x) { return x + 1; }
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 50; i++) s += tiny(i);
+    out[0] = s;
+    return 0;
+}
+`
+	progO2, err := Compile(src, O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progO3, err := Compile(src, O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countBL := func(p *ir.Program) int {
+		n := 0
+		for _, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Op.String() == "bl" {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	if countBL(progO3) >= countBL(progO2) {
+		t.Errorf("O3 has %d calls, O2 has %d; inlining did not fire",
+			countBL(progO3), countBL(progO2))
+	}
+	// Results still agree.
+	for _, prog := range []*ir.Program{progO2, progO3} {
+		img, _ := layout.New(prog, layout.DefaultConfig(), nil)
+		m := sim.New(img, power.STM32F100())
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.ReadGlobal("out")
+		if got != 1275 {
+			t.Errorf("out = %d, want 1275", got)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no main", `int f() { return 1; }`},
+		{"undefined var", `int main() { return x; }`},
+		{"undefined func", `int main() { return g(); }`},
+		{"too many params", `int f(int a,int b,int c,int d,int e){return 0;} int main(){return 0;}`},
+		{"break outside loop", `int main() { break; return 0; }`},
+		{"const assignment", `const int k = 3; int main() { k = 4; return 0; }`},
+		{"bad arg count", `int f(int a){return a;} int main(){ return f(1,2); }`},
+		{"void local", `int main() { void v; return 0; }`},
+		{"non-const global init", `int a = 3; int b = a; int main(){return 0;}`},
+		{"redefined function", `int f(){return 1;} int f(){return 2;} int main(){return 0;}`},
+		{"syntax error", `int main() { return 0 `},
+		{"lex error", `int main() { return $; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Compile(c.src, O1); err == nil {
+				t.Fatalf("compile accepted bad program")
+			}
+		})
+	}
+}
+
+func TestMIRVerifyOnLowering(t *testing.T) {
+	const src = `
+int out[1];
+int main() {
+    int i, s = 0;
+    for (i = 0; i < 4; i++) { if (i == 2) continue; s += i; }
+    out[0] = s;
+    return 0;
+}
+`
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []OptLevel{O1, O2, O3} {
+		mp2, _ := Lower(ast)
+		Optimize(mp2, level)
+		if err := mp2.Verify(); err != nil {
+			t.Fatalf("%v: optimized MIR invalid: %v", level, err)
+		}
+	}
+}
+
+func TestUnreachableCodeAfterReturn(t *testing.T) {
+	expectOut(t, `
+int out[1];
+int f() { return 1; out[0] = 99; return 2; }
+int main() { out[0] = f(); return 0; }
+`, []uint32{1})
+}
+
+func TestDeepExpressionSpilling(t *testing.T) {
+	// Force more live values than there are allocatable registers.
+	expectOut(t, `
+int out[1];
+int main() {
+    int a=1,b=2,c=3,d=4,e=5,f=6,g=7,h=8,i=9,j=10,k=11,l=12;
+    out[0] = (a+b)*(c+d)+(e+f)*(g+h)+(i+j)*(k+l)
+           + a*b + c*d + e*f + g*h + i*j + k*l;
+    return 0;
+}
+`, []uint32{uint32(1*2 + 3*4 + 5*6 + 7*8 + 9*10 + 11*12 +
+		(1+2)*(3+4) + (5+6)*(7+8) + (9+10)*(11+12))})
+}

@@ -1,0 +1,677 @@
+package mcc
+
+import "fmt"
+
+// OptLevel selects the pass pipeline, mirroring GCC's -O flags (§6 of the
+// paper evaluates O0, O1, O2, O3 and Os).
+type OptLevel int
+
+// Optimization levels.
+const (
+	O0 OptLevel = iota // no optimization, naive spill-everything codegen
+	O1                 // constant folding, copy propagation, DCE, regalloc
+	O2                 // + local CSE, strength reduction, CFG cleanup
+	O3                 // + inlining of small functions
+	Os                 // O2 pipeline with size-biased codegen
+)
+
+// ParseOptLevel parses "O0".."Os".
+func ParseOptLevel(s string) (OptLevel, error) {
+	switch s {
+	case "O0", "0":
+		return O0, nil
+	case "O1", "1":
+		return O1, nil
+	case "O2", "2":
+		return O2, nil
+	case "O3", "3":
+		return O3, nil
+	case "Os", "s":
+		return Os, nil
+	}
+	return O0, fmt.Errorf("mcc: unknown optimization level %q", s)
+}
+
+func (l OptLevel) String() string {
+	switch l {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	case O2:
+		return "O2"
+	case O3:
+		return "O3"
+	case Os:
+		return "Os"
+	}
+	return "O?"
+}
+
+// Optimize runs the pass pipeline for the level over the program.
+func Optimize(p *MProgram, level OptLevel) {
+	if level == O0 {
+		return
+	}
+	if level == O3 {
+		inlineSmallFunctions(p, 24)
+	}
+	for _, f := range p.Funcs {
+		passes := 3 // fixpoint-ish: a few rounds are plenty at this scale
+		for i := 0; i < passes; i++ {
+			simplify(f)
+			copyProp(f)
+			if level >= O2 {
+				localCSE(f)
+			}
+			deadCodeElim(f)
+			cleanCFG(f)
+		}
+	}
+}
+
+// ---- local simplification: constant folding + strength reduction ----
+
+// simplify tracks per-block constants and folds/strength-reduces.
+func simplify(f *MFunc) {
+	for _, b := range f.Blocks {
+		consts := map[VReg]int32{}
+		setConst := func(d VReg, v int32) {
+			consts[d] = v
+		}
+		kill := func(d VReg) { delete(consts, d) }
+
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			ca, aOK := consts[in.A]
+			cb, bOK := consts[in.B]
+
+			switch in.Op {
+			case MConst:
+				setConst(in.Dst, in.Imm)
+				continue
+			case MMov:
+				if aOK {
+					*in = MIns{Op: MConst, Dst: in.Dst, Imm: ca}
+					setConst(in.Dst, ca)
+					continue
+				}
+			case MAdd, MSub, MMul, MSDiv, MUDiv, MSRem, MURem,
+				MAnd, MOr, MXor, MShl, MShr, MSar:
+				if aOK && bOK {
+					if v, ok := foldBin(in.Op, ca, cb); ok {
+						*in = MIns{Op: MConst, Dst: in.Dst, Imm: v}
+						setConst(in.Dst, v)
+						continue
+					}
+				}
+				// Strength reduction with one constant operand.
+				if bOK {
+					if rep, ok := strengthReduce(in, cb); ok {
+						*in = rep
+						kill(in.Dst)
+						continue
+					}
+				}
+				if aOK && (in.Op == MAdd || in.Op == MMul || in.Op == MAnd ||
+					in.Op == MOr || in.Op == MXor) {
+					// Commute the constant to the right; the next pass
+					// round will see it there and strength-reduce.
+					in.A, in.B = in.B, in.A
+				}
+			case MNeg:
+				if aOK {
+					*in = MIns{Op: MConst, Dst: in.Dst, Imm: -ca}
+					setConst(in.Dst, -ca)
+					continue
+				}
+			case MNot:
+				if aOK {
+					*in = MIns{Op: MConst, Dst: in.Dst, Imm: ^ca}
+					setConst(in.Dst, ^ca)
+					continue
+				}
+			case MExt:
+				if aOK {
+					v := extVal(ca, in.Width, in.Signed)
+					*in = MIns{Op: MConst, Dst: in.Dst, Imm: v}
+					setConst(in.Dst, v)
+					continue
+				}
+			case MSetCC:
+				if aOK && bOK {
+					v := int32(0)
+					if in.CC.Eval(uint32(ca), uint32(cb)) {
+						v = 1
+					}
+					*in = MIns{Op: MConst, Dst: in.Dst, Imm: v}
+					setConst(in.Dst, v)
+					continue
+				}
+			case MCmpBr:
+				if aOK && bOK {
+					target := in.L2
+					if in.CC.Eval(uint32(ca), uint32(cb)) {
+						target = in.L1
+					}
+					*in = MIns{Op: MJmp, L1: target}
+					continue
+				}
+			}
+			if d := in.Def(); d != NoVReg {
+				kill(d)
+			}
+		}
+	}
+}
+
+func foldBin(op MOp, a, b int32) (int32, bool) {
+	ua, ub := uint32(a), uint32(b)
+	switch op {
+	case MAdd:
+		return a + b, true
+	case MSub:
+		return a - b, true
+	case MMul:
+		return a * b, true
+	case MSDiv:
+		if b == 0 {
+			return 0, false
+		}
+		if a == -1<<31 && b == -1 {
+			return a, true // ARM defines the overflow quotient as the dividend
+		}
+		return a / b, true
+	case MUDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return int32(ua / ub), true
+	case MSRem:
+		if b == 0 || (a == -1<<31 && b == -1) {
+			return 0, false
+		}
+		return a % b, true
+	case MURem:
+		if b == 0 {
+			return 0, false
+		}
+		return int32(ua % ub), true
+	case MAnd:
+		return a & b, true
+	case MOr:
+		return a | b, true
+	case MXor:
+		return a ^ b, true
+	case MShl:
+		return int32(shiftFold(ua, ub, func(x uint32, s uint32) uint32 { return x << s })), true
+	case MShr:
+		return int32(shiftFold(ua, ub, func(x uint32, s uint32) uint32 { return x >> s })), true
+	case MSar:
+		s := ub & 0xFF
+		if s >= 32 {
+			s = 31
+		}
+		return a >> s, true
+	}
+	return 0, false
+}
+
+func shiftFold(x, s uint32, f func(uint32, uint32) uint32) uint32 {
+	s &= 0xFF
+	if s >= 32 {
+		return 0
+	}
+	return f(x, s)
+}
+
+func extVal(v int32, width int, signed bool) int32 {
+	switch width {
+	case 1:
+		if signed {
+			return int32(int8(v))
+		}
+		return int32(uint8(v))
+	case 2:
+		if signed {
+			return int32(int16(v))
+		}
+		return int32(uint16(v))
+	}
+	return v
+}
+
+// strengthReduce rewrites ops with a constant right operand into cheaper
+// forms. It may introduce a dependence on the constant staying in a
+// register, so it rewrites in place using an immediate-carrying MConst
+// fed by later passes; here we only handle the self-contained cases.
+func strengthReduce(in *MIns, c int32) (MIns, bool) {
+	switch in.Op {
+	case MMul:
+		switch {
+		case c == 0:
+			return MIns{Op: MConst, Dst: in.Dst, Imm: 0}, true
+		case c == 1:
+			return MIns{Op: MMov, Dst: in.Dst, A: in.A}, true
+		}
+	case MSDiv, MUDiv:
+		if c == 1 {
+			return MIns{Op: MMov, Dst: in.Dst, A: in.A}, true
+		}
+		if in.Op == MUDiv && c > 0 && c&(c-1) == 0 {
+			// Unsigned divide by power of two → shift; requires the shift
+			// amount in a vreg, so keep the const producer: rewrite as
+			// Shr with B reused (B already holds the constant c; the
+			// shift amount differs). Only rewrite when we can encode the
+			// shift via an extra const — handled by emitting MShr with
+			// the same B is wrong, so skip unless c == 1.
+		}
+	case MAdd, MSub, MOr, MXor, MShl, MShr, MSar:
+		if c == 0 {
+			return MIns{Op: MMov, Dst: in.Dst, A: in.A}, true
+		}
+	case MAnd:
+		if c == 0 {
+			return MIns{Op: MConst, Dst: in.Dst, Imm: 0}, true
+		}
+		if c == -1 {
+			return MIns{Op: MMov, Dst: in.Dst, A: in.A}, true
+		}
+	}
+	return MIns{}, false
+}
+
+// ---- copy propagation (local) ----
+
+func copyProp(f *MFunc) {
+	for _, b := range f.Blocks {
+		copyOf := map[VReg]VReg{}
+		resolve := func(v VReg) VReg {
+			for {
+				w, ok := copyOf[v]
+				if !ok {
+					return v
+				}
+				v = w
+			}
+		}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			// Substitute uses.
+			if in.A != NoVReg {
+				in.A = resolve(in.A)
+			}
+			if in.B != NoVReg {
+				in.B = resolve(in.B)
+			}
+			for k := range in.Args {
+				in.Args[k] = resolve(in.Args[k])
+			}
+			d := in.Def()
+			if d != NoVReg {
+				// Kill copies involving d.
+				delete(copyOf, d)
+				for k, v := range copyOf {
+					if v == d {
+						delete(copyOf, k)
+					}
+				}
+				if in.Op == MMov && in.A != d {
+					copyOf[d] = in.A
+				}
+			}
+		}
+	}
+}
+
+// ---- local common subexpression elimination ----
+
+type cseKey struct {
+	op     MOp
+	a, b   VReg
+	imm    int32
+	cc     CC
+	width  int
+	signed bool
+	sym    string
+}
+
+func localCSE(f *MFunc) {
+	for _, b := range f.Blocks {
+		avail := map[cseKey]VReg{}
+		kill := func(d VReg) {
+			for k, v := range avail {
+				if v == d || k.a == d || k.b == d {
+					delete(avail, k)
+				}
+			}
+		}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			switch in.Op {
+			case MCall:
+				// Calls clobber memory: flush loads.
+				for k := range avail {
+					if k.op == MLoad {
+						delete(avail, k)
+					}
+				}
+			case MStore:
+				// A store may alias any load.
+				for k := range avail {
+					if k.op == MLoad {
+						delete(avail, k)
+					}
+				}
+				continue
+			}
+			d := in.Def()
+			if !in.Pure() || d == NoVReg {
+				if d != NoVReg {
+					kill(d)
+				}
+				continue
+			}
+			key := cseKey{
+				op: in.Op, a: in.A, b: in.B, imm: in.Imm, cc: in.CC,
+				width: in.Width, signed: in.Signed, sym: in.Sym,
+			}
+			if prev, ok := avail[key]; ok && prev != d {
+				*in = MIns{Op: MMov, Dst: d, A: prev}
+				kill(d)
+				continue
+			}
+			kill(d)
+			avail[key] = d
+		}
+	}
+}
+
+// ---- dead code elimination (global liveness) ----
+
+func deadCodeElim(f *MFunc) {
+	liveOut := liveness(f)
+	for _, b := range f.Blocks {
+		live := map[VReg]bool{}
+		for v := range liveOut[b] {
+			live[v] = true
+		}
+		// Backward sweep marking kept instructions.
+		kept := make([]bool, len(b.Ins))
+		for i := len(b.Ins) - 1; i >= 0; i-- {
+			in := &b.Ins[i]
+			d := in.Def()
+			if !in.Pure() || (d != NoVReg && live[d]) || d == NoVReg {
+				kept[i] = true
+				if d != NoVReg {
+					delete(live, d)
+				}
+				for _, u := range in.Uses() {
+					live[u] = true
+				}
+			}
+		}
+		var out []MIns
+		for i := range b.Ins {
+			if kept[i] {
+				out = append(out, b.Ins[i])
+			}
+		}
+		b.Ins = out
+	}
+}
+
+// liveness computes live-out sets per block.
+func liveness(f *MFunc) map[*MBlock]map[VReg]bool {
+	byLabel := map[string]*MBlock{}
+	for _, b := range f.Blocks {
+		byLabel[b.Label] = b
+	}
+	gen := map[*MBlock]map[VReg]bool{}
+	killed := map[*MBlock]map[VReg]bool{}
+	for _, b := range f.Blocks {
+		g, k := map[VReg]bool{}, map[VReg]bool{}
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			for _, u := range in.Uses() {
+				if !k[u] {
+					g[u] = true
+				}
+			}
+			if d := in.Def(); d != NoVReg {
+				k[d] = true
+			}
+		}
+		gen[b], killed[b] = g, k
+	}
+	liveIn := map[*MBlock]map[VReg]bool{}
+	liveOut := map[*MBlock]map[VReg]bool{}
+	for _, b := range f.Blocks {
+		liveIn[b] = map[VReg]bool{}
+		liveOut[b] = map[VReg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := map[VReg]bool{}
+			for _, s := range b.Succs() {
+				sb := byLabel[s]
+				for v := range liveIn[sb] {
+					out[v] = true
+				}
+			}
+			in := map[VReg]bool{}
+			for v := range out {
+				if !killed[b][v] {
+					in[v] = true
+				}
+			}
+			for v := range gen[b] {
+				in[v] = true
+			}
+			if len(out) != len(liveOut[b]) || len(in) != len(liveIn[b]) {
+				changed = true
+			}
+			liveOut[b] = out
+			liveIn[b] = in
+		}
+	}
+	return liveOut
+}
+
+// ---- CFG cleanup ----
+
+// cleanCFG retargets jumps through empty forwarding blocks, removes
+// unreachable blocks and merges single-successor/single-predecessor pairs.
+func cleanCFG(f *MFunc) {
+	// Forwarding: block whose only instruction is jmp L.
+	forward := map[string]string{}
+	for _, b := range f.Blocks {
+		if len(b.Ins) == 1 && b.Ins[0].Op == MJmp {
+			forward[b.Label] = b.Ins[0].L1
+		}
+	}
+	resolve := func(l string) string {
+		seen := map[string]bool{}
+		for forward[l] != "" && !seen[l] {
+			seen[l] = true
+			l = forward[l]
+		}
+		return l
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case MJmp:
+			t.L1 = resolve(t.L1)
+		case MCmpBr:
+			t.L1 = resolve(t.L1)
+			t.L2 = resolve(t.L2)
+			if t.L1 == t.L2 {
+				*t = MIns{Op: MJmp, L1: t.L1}
+			}
+		}
+	}
+	pruneUnreachable(f)
+
+	// Merge chains: b ends in jmp s, s has exactly one predecessor.
+	preds := map[string]int{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s]++
+		}
+	}
+	byLabel := map[string]*MBlock{}
+	for _, b := range f.Blocks {
+		byLabel[b.Label] = b
+	}
+	merged := map[*MBlock]bool{}
+	for _, b := range f.Blocks {
+		for {
+			if merged[b] {
+				break
+			}
+			t := b.Term()
+			if t == nil || t.Op != MJmp {
+				break
+			}
+			s := byLabel[t.L1]
+			if s == nil || s == b || preds[s.Label] != 1 || s == f.Blocks[0] {
+				break
+			}
+			// Append s's instructions over b's jump.
+			b.Ins = append(b.Ins[:len(b.Ins)-1], s.Ins...)
+			merged[s] = true
+		}
+	}
+	var kept []*MBlock
+	for _, b := range f.Blocks {
+		if !merged[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	pruneUnreachable(f)
+}
+
+// ---- inlining (O3) ----
+
+// inlineSmallFunctions inlines calls to non-recursive functions whose
+// body is at most maxIns instructions and which contain no calls
+// themselves (leaf functions).
+func inlineSmallFunctions(p *MProgram, maxIns int) {
+	inlinable := map[string]*MFunc{}
+	for _, f := range p.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		n := 0
+		leaf := true
+		for _, b := range f.Blocks {
+			n += len(b.Ins)
+			for i := range b.Ins {
+				if b.Ins[i].Op == MCall {
+					leaf = false
+				}
+			}
+		}
+		if leaf && n <= maxIns && len(f.SlotSizes) == 0 {
+			inlinable[f.Name] = f
+		}
+	}
+	if len(inlinable) == 0 {
+		return
+	}
+	for _, f := range p.Funcs {
+		inlineInto(f, inlinable)
+	}
+}
+
+var inlineSeq int
+
+func inlineInto(f *MFunc, inlinable map[string]*MFunc) {
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		b := f.Blocks[bi]
+		for ii := 0; ii < len(b.Ins); ii++ {
+			in := b.Ins[ii]
+			if in.Op != MCall {
+				continue
+			}
+			callee, ok := inlinable[in.Sym]
+			if !ok || callee.Name == f.Name {
+				continue
+			}
+			inlineSeq++
+			prefix := fmt.Sprintf("%s_il%d_", f.Name, inlineSeq)
+
+			// Clone callee with remapped vregs and labels.
+			remap := make([]VReg, callee.NumVRegs)
+			for i := range remap {
+				remap[i] = VReg(f.NumVRegs + i)
+			}
+			f.NumVRegs += callee.NumVRegs
+			mapV := func(v VReg) VReg {
+				if v == NoVReg {
+					return NoVReg
+				}
+				return remap[v]
+			}
+			contLabel := prefix + "cont"
+			retV := in.Dst
+
+			var clones []*MBlock
+			for _, cb := range callee.Blocks {
+				nb := &MBlock{Label: prefix + cb.Label}
+				for _, ci := range cb.Ins {
+					ni := ci
+					ni.Dst = mapV(ci.Dst)
+					ni.A = mapV(ci.A)
+					ni.B = mapV(ci.B)
+					if len(ci.Args) > 0 {
+						ni.Args = make([]VReg, len(ci.Args))
+						for k := range ci.Args {
+							ni.Args[k] = mapV(ci.Args[k])
+						}
+					}
+					if ni.Op == MJmp {
+						ni.L1 = prefix + ci.L1
+					}
+					if ni.Op == MCmpBr {
+						ni.L1 = prefix + ci.L1
+						ni.L2 = prefix + ci.L2
+					}
+					if ni.Op == MRet {
+						if retV != NoVReg && ci.A != NoVReg {
+							nb.Ins = append(nb.Ins, MIns{Op: MMov, Dst: retV, A: mapV(ci.A)})
+						}
+						ni = MIns{Op: MJmp, L1: contLabel}
+					}
+					nb.Ins = append(nb.Ins, ni)
+				}
+				clones = append(clones, nb)
+			}
+
+			// Split the calling block.
+			cont := &MBlock{Label: contLabel, Ins: append([]MIns(nil), b.Ins[ii+1:]...)}
+			b.Ins = b.Ins[:ii]
+			// Bind arguments.
+			for k, a := range in.Args {
+				if k < len(callee.ParamRegs) {
+					b.Ins = append(b.Ins, MIns{Op: MMov, Dst: mapV(callee.ParamRegs[k]), A: a})
+				}
+			}
+			b.Ins = append(b.Ins, MIns{Op: MJmp, L1: clones[0].Label})
+
+			// Splice: b, clones..., cont, rest.
+			rest := append([]*MBlock{}, f.Blocks[bi+1:]...)
+			f.Blocks = append(f.Blocks[:bi+1], clones...)
+			f.Blocks = append(f.Blocks, cont)
+			f.Blocks = append(f.Blocks, rest...)
+			break // re-scan from the next block (cont holds the tail)
+		}
+	}
+}

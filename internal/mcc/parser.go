@@ -1,0 +1,754 @@
+package mcc
+
+import "fmt"
+
+// Parser is a recursive-descent parser for the mcc dialect.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*SourceProgram, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) is(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) isPunct(text string) bool   { return p.is(TokPunct, text) }
+func (p *Parser) isKeyword(text string) bool { return p.is(TokKeyword, text) }
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.is(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	if p.is(kind, text) {
+		return p.next(), nil
+	}
+	return Token{}, fmt.Errorf("mcc: %s: expected %q, found %s", p.cur().Pos(), text, p.cur())
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("mcc: %s: %s", p.cur().Pos(), fmt.Sprintf(format, args...))
+}
+
+// program := (funcDecl | varDecl)*
+func (p *Parser) program() (*SourceProgram, error) {
+	prog := &SourceProgram{}
+	for !p.is(TokEOF, "") {
+		isConst := false
+		for p.isKeyword("const") || p.isKeyword("static") {
+			if p.cur().Text == "const" {
+				isConst = true
+			}
+			p.next()
+		}
+		base, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		// Allow const after the type too.
+		for p.isKeyword("const") {
+			isConst = true
+			p.next()
+		}
+		// Pointers belong to the declarator.
+		declType := base
+		for p.accept(TokPunct, "*") {
+			declType = PtrTo(declType)
+		}
+		nameTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			fn, err := p.funcDecl(declType, nameTok.Text)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		decls, err := p.finishVarDecl(base, declType, nameTok.Text, isConst)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decls...)
+	}
+	return prog, nil
+}
+
+// typeName := ("unsigned"|"signed")? ("int"|"char"|"short"|"long")* | "float" | "void"
+func (p *Parser) typeName() (*Type, error) {
+	if !p.is(TokKeyword, "") {
+		return nil, p.errorf("expected type name, found %s", p.cur())
+	}
+	signed := true
+	sawSign := false
+	sawBase := ""
+	for p.is(TokKeyword, "") {
+		switch p.cur().Text {
+		case "unsigned":
+			signed = false
+			sawSign = true
+			p.next()
+		case "signed":
+			signed = true
+			sawSign = true
+			p.next()
+		case "int", "char", "short", "long":
+			if sawBase != "" && !(sawBase == "long" && p.cur().Text == "int") &&
+				!(sawBase == "short" && p.cur().Text == "int") {
+				return nil, p.errorf("unexpected %q in type", p.cur().Text)
+			}
+			if sawBase == "" {
+				sawBase = p.cur().Text
+			}
+			p.next()
+		case "float":
+			if sawSign || sawBase != "" {
+				return nil, p.errorf("cannot combine float with other specifiers")
+			}
+			p.next()
+			return TypeFloat, nil
+		case "void":
+			if sawSign || sawBase != "" {
+				return nil, p.errorf("cannot combine void with other specifiers")
+			}
+			p.next()
+			return TypeVoid, nil
+		default:
+			goto done
+		}
+	}
+done:
+	if sawBase == "" && !sawSign {
+		return nil, p.errorf("expected type name")
+	}
+	switch sawBase {
+	case "char":
+		if signed {
+			return TypeChar, nil
+		}
+		return TypeUChar, nil
+	case "short":
+		if signed {
+			return TypeShort, nil
+		}
+		return TypeUShort, nil
+	default: // int, long, bare signed/unsigned
+		if signed {
+			return TypeInt, nil
+		}
+		return TypeUInt, nil
+	}
+}
+
+// finishVarDecl parses the remainder of a variable declaration after the
+// first declarator's name. base is the undecorated type (for subsequent
+// declarators); first is the (possibly pointered) type of the first.
+func (p *Parser) finishVarDecl(base, first *Type, firstName string, isConst bool) ([]*VarDecl, error) {
+	var out []*VarDecl
+	typ, name := first, firstName
+	for {
+		d := &VarDecl{Name: name, Type: typ, Const: isConst}
+		// Array suffixes.
+		var dims []int
+		for p.accept(TokPunct, "[") {
+			n, err := p.expect(TokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			dims = append(dims, int(n.Val))
+		}
+		for i := len(dims) - 1; i >= 0; i-- {
+			d.Type = ArrayOf(d.Type, dims[i])
+		}
+		if p.accept(TokPunct, "=") {
+			if p.isPunct("{") {
+				lst, err := p.initList()
+				if err != nil {
+					return nil, err
+				}
+				d.InitList = lst
+			} else {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Init = e
+			}
+		}
+		out = append(out, d)
+		if p.accept(TokPunct, ",") {
+			typ = base
+			for p.accept(TokPunct, "*") {
+				typ = PtrTo(typ)
+			}
+			t, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			name = t.Text
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// initList := '{' (expr|initList) (',' ...)* '}' — nested lists are
+// flattened in row-major order (sema validates counts).
+func (p *Parser) initList() ([]Expr, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for !p.isPunct("}") {
+		if p.isPunct("{") {
+			inner, err := p.initList()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+		} else {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, "}"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// funcDecl parses parameters and body.
+func (p *Parser) funcDecl(ret *Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name, Ret: ret}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		if p.isKeyword("void") && p.toks[p.pos+1].Text == ")" {
+			p.next()
+		} else {
+			for {
+				for p.isKeyword("const") {
+					p.next()
+				}
+				pt, err := p.typeName()
+				if err != nil {
+					return nil, err
+				}
+				for p.isKeyword("const") {
+					p.next()
+				}
+				for p.accept(TokPunct, "*") {
+					pt = PtrTo(pt)
+				}
+				nt, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				// Array parameters decay to pointers.
+				for p.accept(TokPunct, "[") {
+					if p.cur().Kind == TokNumber {
+						p.next()
+					}
+					if _, err := p.expect(TokPunct, "]"); err != nil {
+						return nil, err
+					}
+					pt = PtrTo(pt)
+				}
+				fn.Params = append(fn.Params, &VarDecl{Name: nt.Text, Type: pt})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, ";") {
+		return fn, nil // prototype
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.isPunct("}") {
+		if p.is(TokEOF, "") {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) isTypeStart() bool {
+	if !p.is(TokKeyword, "") {
+		return false
+	}
+	switch p.cur().Text {
+	case "int", "char", "short", "long", "unsigned", "signed", "float", "void", "const", "static":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.isTypeStart():
+		return p.localDecl()
+	case p.isKeyword("if"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept(TokKeyword, "else") {
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els}, nil
+	case p.isKeyword("while"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.isKeyword("do"):
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &DoWhile{Body: body, Cond: cond}, nil
+	case p.isKeyword("for"):
+		p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		f := &For{}
+		if !p.isPunct(";") {
+			if p.isTypeStart() {
+				d, err := p.localDecl()
+				if err != nil {
+					return nil, err
+				}
+				f.Init = d
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				f.Init = &ExprStmt{X: e}
+				if _, err := p.expect(TokPunct, ";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.next()
+		}
+		if !p.isPunct(";") {
+			c, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Cond = c
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			f.Post = e
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		return f, nil
+	case p.isKeyword("return"):
+		p.next()
+		r := &Return{}
+		if !p.isPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case p.isKeyword("break"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{}, nil
+	case p.isKeyword("continue"):
+		p.next()
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{}, nil
+	case p.isPunct(";"):
+		p.next()
+		return &Block{}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+// localDecl parses a local variable declaration statement (consumes ';').
+func (p *Parser) localDecl() (Stmt, error) {
+	isConst := false
+	for p.isKeyword("const") || p.isKeyword("static") {
+		if p.cur().Text == "const" {
+			isConst = true
+		}
+		p.next()
+	}
+	base, err := p.typeName()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("const") {
+		isConst = true
+		p.next()
+	}
+	typ := base
+	for p.accept(TokPunct, "*") {
+		typ = PtrTo(typ)
+	}
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	decls, err := p.finishVarDecl(base, typ, nameTok.Text, isConst)
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Decls: decls}, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *Parser) expr() (Expr, error) { return p.commaFreeExpr() }
+
+// commaFreeExpr: our dialect has no comma operator; assignment is the top.
+func (p *Parser) commaFreeExpr() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	l, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "=":
+			p.next()
+			r, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{L: l, R: r}, nil
+		case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.next()
+			r, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Op: t.Text[:len(t.Text)-1], L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) condExpr() (Expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokPunct, "?") {
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		b, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{C: c, A: a, B: b}, nil
+	}
+	return c, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) binaryExpr(minPrec int) (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return l, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		p.next()
+		r, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		case "+":
+			p.next()
+			return p.unaryExpr()
+		case "++", "--":
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			if p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text != "void" {
+				save := p.pos
+				p.next()
+				typ, err := p.typeName()
+				if err == nil {
+					for p.accept(TokPunct, "*") {
+						typ = PtrTo(typ)
+					}
+					if p.accept(TokPunct, ")") {
+						x, err := p.unaryExpr()
+						if err != nil {
+							return nil, err
+						}
+						c := &Cast{X: x}
+						c.T = typ
+						return c, nil
+					}
+				}
+				p.pos = save
+			}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Arr: e, Idx: idx}
+		case p.isPunct("++"), p.isPunct("--"):
+			op := p.next().Text
+			e = &Unary{Op: op, X: e, Post: true}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if t.IsFloat {
+			f := &FloatLit{Val: t.FVal}
+			f.T = TypeFloat
+			return f, nil
+		}
+		lit := &IntLit{Val: t.Val}
+		return lit, nil
+	case t.Kind == TokCharLit:
+		p.next()
+		lit := &IntLit{Val: t.Val}
+		return lit, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.isPunct("(") {
+			p.next()
+			call := &Call{Name: t.Text}
+			if !p.isPunct(")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.Text}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,177 @@
+package mcc
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Allocation is the result of register allocation for one function.
+type Allocation struct {
+	// Reg maps a vreg to its physical register; only vregs present here
+	// are register-resident.
+	Reg map[VReg]isa.Reg
+	// Spill maps a vreg to its spill-slot index (densely numbered).
+	Spill map[VReg]int
+	// NumSpills is the spill slot count.
+	NumSpills int
+	// UsedCalleeSaved lists the callee-saved registers the allocation
+	// touches, ascending.
+	UsedCalleeSaved []isa.Reg
+}
+
+// allocatable is the callee-saved register file available to vregs.
+// r0-r3 and r12 stay free as codegen scratch and AAPCS argument
+// registers; values therefore survive calls by construction.
+var allocatable = []isa.Reg{
+	isa.R4, isa.R5, isa.R6, isa.R7, isa.R8, isa.R9, isa.R10, isa.R11,
+}
+
+// AllocateSpillAll puts every vreg on the stack (the O0 code shape: every
+// value lives in memory, loaded and stored around each operation).
+func AllocateSpillAll(f *MFunc) *Allocation {
+	a := &Allocation{Reg: map[VReg]isa.Reg{}, Spill: map[VReg]int{}}
+	for v := 0; v < f.NumVRegs; v++ {
+		a.Spill[VReg(v)] = v
+	}
+	a.NumSpills = f.NumVRegs
+	return a
+}
+
+// interval is a live range over global instruction positions.
+type interval struct {
+	v          VReg
+	start, end int
+}
+
+// Allocate runs linear-scan register allocation (Poletto/Sarkar style)
+// over liveness-derived intervals.
+func Allocate(f *MFunc, preferLow bool) *Allocation {
+	liveOut := liveness(f)
+
+	// Global numbering.
+	pos := 0
+	starts := map[VReg]int{}
+	ends := map[VReg]int{}
+	// touch widens v's interval to include position p. Starts must be
+	// lowerable, not just set-once: block list order is not control-flow
+	// order (else blocks are laid out after their join blocks), so a
+	// liveness extension can touch a position below the first def/use.
+	touch := func(v VReg, p int) {
+		if v == NoVReg {
+			return
+		}
+		if s, ok := starts[v]; !ok || p < s {
+			starts[v] = p
+		}
+		if e, ok := ends[v]; !ok || p > e {
+			ends[v] = p
+		}
+	}
+	// Parameters are defined at position 0.
+	for _, pr := range f.ParamRegs {
+		touch(pr, 0)
+	}
+	blockStart := map[*MBlock]int{}
+	blockEnd := map[*MBlock]int{}
+	for _, b := range f.Blocks {
+		blockStart[b] = pos
+		for i := range b.Ins {
+			in := &b.Ins[i]
+			for _, u := range in.Uses() {
+				touch(u, pos)
+			}
+			touch(in.Def(), pos)
+			pos++
+		}
+		blockEnd[b] = pos - 1
+	}
+	// Extend intervals across blocks where values are live-out (covers
+	// loop-carried values).
+	for _, b := range f.Blocks {
+		for v := range liveOut[b] {
+			touch(v, blockStart[b])
+			touch(v, blockEnd[b])
+		}
+	}
+
+	var ivs []interval
+	for v, s := range starts {
+		ivs = append(ivs, interval{v: v, start: s, end: ends[v]})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].v < ivs[j].v
+	})
+
+	regs := allocatable
+	if preferLow {
+		// Os: favour r4-r7 so more instructions get 16-bit encodings;
+		// same set, low-first order is already the default. Kept for
+		// symmetry and future high-register experiments.
+		regs = allocatable
+	}
+
+	a := &Allocation{Reg: map[VReg]isa.Reg{}, Spill: map[VReg]int{}}
+	type active struct {
+		interval
+		r isa.Reg
+	}
+	var act []*active
+	free := append([]isa.Reg(nil), regs...)
+
+	expire := func(p int) {
+		var keep []*active
+		for _, x := range act {
+			if x.end < p {
+				free = append(free, x.r)
+			} else {
+				keep = append(keep, x)
+			}
+		}
+		act = keep
+	}
+	for _, iv := range ivs {
+		expire(iv.start)
+		if len(free) > 0 {
+			// Lowest-numbered free register first (narrow encodings).
+			sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+			r := free[0]
+			free = free[1:]
+			a.Reg[iv.v] = r
+			act = append(act, &active{iv, r})
+			continue
+		}
+		// Spill the active interval with the furthest end.
+		furthest := -1
+		for i, x := range act {
+			if furthest < 0 || x.end > act[furthest].end {
+				furthest = i
+			}
+		}
+		if act[furthest].end > iv.end {
+			victim := act[furthest]
+			a.Reg[iv.v] = victim.r
+			delete(a.Reg, victim.v)
+			a.Spill[victim.v] = a.NumSpills
+			a.NumSpills++
+			act[furthest] = &active{iv, victim.r}
+		} else {
+			a.Spill[iv.v] = a.NumSpills
+			a.NumSpills++
+		}
+	}
+
+	used := map[isa.Reg]bool{}
+	for _, r := range a.Reg {
+		used[r] = true
+	}
+	for _, r := range allocatable {
+		if used[r] {
+			a.UsedCalleeSaved = append(a.UsedCalleeSaved, r)
+		}
+	}
+	return a
+}

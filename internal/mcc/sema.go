@@ -1,0 +1,686 @@
+package mcc
+
+import "fmt"
+
+// checker performs semantic analysis: name resolution, type checking,
+// implicit conversion insertion, and lvalue/loop-context validation.
+type checker struct {
+	prog    *SourceProgram
+	funcs   map[string]*FuncDecl
+	globals map[string]*Symbol
+
+	// current function state
+	fn        *FuncDecl
+	scopes    []map[string]*Symbol
+	loopDepth int
+	nextLocal int
+}
+
+// Check runs semantic analysis over a parsed program, mutating the AST
+// (types, symbols, implicit casts) in place.
+func Check(prog *SourceProgram) error { return checkUnit(prog, true) }
+
+// CheckLibrary is Check for library translation units, which have no main.
+func CheckLibrary(prog *SourceProgram) error { return checkUnit(prog, false) }
+
+// checkUnit is Check with the main requirement optional (library units).
+func checkUnit(prog *SourceProgram, requireMain bool) error {
+	c := &checker{
+		prog:    prog,
+		funcs:   make(map[string]*FuncDecl),
+		globals: make(map[string]*Symbol),
+	}
+	for _, f := range prog.Funcs {
+		if prev, ok := c.funcs[f.Name]; ok {
+			if prev.Body != nil && f.Body != nil {
+				return fmt.Errorf("mcc: function %q redefined", f.Name)
+			}
+			if f.Body != nil {
+				c.funcs[f.Name] = f
+			}
+			continue
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		if _, ok := c.globals[g.Name]; ok {
+			return fmt.Errorf("mcc: global %q redefined", g.Name)
+		}
+		if g.Type.Kind == TVoid {
+			return fmt.Errorf("mcc: global %q has void type", g.Name)
+		}
+		g.Sym = &Symbol{Name: g.Name, Type: g.Type, Global: true, Const: g.Const}
+		c.globals[g.Name] = g.Sym
+		if err := c.checkGlobalInit(g); err != nil {
+			return err
+		}
+	}
+	for _, f := range prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		if len(f.Params) > 4 {
+			return fmt.Errorf("mcc: function %q has %d parameters; at most 4 supported",
+				f.Name, len(f.Params))
+		}
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	if requireMain {
+		if main, ok := c.funcs["main"]; !ok || main.Body == nil {
+			return fmt.Errorf("mcc: no main function defined")
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkGlobalInit(g *VarDecl) error {
+	if g.Init != nil {
+		if err := c.checkExpr(g.Init); err != nil {
+			return err
+		}
+		if _, _, ok := ConstEval(g.Init); !ok {
+			return fmt.Errorf("mcc: global %q initializer is not constant", g.Name)
+		}
+	}
+	if g.InitList != nil {
+		if g.Type.Kind != TArray {
+			return fmt.Errorf("mcc: global %q has a brace initializer but is not an array", g.Name)
+		}
+		n := g.Type.Len
+		if g.Type.Elem.Kind == TArray {
+			n *= g.Type.Elem.Len
+		}
+		if len(g.InitList) > n {
+			return fmt.Errorf("mcc: global %q has %d initializers for %d elements",
+				g.Name, len(g.InitList), n)
+		}
+		for _, e := range g.InitList {
+			if err := c.checkExpr(e); err != nil {
+				return err
+			}
+			if _, _, ok := ConstEval(e); !ok {
+				return fmt.Errorf("mcc: global %q initializer element is not constant", g.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*Symbol{{}}
+	c.loopDepth = 0
+	c.nextLocal = 0
+	for i, p := range f.Params {
+		if !p.Type.IsScalar() {
+			return fmt.Errorf("mcc: %s: parameter %q must be scalar", f.Name, p.Name)
+		}
+		p.Sym = &Symbol{
+			Name: p.Name, Type: p.Type,
+			IsParam: true, ParamIdx: i, LocalID: c.allocLocal(),
+		}
+		c.scopes[0][p.Name] = p.Sym
+	}
+	return c.checkBlock(f.Body)
+}
+
+func (c *checker) allocLocal() int { n := c.nextLocal; c.nextLocal++; return n }
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkBlock(b *Block) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		return c.checkBlock(st)
+	case *ExprStmt:
+		return c.checkExpr(st.X)
+	case *DeclStmt:
+		for _, d := range st.Decls {
+			if d.Type.Kind == TVoid {
+				return fmt.Errorf("mcc: local %q has void type", d.Name)
+			}
+			if d.InitList != nil {
+				return fmt.Errorf("mcc: local %q: brace initializers are only supported on globals", d.Name)
+			}
+			scope := c.scopes[len(c.scopes)-1]
+			if _, dup := scope[d.Name]; dup {
+				return fmt.Errorf("mcc: local %q redeclared in the same scope", d.Name)
+			}
+			d.Sym = &Symbol{Name: d.Name, Type: d.Type, Const: d.Const, LocalID: c.allocLocal()}
+			scope[d.Name] = d.Sym
+			if d.Init != nil {
+				if err := c.checkExpr(d.Init); err != nil {
+					return err
+				}
+				conv, err := c.convertTo(d.Init, d.Type, "initialization of "+d.Name)
+				if err != nil {
+					return err
+				}
+				d.Init = conv
+			}
+		}
+		return nil
+	case *If:
+		if err := c.checkCond(st.Cond, "if"); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *While:
+		if err := c.checkCond(st.Cond, "while"); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkStmt(st.Body)
+	case *DoWhile:
+		c.loopDepth++
+		if err := c.checkStmt(st.Body); err != nil {
+			c.loopDepth--
+			return err
+		}
+		c.loopDepth--
+		return c.checkCond(st.Cond, "do-while")
+	case *For:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkCond(st.Cond, "for"); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkExpr(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.checkStmt(st.Body)
+	case *Return:
+		if st.X == nil {
+			if c.fn.Ret.Kind != TVoid {
+				return fmt.Errorf("mcc: %s: return without value in non-void function", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TVoid {
+			return fmt.Errorf("mcc: %s: return with value in void function", c.fn.Name)
+		}
+		if err := c.checkExpr(st.X); err != nil {
+			return err
+		}
+		conv, err := c.convertTo(st.X, c.fn.Ret, "return value")
+		if err != nil {
+			return err
+		}
+		st.X = conv
+		return nil
+	case *Break:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("mcc: %s: break outside loop", c.fn.Name)
+		}
+		return nil
+	case *Continue:
+		if c.loopDepth == 0 {
+			return fmt.Errorf("mcc: %s: continue outside loop", c.fn.Name)
+		}
+		return nil
+	}
+	return fmt.Errorf("mcc: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr, ctx string) error {
+	if err := c.checkExpr(e); err != nil {
+		return err
+	}
+	t := e.TypeOf()
+	if t == nil || !(t.IsScalar() || t.Kind == TArray) {
+		return fmt.Errorf("mcc: %s condition has non-scalar type %v", ctx, t)
+	}
+	return nil
+}
+
+// decay converts array-typed expressions to pointers for value contexts.
+func decay(t *Type) *Type {
+	if t.Kind == TArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// promote widens sub-int integers to int for arithmetic.
+func promote(t *Type) *Type {
+	if t.Kind == TInt && t.Size < 4 {
+		if t.Signed {
+			return TypeInt
+		}
+		return TypeInt // C promotes uchar/ushort to int (value-preserving)
+	}
+	return t
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.T == nil {
+			x.T = TypeInt
+		}
+		return nil
+	case *FloatLit:
+		x.T = TypeFloat
+		return nil
+	case *VarRef:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return fmt.Errorf("mcc: undefined identifier %q", x.Name)
+		}
+		x.Sym = sym
+		x.T = sym.Type
+		return nil
+	case *Unary:
+		return c.checkUnary(x)
+	case *Binary:
+		return c.checkBinary(x)
+	case *Assign:
+		return c.checkAssign(x)
+	case *Cond:
+		if err := c.checkCond(x.C, "?:"); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.A); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.B); err != nil {
+			return err
+		}
+		at, bt := decay(x.A.TypeOf()), decay(x.B.TypeOf())
+		if at.Kind == TFloat || bt.Kind == TFloat {
+			var err error
+			if x.A, err = c.convertTo(x.A, TypeFloat, "?:"); err != nil {
+				return err
+			}
+			if x.B, err = c.convertTo(x.B, TypeFloat, "?:"); err != nil {
+				return err
+			}
+			x.T = TypeFloat
+			return nil
+		}
+		x.T = promote(at)
+		return nil
+	case *Call:
+		fn, ok := c.funcs[x.Name]
+		if !ok {
+			return fmt.Errorf("mcc: call to undefined function %q", x.Name)
+		}
+		x.Fn = fn
+		if len(x.Args) != len(fn.Params) {
+			return fmt.Errorf("mcc: call to %q with %d args, want %d",
+				x.Name, len(x.Args), len(fn.Params))
+		}
+		for i, a := range x.Args {
+			if err := c.checkExpr(a); err != nil {
+				return err
+			}
+			conv, err := c.convertTo(a, fn.Params[i].Type, fmt.Sprintf("argument %d of %s", i+1, x.Name))
+			if err != nil {
+				return err
+			}
+			x.Args[i] = conv
+		}
+		x.T = fn.Ret
+		return nil
+	case *Index:
+		if err := c.checkExpr(x.Arr); err != nil {
+			return err
+		}
+		if err := c.checkExpr(x.Idx); err != nil {
+			return err
+		}
+		at := x.Arr.TypeOf()
+		switch at.Kind {
+		case TArray, TPtr:
+			x.T = at.Elem
+		default:
+			return fmt.Errorf("mcc: indexing non-array type %v", at)
+		}
+		if !x.Idx.TypeOf().IsInteger() {
+			return fmt.Errorf("mcc: array index has non-integer type %v", x.Idx.TypeOf())
+		}
+		return nil
+	case *Cast:
+		if err := c.checkExpr(x.X); err != nil {
+			return err
+		}
+		src := decay(x.X.TypeOf())
+		dst := x.T
+		if dst.Kind == TVoid {
+			return nil
+		}
+		if !src.IsScalar() || !dst.IsScalar() {
+			return fmt.Errorf("mcc: invalid cast from %v to %v", src, dst)
+		}
+		return nil
+	}
+	return fmt.Errorf("mcc: unknown expression %T", e)
+}
+
+func (c *checker) checkUnary(x *Unary) error {
+	if err := c.checkExpr(x.X); err != nil {
+		return err
+	}
+	t := x.X.TypeOf()
+	switch x.Op {
+	case "-":
+		if t.Kind == TFloat {
+			x.T = TypeFloat
+		} else if t.IsInteger() {
+			x.T = promote(t)
+		} else {
+			return fmt.Errorf("mcc: unary - on %v", t)
+		}
+	case "!":
+		if !decay(t).IsScalar() {
+			return fmt.Errorf("mcc: unary ! on %v", t)
+		}
+		x.T = TypeInt
+	case "~":
+		if !t.IsInteger() {
+			return fmt.Errorf("mcc: unary ~ on %v", t)
+		}
+		x.T = promote(t)
+	case "*":
+		dt := decay(t)
+		if dt.Kind != TPtr {
+			return fmt.Errorf("mcc: dereferencing non-pointer %v", t)
+		}
+		x.T = dt.Elem
+	case "&":
+		if !isLvalue(x.X) {
+			return fmt.Errorf("mcc: & of non-lvalue")
+		}
+		x.T = PtrTo(t)
+	case "++", "--":
+		if !isLvalue(x.X) {
+			return fmt.Errorf("mcc: %s of non-lvalue", x.Op)
+		}
+		if !t.IsInteger() && t.Kind != TPtr {
+			return fmt.Errorf("mcc: %s on %v", x.Op, t)
+		}
+		x.T = t
+	default:
+		return fmt.Errorf("mcc: unknown unary op %q", x.Op)
+	}
+	return nil
+}
+
+func (c *checker) checkBinary(x *Binary) error {
+	if err := c.checkExpr(x.L); err != nil {
+		return err
+	}
+	if err := c.checkExpr(x.R); err != nil {
+		return err
+	}
+	lt, rt := decay(x.L.TypeOf()), decay(x.R.TypeOf())
+
+	switch x.Op {
+	case "&&", "||":
+		if !lt.IsScalar() || !rt.IsScalar() {
+			return fmt.Errorf("mcc: %s on %v and %v", x.Op, lt, rt)
+		}
+		x.T = TypeInt
+		return nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		if lt.Kind == TFloat || rt.Kind == TFloat {
+			var err error
+			if x.L, err = c.convertTo(x.L, TypeFloat, x.Op); err != nil {
+				return err
+			}
+			if x.R, err = c.convertTo(x.R, TypeFloat, x.Op); err != nil {
+				return err
+			}
+		} else if lt.Kind == TPtr && rt.Kind == TPtr {
+			// ok
+		} else if !lt.IsInteger() && lt.Kind != TPtr || !rt.IsInteger() && rt.Kind != TPtr {
+			return fmt.Errorf("mcc: comparison %s on %v and %v", x.Op, lt, rt)
+		}
+		x.T = TypeInt
+		return nil
+	case "+", "-":
+		// Pointer arithmetic.
+		if lt.Kind == TPtr && rt.IsInteger() {
+			x.T = lt
+			return nil
+		}
+		if x.Op == "+" && lt.IsInteger() && rt.Kind == TPtr {
+			x.T = rt
+			return nil
+		}
+		if x.Op == "-" && lt.Kind == TPtr && rt.Kind == TPtr {
+			x.T = TypeInt
+			return nil
+		}
+		fallthrough
+	case "*", "/":
+		if lt.Kind == TFloat || rt.Kind == TFloat {
+			var err error
+			if x.L, err = c.convertTo(x.L, TypeFloat, x.Op); err != nil {
+				return err
+			}
+			if x.R, err = c.convertTo(x.R, TypeFloat, x.Op); err != nil {
+				return err
+			}
+			x.T = TypeFloat
+			return nil
+		}
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return fmt.Errorf("mcc: %s on %v and %v", x.Op, lt, rt)
+		}
+		x.T = arith(lt, rt)
+		return nil
+	case "%", "&", "|", "^", "<<", ">>":
+		if !lt.IsInteger() || !rt.IsInteger() {
+			return fmt.Errorf("mcc: %s on %v and %v", x.Op, lt, rt)
+		}
+		if x.Op == "<<" || x.Op == ">>" {
+			x.T = promote(lt)
+		} else {
+			x.T = arith(lt, rt)
+		}
+		return nil
+	}
+	return fmt.Errorf("mcc: unknown binary op %q", x.Op)
+}
+
+// arith applies the usual arithmetic conversions for two integer types.
+func arith(a, b *Type) *Type {
+	pa, pb := promote(a), promote(b)
+	if !pa.Signed || !pb.Signed {
+		return TypeUInt
+	}
+	return TypeInt
+}
+
+func (c *checker) checkAssign(x *Assign) error {
+	if err := c.checkExpr(x.L); err != nil {
+		return err
+	}
+	if !isLvalue(x.L) {
+		return fmt.Errorf("mcc: assignment to non-lvalue")
+	}
+	if sym := lvalueSym(x.L); sym != nil && sym.Const {
+		return fmt.Errorf("mcc: assignment to const %q", sym.Name)
+	}
+	if err := c.checkExpr(x.R); err != nil {
+		return err
+	}
+	lt := x.L.TypeOf()
+	if x.Op != "" {
+		// Compound: validate op applicability via a synthetic binary.
+		b := &Binary{Op: x.Op, L: x.L, R: x.R}
+		if err := c.checkBinary(b); err != nil {
+			return err
+		}
+		x.R = b.R // conversions inserted by checkBinary
+	}
+	conv, err := c.convertTo(x.R, lt, "assignment")
+	if err != nil {
+		return err
+	}
+	x.R = conv
+	x.T = lt
+	return nil
+}
+
+// convertTo inserts an implicit cast when needed; errors on impossible
+// conversions.
+func (c *checker) convertTo(e Expr, want *Type, ctx string) (Expr, error) {
+	have := decay(e.TypeOf())
+	want = decay(want)
+	switch {
+	case have.Equal(want):
+		return e, nil
+	case have.IsInteger() && want.IsInteger():
+		return e, nil // width adjustment happens at store/load
+	case have.IsInteger() && want.Kind == TFloat:
+		cast := &Cast{X: e}
+		cast.T = TypeFloat
+		return cast, nil
+	case have.Kind == TFloat && want.IsInteger():
+		cast := &Cast{X: e}
+		cast.T = want
+		return cast, nil
+	case have.Kind == TPtr && want.Kind == TPtr:
+		return e, nil // permissive pointer conversion (C would warn)
+	case have.IsInteger() && want.Kind == TPtr:
+		if lit, ok := e.(*IntLit); ok && lit.Val == 0 {
+			return e, nil // null pointer constant
+		}
+		return nil, fmt.Errorf("mcc: %s: cannot convert %v to %v", ctx, have, want)
+	default:
+		return nil, fmt.Errorf("mcc: %s: cannot convert %v to %v", ctx, have, want)
+	}
+}
+
+func isLvalue(e Expr) bool {
+	switch x := e.(type) {
+	case *VarRef:
+		return true
+	case *Index:
+		return true
+	case *Unary:
+		return x.Op == "*"
+	}
+	return false
+}
+
+func lvalueSym(e Expr) *Symbol {
+	if v, ok := e.(*VarRef); ok {
+		return v.Sym
+	}
+	return nil
+}
+
+// ConstEval evaluates a constant expression, returning (intValue,
+// floatValue, ok). Exactly one of the values is meaningful based on the
+// expression's type.
+func ConstEval(e Expr) (int64, float64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, 0, true
+	case *FloatLit:
+		return 0, x.Val, true
+	case *Unary:
+		v, f, ok := ConstEval(x.X)
+		if !ok {
+			return 0, 0, false
+		}
+		switch x.Op {
+		case "-":
+			if x.TypeOf() != nil && x.TypeOf().Kind == TFloat {
+				return 0, -f, true
+			}
+			return -v, 0, true
+		case "~":
+			return int64(^int32(v)), 0, true
+		case "!":
+			if v == 0 {
+				return 1, 0, true
+			}
+			return 0, 0, true
+		}
+		return 0, 0, false
+	case *Binary:
+		lv, _, ok1 := ConstEval(x.L)
+		rv, _, ok2 := ConstEval(x.R)
+		if !ok1 || !ok2 {
+			return 0, 0, false
+		}
+		a, b := int32(lv), int32(rv)
+		switch x.Op {
+		case "+":
+			return int64(a + b), 0, true
+		case "-":
+			return int64(a - b), 0, true
+		case "*":
+			return int64(a * b), 0, true
+		case "/":
+			if b == 0 {
+				return 0, 0, false
+			}
+			return int64(a / b), 0, true
+		case "%":
+			if b == 0 {
+				return 0, 0, false
+			}
+			return int64(a % b), 0, true
+		case "<<":
+			return int64(a << (uint(b) & 31)), 0, true
+		case ">>":
+			return int64(a >> (uint(b) & 31)), 0, true
+		case "&":
+			return int64(a & b), 0, true
+		case "|":
+			return int64(a | b), 0, true
+		case "^":
+			return int64(a ^ b), 0, true
+		}
+		return 0, 0, false
+	case *Cast:
+		return ConstEval(x.X)
+	}
+	return 0, 0, false
+}

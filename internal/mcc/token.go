@@ -1,0 +1,67 @@
+// Package mcc is a from-scratch compiler for a C subset, standing in for
+// the GCC 4.8.2 toolchain the paper uses. It compiles BEEBS-style kernels
+// to the repository's Thumb-2 subset (internal/isa, internal/ir) at five
+// optimization levels (O0, O1, O2, O3, Os), producing the control-flow
+// graphs the placement optimization operates on.
+//
+// The dialect: int/char/short (signed and unsigned), float (lowered to
+// soft-float library calls, invisible to the placement pass exactly as
+// the paper's statically linked libgcc is), pointers, one-dimensional and
+// two-dimensional arrays, global initializers, const (read-only) data,
+// the usual statements and operators. No structs, no varargs, at most
+// four parameters per function (AAPCS register arguments only).
+package mcc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokCharLit
+	TokString
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Val is the numeric value for TokNumber/TokCharLit.
+	Val int64
+	// IsFloat marks a floating literal; FVal carries its value.
+	IsFloat bool
+	FVal    float64
+	Line    int
+	Col     int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokNumber:
+		if t.IsFloat {
+			return fmt.Sprintf("float(%g)", t.FVal)
+		}
+		return fmt.Sprintf("num(%d)", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "short": true, "long": true,
+	"unsigned": true, "signed": true, "float": true, "void": true,
+	"const": true, "static": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// Pos renders a line:col prefix for diagnostics.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

@@ -1,0 +1,249 @@
+// Package placement selects the set R of basic blocks to move into RAM.
+// The paper's solver is the ILP (internal/model + internal/ilp); three
+// alternatives exist for evaluation and ablation:
+//
+//   - Greedy: knapsack-style density heuristic with no clustering
+//     awareness — it cannot see that moving a cheap joining block removes
+//     the need to instrument a hot one (§4's motivation for the ILP).
+//   - FunctionLevel: whole functions only, the granularity of earlier
+//     scratchpad work the paper improves upon.
+//   - Exhaustive: the true optimum over the top-k hottest blocks, used to
+//     validate the ILP and to generate Figure 6's solution clouds.
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ilp"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// Result is a chosen placement and its model-predicted outcome.
+type Result struct {
+	Method  string
+	InRAM   map[string]bool
+	Outcome model.Outcome
+	// Nodes is the number of LP relaxations solved (ILP method only).
+	Nodes int
+	// Proven is true when the solver proved optimality.
+	Proven bool
+}
+
+// SolveILP runs the paper's formulation through branch and bound.
+func SolveILP(m *model.Model) (*Result, error) {
+	prob, vars := m.BuildILP()
+	binaries := make([]int, 0, len(vars.R))
+	for _, j := range vars.R {
+		binaries = append(binaries, j)
+	}
+	sort.Ints(binaries)
+	solver := &ilp.Solver{
+		Base:     prob,
+		Binaries: binaries,
+		Rounder:  m.Rounder(vars),
+	}
+	res, err := solver.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("placement: ilp solve: %w", err)
+	}
+	switch res.Status {
+	case ilp.Infeasible:
+		// Rspare/Xlimit leave no room: the all-flash placement is the
+		// answer (it is always feasible for Xlimit ≥ 1).
+		empty := map[string]bool{}
+		return &Result{Method: "ilp", InRAM: empty, Outcome: m.Evaluate(empty), Proven: true}, nil
+	case ilp.Unbounded:
+		return nil, fmt.Errorf("placement: ilp relaxation unbounded (model bug)")
+	}
+	inRAM := m.PlacementFromX(vars, res.X)
+	return &Result{
+		Method:  "ilp",
+		InRAM:   inRAM,
+		Outcome: m.Evaluate(inRAM),
+		Nodes:   res.Nodes,
+		Proven:  res.Status == ilp.Optimal,
+	}, nil
+}
+
+// SolveGreedy picks blocks by saving density F·C·(EFlash−ERAM)/S until
+// the budget or time limit stops it. It re-evaluates feasibility with the
+// full model after each tentative addition, but it never reconsiders —
+// no clustering, no backtracking.
+func SolveGreedy(m *model.Model) *Result {
+	type cand struct {
+		label   string
+		density float64
+	}
+	var cands []cand
+	for _, bd := range m.Blocks {
+		if !bd.Movable || bd.S == 0 {
+			continue
+		}
+		saving := bd.F * bd.C * (m.Params.EFlash - m.Params.ERAM)
+		cands = append(cands, cand{bd.Block.Label, saving / bd.S})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].density != cands[j].density {
+			return cands[i].density > cands[j].density
+		}
+		return cands[i].label < cands[j].label
+	})
+
+	inRAM := map[string]bool{}
+	best := m.Evaluate(inRAM)
+	for _, c := range cands {
+		inRAM[c.label] = true
+		out := m.Evaluate(inRAM)
+		if !out.Feasible || out.EnergyNJ >= best.EnergyNJ {
+			delete(inRAM, c.label)
+			continue
+		}
+		best = out
+	}
+	return &Result{Method: "greedy", InRAM: inRAM, Outcome: best, Proven: false}
+}
+
+// SolveFunctionLevel moves whole functions, greedily by density — the
+// granularity of classic scratchpad allocation (e.g. Steinke et al. on
+// full objects). Functions with any unmovable block are skipped.
+func SolveFunctionLevel(m *model.Model, p *ir.Program) *Result {
+	type fcand struct {
+		name    string
+		labels  []string
+		density float64
+	}
+	var cands []fcand
+	for _, f := range p.Funcs {
+		if f.Library || len(f.Blocks) == 0 {
+			continue
+		}
+		var labels []string
+		saving, size := 0.0, 0.0
+		movable := true
+		for _, b := range f.Blocks {
+			bd := m.Data(b.Label)
+			if bd == nil || !bd.Movable {
+				movable = false
+				break
+			}
+			labels = append(labels, b.Label)
+			saving += bd.F * bd.C * (m.Params.EFlash - m.Params.ERAM)
+			size += bd.S
+		}
+		if !movable || size == 0 {
+			continue
+		}
+		cands = append(cands, fcand{f.Name, labels, saving / size})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].density != cands[j].density {
+			return cands[i].density > cands[j].density
+		}
+		return cands[i].name < cands[j].name
+	})
+
+	inRAM := map[string]bool{}
+	best := m.Evaluate(inRAM)
+	for _, c := range cands {
+		for _, lbl := range c.labels {
+			inRAM[lbl] = true
+		}
+		out := m.Evaluate(inRAM)
+		if !out.Feasible || out.EnergyNJ >= best.EnergyNJ {
+			for _, lbl := range c.labels {
+				delete(inRAM, lbl)
+			}
+			continue
+		}
+		best = out
+	}
+	return &Result{Method: "function", InRAM: inRAM, Outcome: best, Proven: false}
+}
+
+// TopBlocks returns the k hottest movable blocks by F·C.
+func TopBlocks(m *model.Model, k int) []*model.BlockData {
+	var movable []*model.BlockData
+	for _, bd := range m.Blocks {
+		if bd.Movable {
+			movable = append(movable, bd)
+		}
+	}
+	sort.Slice(movable, func(i, j int) bool {
+		wi, wj := movable[i].F*movable[i].C, movable[j].F*movable[j].C
+		if wi != wj {
+			return wi > wj
+		}
+		return movable[i].Block.Label < movable[j].Block.Label
+	})
+	if len(movable) > k {
+		movable = movable[:k]
+	}
+	return movable
+}
+
+// Point is one placement in the Figure 6 trade-off cloud.
+type Point struct {
+	Mask     int
+	EnergyNJ float64
+	Cycles   float64
+	RAMBytes float64
+	Feasible bool
+}
+
+// Enumerate evaluates every subset of the top-k hottest blocks under the
+// model (2^k points) — the "possible choices" cloud of Figure 6.
+func Enumerate(m *model.Model, k int) ([]Point, []*model.BlockData, error) {
+	blocks := TopBlocks(m, k)
+	if len(blocks) > 20 {
+		return nil, nil, fmt.Errorf("placement: refusing to enumerate 2^%d placements", len(blocks))
+	}
+	points := make([]Point, 0, 1<<len(blocks))
+	for mask := 0; mask < 1<<len(blocks); mask++ {
+		inRAM := map[string]bool{}
+		for i, bd := range blocks {
+			if mask&(1<<i) != 0 {
+				inRAM[bd.Block.Label] = true
+			}
+		}
+		out := m.Evaluate(inRAM)
+		points = append(points, Point{
+			Mask:     mask,
+			EnergyNJ: out.EnergyNJ,
+			Cycles:   out.Cycles,
+			RAMBytes: out.RAMBytes,
+			Feasible: out.Feasible,
+		})
+	}
+	return points, blocks, nil
+}
+
+// SolveExhaustive finds the true model optimum over subsets of the top-k
+// hottest blocks; the validation oracle for SolveILP.
+func SolveExhaustive(m *model.Model, k int) (*Result, error) {
+	points, blocks, err := Enumerate(m, k)
+	if err != nil {
+		return nil, err
+	}
+	bestIdx := -1
+	for i, pt := range points {
+		if !pt.Feasible {
+			continue
+		}
+		if bestIdx < 0 || pt.EnergyNJ < points[bestIdx].EnergyNJ {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		empty := map[string]bool{}
+		return &Result{Method: "exhaustive", InRAM: empty, Outcome: m.Evaluate(empty), Proven: true}, nil
+	}
+	inRAM := map[string]bool{}
+	for i, bd := range blocks {
+		if points[bestIdx].Mask&(1<<i) != 0 {
+			inRAM[bd.Block.Label] = true
+		}
+	}
+	return &Result{Method: "exhaustive", InRAM: inRAM, Outcome: m.Evaluate(inRAM), Proven: true}, nil
+}

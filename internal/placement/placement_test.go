@@ -1,0 +1,272 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/model"
+	"repro/internal/power"
+)
+
+func buildModel(t *testing.T, p *ir.Program, rspare float64, xlimit float64) *model.Model {
+	t.Helper()
+	gs, err := cfg.BuildAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := freq.Static(p, gs)
+	ef, er := power.STM32F100().Coefficients()
+	m, err := model.Build(p, gs, est, model.Params{
+		EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: xlimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestILPPicksClusteredPlacement(t *testing.T) {
+	// On Figure 2 with a generous budget, the ILP should move the hot
+	// loop together with neighbours to avoid instrumenting the loop —
+	// never the loop alone.
+	p := ir.Figure2Program()
+	m := buildModel(t, p, 2048, 2.0)
+	res, err := SolveILP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Error("small instance must be proven optimal")
+	}
+	if !res.InRAM["fn_loop"] {
+		t.Fatalf("ILP did not move the hot loop: %v", res.InRAM)
+	}
+	// The loop must not be the lone RAM block: instrumenting it costs
+	// F·T energy at every iteration.
+	loopOnly := m.Evaluate(map[string]bool{"fn_loop": true})
+	if res.Outcome.EnergyNJ >= loopOnly.EnergyNJ {
+		t.Errorf("ILP outcome %v nJ not better than naive loop-only %v nJ",
+			res.Outcome.EnergyNJ, loopOnly.EnergyNJ)
+	}
+	if res.Outcome.EnergyNJ >= m.BaseEnergyNJ {
+		t.Error("ILP placement does not save energy at all")
+	}
+}
+
+func TestILPMatchesExhaustiveFigure2(t *testing.T) {
+	p := ir.Figure2Program()
+	for _, cfgCase := range []struct {
+		rspare float64
+		xlimit float64
+	}{
+		{2048, 2.0}, {2048, 1.05}, {24, 2.0}, {0, 2.0}, {60, 1.2},
+	} {
+		m := buildModel(t, p, cfgCase.rspare, cfgCase.xlimit)
+		got, err := SolveILP(m)
+		if err != nil {
+			t.Fatalf("rspare=%v xlimit=%v: %v", cfgCase.rspare, cfgCase.xlimit, err)
+		}
+		want, err := SolveExhaustive(m, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Outcome.EnergyNJ-want.Outcome.EnergyNJ) > 1e-6 {
+			t.Errorf("rspare=%v xlimit=%v: ILP %v nJ != exhaustive %v nJ (ILP=%v, exh=%v)",
+				cfgCase.rspare, cfgCase.xlimit,
+				got.Outcome.EnergyNJ, want.Outcome.EnergyNJ, got.InRAM, want.InRAM)
+		}
+		if !got.Outcome.Feasible {
+			t.Errorf("ILP returned infeasible placement")
+		}
+	}
+}
+
+// randomProgram builds a random but well-formed single-function program
+// with loops, for fuzzing ILP-vs-exhaustive.
+func randomProgram(rng *rand.Rand, nBlocks int) *ir.Program {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	for i := 0; i < nBlocks; i++ {
+		f.AddBlock(blockName(i))
+	}
+	for i, b := range f.Blocks {
+		bb := ir.Build(b)
+		// Random amount of straight-line work.
+		for n := rng.Intn(6); n > 0; n-- {
+			switch rng.Intn(3) {
+			case 0:
+				bb.AddImm(isa.R0, isa.R0, 1)
+			case 1:
+				bb.Mul(isa.R1, isa.R1, isa.R1)
+			case 2:
+				bb.LdrLit(isa.R2, "g")
+			}
+		}
+		if i == nBlocks-1 {
+			bb.Ret()
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			// fall through
+		case 1:
+			// backward conditional branch (creates loops)
+			bb.CmpImm(isa.R0, 3).Bcond(isa.NE, blockName(rng.Intn(i+1)))
+		case 2:
+			bb.CmpImm(isa.R0, 7).Bcond(isa.LT, blockName(rng.Intn(nBlocks)))
+		}
+	}
+	p.AddGlobal(&ir.Global{Name: "g", Size: 4})
+	p.Reindex()
+	return p
+}
+
+func blockName(i int) string {
+	return "blk" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestILPMatchesExhaustiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := randomProgram(rng, 3+rng.Intn(6))
+		rspare := float64(rng.Intn(120))
+		xlimit := 1.0 + rng.Float64()
+		m := buildModel(t, p, rspare, xlimit)
+		got, err := SolveILP(m)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := SolveExhaustive(m, 8)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Outcome.EnergyNJ > want.Outcome.EnergyNJ+1e-6 {
+			t.Fatalf("trial %d (rspare=%.0f xlimit=%.2f): ILP %v nJ worse than exhaustive %v nJ\nILP: %v\nexh: %v",
+				trial, rspare, xlimit, got.Outcome.EnergyNJ, want.Outcome.EnergyNJ,
+				got.InRAM, want.InRAM)
+		}
+	}
+}
+
+func TestGreedyNeverBeatsILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		p := randomProgram(rng, 3+rng.Intn(6))
+		m := buildModel(t, p, float64(20+rng.Intn(150)), 1.0+rng.Float64())
+		ilpRes, err := SolveILP(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := SolveGreedy(m)
+		if greedy.Outcome.EnergyNJ < ilpRes.Outcome.EnergyNJ-1e-6 {
+			t.Fatalf("trial %d: greedy %v nJ beats ILP %v nJ",
+				trial, greedy.Outcome.EnergyNJ, ilpRes.Outcome.EnergyNJ)
+		}
+		if !greedy.Outcome.Feasible {
+			t.Fatalf("trial %d: greedy produced infeasible placement", trial)
+		}
+	}
+}
+
+func TestFunctionLevelCoarserThanILP(t *testing.T) {
+	p := ir.Figure2Program()
+	// Budget too small for the whole fn function (24 bytes + main's call
+	// instrumentation) but enough for its hot blocks: function-level
+	// placement must strand the saving.
+	m := buildModel(t, p, 20, 2.0)
+	fl := SolveFunctionLevel(m, p)
+	il, err := SolveILP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Outcome.EnergyNJ < il.Outcome.EnergyNJ-1e-6 {
+		t.Errorf("function-level %v nJ beats ILP %v nJ", fl.Outcome.EnergyNJ, il.Outcome.EnergyNJ)
+	}
+	if len(fl.InRAM) != 0 {
+		t.Errorf("20-byte budget cannot fit a whole function, got %v", fl.InRAM)
+	}
+	if len(il.InRAM) == 0 {
+		t.Error("ILP should fit individual blocks in 20 bytes")
+	}
+}
+
+func TestZeroBudgetYieldsAllFlash(t *testing.T) {
+	p := ir.Figure2Program()
+	m := buildModel(t, p, 0, 2.0)
+	for _, solve := range []func() (*Result, error){
+		func() (*Result, error) { return SolveILP(m) },
+		func() (*Result, error) { return SolveGreedy(m), nil },
+		func() (*Result, error) { return SolveFunctionLevel(m, p), nil },
+		func() (*Result, error) { return SolveExhaustive(m, 6) },
+	} {
+		res, err := solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.InRAM) != 0 {
+			t.Errorf("%s: zero budget placed blocks: %v", res.Method, res.InRAM)
+		}
+		if math.Abs(res.Outcome.EnergyNJ-m.BaseEnergyNJ) > 1e-9 {
+			t.Errorf("%s: zero-budget energy %v != base %v", res.Method, res.Outcome.EnergyNJ, m.BaseEnergyNJ)
+		}
+	}
+}
+
+func TestEnumerateCloud(t *testing.T) {
+	p := ir.Figure2Program()
+	m := buildModel(t, p, 2048, 10.0)
+	points, blocks, err := Enumerate(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1<<len(blocks) {
+		t.Fatalf("points = %d, want 2^%d", len(points), len(blocks))
+	}
+	// Mask 0 is the all-flash base case.
+	if points[0].EnergyNJ != m.BaseEnergyNJ || points[0].RAMBytes != 0 {
+		t.Errorf("mask 0 = %+v, want base case", points[0])
+	}
+	// Energy and time must both vary across the cloud.
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, pt := range points {
+		minE = math.Min(minE, pt.EnergyNJ)
+		maxE = math.Max(maxE, pt.EnergyNJ)
+	}
+	if minE == maxE {
+		t.Error("trade-off cloud is degenerate")
+	}
+}
+
+func TestEnumerateRefusesLargeK(t *testing.T) {
+	p := randomProgram(rand.New(rand.NewSource(1)), 30)
+	m := buildModel(t, p, 2048, 2.0)
+	if _, _, err := Enumerate(m, 25); err == nil {
+		t.Error("expected refusal for k=25")
+	}
+}
+
+func TestTopBlocksOrdering(t *testing.T) {
+	p := ir.Figure2Program()
+	m := buildModel(t, p, 2048, 2.0)
+	top := TopBlocks(m, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d, want 3", len(top))
+	}
+	if top[0].Block.Label != "fn_loop" {
+		t.Errorf("hottest block = %s, want fn_loop", top[0].Block.Label)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].F*top[i].C > top[i-1].F*top[i-1].C {
+			t.Error("TopBlocks not sorted by F·C")
+		}
+	}
+}

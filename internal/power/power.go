@@ -1,0 +1,136 @@
+// Package power holds the energy side of the substitution for the paper's
+// instrumented STM32VLDISCOVERY board: per-instruction-class average power
+// when executing from flash versus RAM (Figure 1), the board's clock, and
+// the sleep-state power used by the periodic-sensing case study (§7).
+//
+// The absolute milliwatt values are calibrated to the bar heights of
+// Figure 1 rather than measured; every experiment in this repository
+// reports shapes (ratios, orderings, crossovers), which are preserved by
+// any calibration with flash fetches costing substantially more than RAM
+// fetches.
+package power
+
+import "repro/internal/isa"
+
+// Memory identifies which physical memory a fetch or data access hits.
+type Memory uint8
+
+// Memories of the SoC.
+const (
+	Flash Memory = iota
+	RAM
+	None // no memory involved (e.g. sleeping)
+)
+
+func (m Memory) String() string {
+	switch m {
+	case Flash:
+		return "flash"
+	case RAM:
+		return "ram"
+	case None:
+		return "none"
+	}
+	return "memory(?)"
+}
+
+// Profile describes one board: clock, power tables and sleep power.
+type Profile struct {
+	Name string
+	// ClockHz is the core clock. The STM32F100RB value line runs 24 MHz.
+	ClockHz float64
+	// FetchPower[mem][class] is the average power (milliwatts) while the
+	// core executes an instruction of the given class fetched from mem.
+	FetchPower [2][isa.NumClasses]float64
+	// CrossLoadPower is the power while code fetched from RAM executes a
+	// load whose data lives in flash — the tall final bar of Figure 1:
+	// both memories are active at once.
+	CrossLoadPower float64
+	// SleepPower is the quiescent power in the sleep state (PS in Eq. 10),
+	// measured at 3.5 mW for the STM32F103RB in §7.
+	SleepPower float64
+}
+
+// STM32F100 returns the calibrated profile of the paper's measurement
+// board (STM32VLDISCOVERY, 64 KiB flash / 8 KiB RAM, 24 MHz).
+func STM32F100() *Profile {
+	p := &Profile{
+		Name:           "STM32VLDISCOVERY (calibrated)",
+		ClockHz:        24e6,
+		CrossLoadPower: 15.8,
+		SleepPower:     3.5,
+	}
+	// Figure 1 calibration (mW). Flash fetches cluster around 12-16 mW;
+	// RAM fetches around 5-9 mW.
+	p.FetchPower[Flash] = [isa.NumClasses]float64{
+		isa.ClassALU:    13.0,
+		isa.ClassNOP:    12.4,
+		isa.ClassLoad:   16.2,
+		isa.ClassStore:  15.1,
+		isa.ClassMul:    14.6,
+		isa.ClassBranch: 14.0,
+	}
+	p.FetchPower[RAM] = [isa.NumClasses]float64{
+		isa.ClassALU:    5.9,
+		isa.ClassNOP:    5.4,
+		isa.ClassLoad:   8.9,
+		isa.ClassStore:  7.4,
+		isa.ClassMul:    7.1,
+		isa.ClassBranch: 6.6,
+	}
+	return p
+}
+
+// InstrPower returns the power (mW) drawn while executing an instruction
+// of class cl fetched from fetchMem, whose data access (if any) hits
+// dataMem (None when the instruction does not touch data memory).
+func (p *Profile) InstrPower(fetchMem Memory, cl isa.Class, dataMem Memory) float64 {
+	if fetchMem == RAM && cl == isa.ClassLoad && dataMem == Flash {
+		return p.CrossLoadPower
+	}
+	return p.FetchPower[fetchMem][cl]
+}
+
+// EnergyPerCycle converts a power in mW to energy per clock cycle in
+// nanojoules: mW / MHz = nJ/cycle.
+func (p *Profile) EnergyPerCycle(mw float64) float64 {
+	return mw / (p.ClockHz / 1e6)
+}
+
+// MeanFetchPower returns the execution-weighted average power of the given
+// memory across classes with the supplied class mix (weights need not be
+// normalized). This is how the model's Eflash and Eram coefficients are
+// derived (§4.1).
+func (p *Profile) MeanFetchPower(mem Memory, mix [isa.NumClasses]float64) float64 {
+	num, den := 0.0, 0.0
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		num += p.FetchPower[mem][c] * mix[c]
+		den += mix[c]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TypicalMix is a representative dynamic instruction-class mix for
+// embedded integer code, used to collapse the class-resolved tables into
+// the model's two scalar coefficients.
+func TypicalMix() [isa.NumClasses]float64 {
+	return [isa.NumClasses]float64{
+		isa.ClassALU:    0.45,
+		isa.ClassNOP:    0.02,
+		isa.ClassLoad:   0.20,
+		isa.ClassStore:  0.10,
+		isa.ClassMul:    0.08,
+		isa.ClassBranch: 0.15,
+	}
+}
+
+// Coefficients returns (Eflash, Eram): the model's per-cycle energy cost
+// coefficients in nJ/cycle, derived from the profile with the typical mix.
+func (p *Profile) Coefficients() (eflash, eram float64) {
+	mix := TypicalMix()
+	return p.EnergyPerCycle(p.MeanFetchPower(Flash, mix)),
+		p.EnergyPerCycle(p.MeanFetchPower(RAM, mix))
+}

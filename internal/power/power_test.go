@@ -1,0 +1,94 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestFlashAlwaysCostsMoreThanRAM(t *testing.T) {
+	p := STM32F100()
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if p.FetchPower[Flash][c] <= p.FetchPower[RAM][c] {
+			t.Errorf("class %v: flash %.1f mW <= RAM %.1f mW; Figure 1 requires flash > RAM",
+				c, p.FetchPower[Flash][c], p.FetchPower[RAM][c])
+		}
+	}
+}
+
+func TestCrossLoadIsTheTallRAMBar(t *testing.T) {
+	// Figure 1: code in RAM that loads from flash draws more power than
+	// any pure-RAM bar — close to flash levels.
+	p := STM32F100()
+	got := p.InstrPower(RAM, isa.ClassLoad, Flash)
+	if got != p.CrossLoadPower {
+		t.Fatalf("InstrPower(RAM,load,Flash) = %v, want CrossLoadPower", got)
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if got <= p.FetchPower[RAM][c] {
+			t.Errorf("cross-load %.1f mW should exceed RAM %v bar %.1f mW",
+				got, c, p.FetchPower[RAM][c])
+		}
+	}
+	if got < p.FetchPower[Flash][isa.ClassALU] {
+		t.Errorf("cross-load %.1f mW should be near flash levels", got)
+	}
+}
+
+func TestInstrPowerPlainCases(t *testing.T) {
+	p := STM32F100()
+	if got := p.InstrPower(Flash, isa.ClassLoad, RAM); got != p.FetchPower[Flash][isa.ClassLoad] {
+		t.Errorf("flash-fetch load = %v, want table value", got)
+	}
+	if got := p.InstrPower(RAM, isa.ClassLoad, RAM); got != p.FetchPower[RAM][isa.ClassLoad] {
+		t.Errorf("RAM-fetch RAM-load = %v, want table value", got)
+	}
+	if got := p.InstrPower(RAM, isa.ClassALU, None); got != p.FetchPower[RAM][isa.ClassALU] {
+		t.Errorf("RAM alu = %v, want table value", got)
+	}
+}
+
+func TestEnergyPerCycle(t *testing.T) {
+	p := STM32F100()
+	// 24 mW at 24 MHz = 1 nJ per cycle.
+	if got := p.EnergyPerCycle(24); got != 1.0 {
+		t.Errorf("EnergyPerCycle(24) = %v, want 1.0 nJ", got)
+	}
+}
+
+func TestCoefficientsOrdering(t *testing.T) {
+	p := STM32F100()
+	ef, er := p.Coefficients()
+	if ef <= er {
+		t.Fatalf("Eflash %.3f <= Eram %.3f; the whole optimization premise requires Eflash > Eram", ef, er)
+	}
+	ratio := ef / er
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("Eflash/Eram = %.2f, expected roughly 2x per Figure 1", ratio)
+	}
+}
+
+func TestMeanFetchPowerDegenerate(t *testing.T) {
+	p := STM32F100()
+	var zero [isa.NumClasses]float64
+	if got := p.MeanFetchPower(Flash, zero); got != 0 {
+		t.Errorf("zero mix mean = %v, want 0", got)
+	}
+	var one [isa.NumClasses]float64
+	one[isa.ClassALU] = 1
+	if got := p.MeanFetchPower(RAM, one); got != p.FetchPower[RAM][isa.ClassALU] {
+		t.Errorf("single-class mean = %v", got)
+	}
+}
+
+func TestSleepPowerMatchesPaper(t *testing.T) {
+	if got := STM32F100().SleepPower; got != 3.5 {
+		t.Errorf("SleepPower = %v mW, want 3.5 (paper §7)", got)
+	}
+}
+
+func TestMemoryString(t *testing.T) {
+	if Flash.String() != "flash" || RAM.String() != "ram" || None.String() != "none" {
+		t.Error("memory names wrong")
+	}
+}

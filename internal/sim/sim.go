@@ -1,0 +1,728 @@
+// Package sim is this reproduction's stand-in for the paper's
+// power-instrumented Cortex-M3 board: a cycle-level interpreter for the
+// laid-out program image that charges every cycle the power of the memory
+// it fetches from (internal/power), models the single-port RAM contention
+// stall on loads executed from RAM (the paper's Lb effect), pays the
+// pipeline-refill penalty on taken branches, and counts per-basic-block
+// execution frequencies (the profiler behind the "w/Frequency" results in
+// Figure 5).
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/power"
+)
+
+// exitLR is the magic return address planted in LR before calling the
+// entry function; returning to it ends the simulation (the hardware
+// equivalent is EXC_RETURN).
+const exitLR = 0xFFFFFFFE
+
+// Machine is one simulated SoC instance.
+type Machine struct {
+	Img     *layout.Image
+	Profile *power.Profile
+
+	// MaxInstrs aborts runaway programs (0 = default 500 million).
+	MaxInstrs uint64
+
+	regs  [isa.NumRegs]uint32
+	n, z  bool
+	c, v  bool
+	flash []byte
+	ram   []byte
+
+	stats Stats
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	// EnergyNJ is total energy in nanojoules.
+	EnergyNJ float64
+	// CyclesByMem[mem][class] splits cycles by fetch memory and class.
+	CyclesByMem [2][isa.NumClasses]uint64
+	// ContentionStalls counts RAM-port load stalls (the Lb effect).
+	ContentionStalls uint64
+	// BlockCounts is the per-basic-block execution profile.
+	BlockCounts map[string]uint64
+}
+
+// TimeSeconds converts the cycle count to wall time at the profile clock.
+func (s *Stats) timeSeconds(clockHz float64) float64 {
+	return float64(s.Cycles) / clockHz
+}
+
+// EnergyMJ returns total energy in millijoules.
+func (s *Stats) EnergyMJ() float64 { return s.EnergyNJ * 1e-6 }
+
+// Fault is a simulated hardware fault (bad memory access, bad jump, ...).
+type Fault struct {
+	PC     uint32
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("sim: fault at pc=%#x: %s", f.PC, f.Reason)
+}
+
+// New prepares a machine for the image: zeroed registers, data sections
+// initialized (the startup runtime's flash→RAM copy of .data and .ramcode
+// has happened), SP at the top of RAM.
+func New(img *layout.Image, prof *power.Profile) *Machine {
+	m := &Machine{
+		Img:     img,
+		Profile: prof,
+		flash:   make([]byte, img.Config.FlashSize),
+		ram:     make([]byte, img.Config.RAMSize),
+	}
+	m.reset()
+	return m
+}
+
+func (m *Machine) reset() {
+	for i := range m.regs {
+		m.regs[i] = 0
+	}
+	m.n, m.z, m.c, m.v = false, false, false, false
+	for i := range m.flash {
+		m.flash[i] = 0
+	}
+	for i := range m.ram {
+		m.ram[i] = 0
+	}
+	m.stats = Stats{BlockCounts: make(map[string]uint64)}
+
+	// Initialize globals.
+	for _, g := range m.Img.Prog.Globals {
+		base := m.Img.Symbols[g.Name]
+		for i, by := range g.Init {
+			m.pokeByte(base+uint32(i), by)
+		}
+	}
+	// Materialize literal pool words so raw memory is consistent.
+	for _, pl := range m.Img.Blocks {
+		for i := range pl.Block.Instrs {
+			in := &pl.Block.Instrs[i]
+			if in.Op != isa.LDRLIT || pl.LitAddrs[i] == 0 {
+				continue
+			}
+			var w uint32
+			if in.Sym != "" {
+				w = m.Img.Symbols[in.Sym]
+			} else {
+				w = uint32(in.Imm)
+			}
+			m.pokeWord(pl.LitAddrs[i], w)
+		}
+	}
+	m.regs[isa.SP] = m.Img.StackTop()
+	m.regs[isa.LR] = exitLR
+}
+
+// pokeByte writes initialization data, ignoring faults (validated later).
+func (m *Machine) pokeByte(addr uint32, b byte) {
+	c := m.Img.Config
+	switch {
+	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
+		m.flash[addr-c.FlashBase] = b
+	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
+		m.ram[addr-c.RAMBase] = b
+	}
+}
+
+func (m *Machine) pokeWord(addr uint32, w uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], w)
+	for i, b := range buf {
+		m.pokeByte(addr+uint32(i), b)
+	}
+}
+
+// Reg returns a register value (for tests and result extraction).
+func (m *Machine) Reg(r isa.Reg) uint32 { return m.regs[r] }
+
+// SetReg sets a register before a run (argument passing in tests).
+func (m *Machine) SetReg(r isa.Reg, v uint32) { m.regs[r] = v }
+
+// ReadWord reads a 32-bit little-endian word from simulated memory.
+func (m *Machine) ReadWord(addr uint32) (uint32, error) {
+	var w uint32
+	for i := uint32(0); i < 4; i++ {
+		b, _, err := m.loadByte(addr + i)
+		if err != nil {
+			return 0, err
+		}
+		w |= uint32(b) << (8 * i)
+	}
+	return w, nil
+}
+
+// ReadGlobal reads the first word of a named global.
+func (m *Machine) ReadGlobal(name string) (uint32, error) {
+	a, ok := m.Img.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown global %q", name)
+	}
+	return m.ReadWord(a)
+}
+
+// ReadGlobalBytes copies n bytes of a named global.
+func (m *Machine) ReadGlobalBytes(name string, n int) ([]byte, error) {
+	a, ok := m.Img.Symbols[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown global %q", name)
+	}
+	out := make([]byte, n)
+	for i := range out {
+		b, _, err := m.loadByte(a + uint32(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+func (m *Machine) loadByte(addr uint32) (byte, power.Memory, error) {
+	c := m.Img.Config
+	switch {
+	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
+		return m.flash[addr-c.FlashBase], power.Flash, nil
+	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
+		return m.ram[addr-c.RAMBase], power.RAM, nil
+	}
+	return 0, power.None, fmt.Errorf("load outside memory at %#x", addr)
+}
+
+func (m *Machine) storeByte(addr uint32, b byte) (power.Memory, error) {
+	c := m.Img.Config
+	switch {
+	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
+		m.ram[addr-c.RAMBase] = b
+		return power.RAM, nil
+	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
+		return power.None, fmt.Errorf("store to flash at %#x", addr)
+	}
+	return power.None, fmt.Errorf("store outside memory at %#x", addr)
+}
+
+func (m *Machine) load(addr uint32, size int, signed bool) (uint32, power.Memory, error) {
+	var v uint32
+	var mem power.Memory
+	for i := 0; i < size; i++ {
+		b, mm, err := m.loadByte(addr + uint32(i))
+		if err != nil {
+			return 0, power.None, err
+		}
+		v |= uint32(b) << (8 * i)
+		mem = mm
+	}
+	if signed {
+		shift := uint(32 - 8*size)
+		v = uint32(int32(v<<shift) >> shift)
+	}
+	return v, mem, nil
+}
+
+func (m *Machine) store(addr uint32, v uint32, size int) (power.Memory, error) {
+	var mem power.Memory
+	for i := 0; i < size; i++ {
+		mm, err := m.storeByte(addr+uint32(i), byte(v>>(8*i)))
+		if err != nil {
+			return power.None, err
+		}
+		mem = mm
+	}
+	return mem, nil
+}
+
+// Reset restores the machine to its power-on state (registers, memory,
+// statistics), re-running the startup data initialization. New returns an
+// already-reset machine; call Reset only to reuse one across runs.
+func (m *Machine) Reset() { m.reset() }
+
+// Run executes the program from its entry function until it returns, and
+// returns the collected statistics. The machine must be freshly created or
+// Reset; register values planted with SetReg are preserved.
+func (m *Machine) Run() (*Stats, error) {
+	entry, ok := m.Img.Symbols[m.Img.Prog.Entry]
+	if !ok {
+		return nil, fmt.Errorf("sim: no entry symbol %q", m.Img.Prog.Entry)
+	}
+	if err := m.runFrom(entry); err != nil {
+		return nil, err
+	}
+	st := m.stats
+	return &st, nil
+}
+
+// TimeSeconds converts collected cycles to seconds at this profile's clock.
+func (m *Machine) TimeSeconds(s *Stats) float64 { return s.timeSeconds(m.Profile.ClockHz) }
+
+func (m *Machine) runFrom(entry uint32) error {
+	maxInstrs := m.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 500_000_000
+	}
+	pc := entry
+	for {
+		if pc == exitLR {
+			return nil
+		}
+		ref, ok := m.Img.InstrAt(pc)
+		if !ok {
+			return &Fault{PC: pc, Reason: "jump to non-instruction address"}
+		}
+		if m.stats.Instructions >= maxInstrs {
+			return &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
+		}
+		if ref.Index == 0 {
+			m.stats.BlockCounts[ref.Placed.Block.Label]++
+		}
+		next, err := m.step(ref, pc)
+		if err != nil {
+			return err
+		}
+		pc = next
+	}
+}
+
+// step executes one instruction, charges cycles and energy, and returns
+// the next PC.
+func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
+	pl := ref.Placed
+	in := &pl.Block.Instrs[ref.Index]
+	fetchMem := power.Flash
+	if pl.InRAM {
+		fetchMem = power.RAM
+	}
+	seqNext := pc + uint32(pl.InstrSize(ref.Index))
+
+	charge := func(cycles int, dataMem power.Memory) {
+		cl := isa.ClassOf(in.Op)
+		m.stats.Instructions++
+		m.stats.Cycles += uint64(cycles)
+		m.stats.CyclesByMem[fetchMem][cl] += uint64(cycles)
+		mw := m.Profile.InstrPower(fetchMem, cl, dataMem)
+		m.stats.EnergyNJ += float64(cycles) * m.Profile.EnergyPerCycle(mw)
+	}
+
+	// Predication: a failed condition costs one issue cycle, no effects.
+	// (Conditional branches handle their own taken/not-taken charging.)
+	if in.Cond != isa.AL && in.Op != isa.B {
+		if !in.Cond.Holds(m.n, m.z, m.c, m.v) {
+			charge(isa.CyclesNotTaken(in), power.None)
+			return seqNext, nil
+		}
+	}
+
+	// chargeLoad adds the RAM-contention stall when both the fetch and
+	// the data access hit RAM (single RAM port; paper §4, Eq. 6).
+	chargeLoad := func(dataMem power.Memory, baseCycles int) {
+		cyc := baseCycles
+		if fetchMem == power.RAM && dataMem == power.RAM {
+			cyc += isa.RAMContentionStall
+			m.stats.ContentionStalls++
+		}
+		charge(cyc, dataMem)
+	}
+
+	switch in.Op {
+	case isa.NOP, isa.IT:
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+
+	case isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ:
+		src := m.operand2(in)
+		var v uint32
+		switch in.Op {
+		case isa.MOV:
+			v = src
+		case isa.MVN:
+			v = ^src
+		case isa.SXTB:
+			v = uint32(int32(int8(src)))
+		case isa.SXTH:
+			v = uint32(int32(int16(src)))
+		case isa.UXTB:
+			v = src & 0xFF
+		case isa.UXTH:
+			v = src & 0xFFFF
+		case isa.CLZ:
+			v = clz(src)
+		}
+		m.regs[in.Rd] = v
+		if in.SetFlags {
+			m.setNZ(v)
+		}
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+
+	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.MUL, isa.MLA,
+		isa.SDIV, isa.UDIV, isa.AND, isa.ORR, isa.EOR, isa.BIC,
+		isa.LSL, isa.LSR, isa.ASR, isa.ROR:
+		a := m.regs[in.Rn]
+		b := m.operand2(in)
+		var v uint32
+		switch in.Op {
+		case isa.ADD:
+			v = a + b
+			if in.SetFlags {
+				m.setAddFlags(a, b, 0)
+			}
+		case isa.ADC:
+			carry := uint32(0)
+			if m.c {
+				carry = 1
+			}
+			v = a + b + carry
+			if in.SetFlags {
+				m.setAddFlags(a, b, carry)
+			}
+		case isa.SUB:
+			v = a - b
+			if in.SetFlags {
+				m.setSubFlags(a, b)
+			}
+		case isa.SBC:
+			borrow := uint32(1)
+			if m.c {
+				borrow = 0
+			}
+			v = a - b - borrow
+		case isa.RSB:
+			v = b - a
+			if in.SetFlags {
+				m.setSubFlags(b, a)
+			}
+		case isa.MUL:
+			v = a * b
+		case isa.MLA:
+			v = m.regs[in.Rd] + a*b
+		case isa.SDIV:
+			if b == 0 {
+				v = 0 // ARM defines divide-by-zero result as 0
+			} else if int32(a) == -1<<31 && int32(b) == -1 {
+				v = a // overflow case: result is the dividend
+			} else {
+				v = uint32(int32(a) / int32(b))
+			}
+		case isa.UDIV:
+			if b == 0 {
+				v = 0
+			} else {
+				v = a / b
+			}
+		case isa.AND:
+			v = a & b
+		case isa.ORR:
+			v = a | b
+		case isa.EOR:
+			v = a ^ b
+		case isa.BIC:
+			v = a &^ b
+		case isa.LSL:
+			v = shiftL(a, b)
+		case isa.LSR:
+			v = shiftR(a, b)
+		case isa.ASR:
+			v = shiftAR(a, b)
+		case isa.ROR:
+			v = rotR(a, b)
+		}
+		m.regs[in.Rd] = v
+		if in.SetFlags {
+			switch in.Op {
+			case isa.ADD, isa.ADC, isa.SUB, isa.RSB:
+				// full flags already set above (including C and V)
+			default:
+				m.setNZ(v)
+			}
+		}
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+
+	case isa.CMP:
+		m.setSubFlags(m.regs[in.Rn], m.operand2(in))
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+	case isa.CMN:
+		m.setAddFlags(m.regs[in.Rn], m.operand2(in), 0)
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+	case isa.TST:
+		m.setNZ(m.regs[in.Rn] & m.operand2(in))
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+
+	case isa.LDR, isa.LDRB, isa.LDRH, isa.LDRSB, isa.LDRSH:
+		addr := m.effAddr(in)
+		size, signed := memWidth(in.Op)
+		v, dataMem, err := m.load(addr, size, signed)
+		if err != nil {
+			return 0, &Fault{PC: pc, Reason: err.Error()}
+		}
+		m.regs[in.Rd] = v
+		chargeLoad(dataMem, isa.Cycles(in))
+		return seqNext, nil
+
+	case isa.STR, isa.STRB, isa.STRH:
+		addr := m.effAddr(in)
+		size, _ := memWidth(in.Op)
+		dataMem, err := m.store(addr, m.regs[in.Rd], size)
+		if err != nil {
+			return 0, &Fault{PC: pc, Reason: err.Error()}
+		}
+		charge(isa.Cycles(in), dataMem)
+		return seqNext, nil
+
+	case isa.LDRLIT:
+		litAddr := pl.LitAddrs[ref.Index]
+		dataMem := fetchMem // the pool travels with its block
+		if litAddr != 0 {
+			if mm, ok := m.Img.MemoryOf(litAddr); ok {
+				dataMem = mm
+			}
+		}
+		var v uint32
+		if in.Sym != "" {
+			sv, ok := m.Img.Symbols[in.Sym]
+			if !ok {
+				return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unresolved literal %q", in.Sym)}
+			}
+			v = sv
+		} else {
+			v = uint32(in.Imm)
+		}
+		if in.Rd == isa.PC {
+			chargeLoad(dataMem, isa.Cycles(in))
+			return v, nil
+		}
+		m.regs[in.Rd] = v
+		chargeLoad(dataMem, isa.Cycles(in))
+		return seqNext, nil
+
+	case isa.ADR:
+		sv, ok := m.Img.Symbols[in.Sym]
+		if !ok {
+			return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unresolved adr %q", in.Sym)}
+		}
+		m.regs[in.Rd] = sv
+		charge(isa.Cycles(in), power.None)
+		return seqNext, nil
+
+	case isa.PUSH:
+		count := popCount(in.RegList)
+		sp := m.regs[isa.SP] - 4*uint32(count)
+		a := sp
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if in.RegList&(1<<r) != 0 {
+				if _, err := m.store(a, m.regs[r], 4); err != nil {
+					return 0, &Fault{PC: pc, Reason: err.Error()}
+				}
+				a += 4
+			}
+		}
+		m.regs[isa.SP] = sp
+		charge(isa.Cycles(in), power.RAM)
+		return seqNext, nil
+
+	case isa.POP:
+		a := m.regs[isa.SP]
+		var newPC uint32
+		gotPC := false
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if in.RegList&(1<<r) != 0 {
+				v, _, err := m.load(a, 4, false)
+				if err != nil {
+					return 0, &Fault{PC: pc, Reason: err.Error()}
+				}
+				if r == isa.PC {
+					newPC = v &^ 1
+					gotPC = true
+				} else {
+					m.regs[r] = v
+				}
+				a += 4
+			}
+		}
+		m.regs[isa.SP] = a
+		chargeLoad(power.RAM, isa.Cycles(in))
+		if gotPC {
+			return newPC, nil
+		}
+		return seqNext, nil
+
+	case isa.B:
+		if in.Cond == isa.AL || in.Cond.Holds(m.n, m.z, m.c, m.v) {
+			charge(isa.Cycles(in), power.None)
+			return m.labelAddr(pc, in.Sym)
+		}
+		charge(isa.CyclesNotTaken(in), power.None)
+		return seqNext, nil
+
+	case isa.CBZ, isa.CBNZ:
+		taken := (m.regs[in.Rn] == 0) == (in.Op == isa.CBZ)
+		if taken {
+			charge(isa.Cycles(in), power.None)
+			return m.labelAddr(pc, in.Sym)
+		}
+		charge(isa.CyclesNotTaken(in), power.None)
+		return seqNext, nil
+
+	case isa.BL:
+		m.regs[isa.LR] = seqNext
+		charge(isa.Cycles(in), power.None)
+		return m.labelAddr(pc, in.Sym)
+
+	case isa.BLX:
+		m.regs[isa.LR] = seqNext
+		charge(isa.Cycles(in), power.None)
+		return m.regs[in.Rm] &^ 1, nil
+
+	case isa.BX:
+		charge(isa.Cycles(in), power.None)
+		return m.regs[in.Rm] &^ 1, nil
+	}
+	return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unimplemented op %v", in.Op)}
+}
+
+func (m *Machine) labelAddr(pc uint32, sym string) (uint32, error) {
+	a, ok := m.Img.Symbols[sym]
+	if !ok {
+		return 0, &Fault{PC: pc, Reason: fmt.Sprintf("branch to unresolved %q", sym)}
+	}
+	return a, nil
+}
+
+// operand2 evaluates the flexible second operand (register or immediate,
+// with optional shift).
+func (m *Machine) operand2(in *isa.Instr) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	v := m.regs[in.Rm]
+	if in.Shift != 0 {
+		v <<= in.Shift
+	}
+	return v
+}
+
+// effAddr computes a load/store effective address.
+func (m *Machine) effAddr(in *isa.Instr) uint32 {
+	base := m.regs[in.Rn]
+	switch in.Mode {
+	case isa.AddrOffset:
+		return base + uint32(in.Imm)
+	case isa.AddrReg:
+		return base + m.regs[in.Rm]
+	case isa.AddrRegLSL:
+		return base + m.regs[in.Rm]<<in.Shift
+	}
+	return base
+}
+
+func (m *Machine) setNZ(v uint32) {
+	m.n = int32(v) < 0
+	m.z = v == 0
+}
+
+func (m *Machine) setAddFlags(a, b, carry uint32) {
+	r64 := uint64(a) + uint64(b) + uint64(carry)
+	r := uint32(r64)
+	m.n = int32(r) < 0
+	m.z = r == 0
+	m.c = r64 > 0xFFFFFFFF
+	m.v = (a^r)&(b^r)&0x80000000 != 0
+}
+
+func (m *Machine) setSubFlags(a, b uint32) {
+	r := a - b
+	m.n = int32(r) < 0
+	m.z = r == 0
+	m.c = a >= b // no borrow
+	m.v = (a^b)&(a^r)&0x80000000 != 0
+}
+
+func memWidth(op isa.Op) (size int, signed bool) {
+	switch op {
+	case isa.LDR, isa.STR:
+		return 4, false
+	case isa.LDRB, isa.STRB:
+		return 1, false
+	case isa.LDRH, isa.STRH:
+		return 2, false
+	case isa.LDRSB:
+		return 1, true
+	case isa.LDRSH:
+		return 2, true
+	}
+	return 4, false
+}
+
+func popCount(x uint16) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func clz(x uint32) uint32 {
+	n := uint32(0)
+	for i := 31; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func shiftL(a, b uint32) uint32 {
+	s := b & 0xFF
+	if s >= 32 {
+		return 0
+	}
+	return a << s
+}
+
+func shiftR(a, b uint32) uint32 {
+	s := b & 0xFF
+	if s >= 32 {
+		return 0
+	}
+	return a >> s
+}
+
+func shiftAR(a, b uint32) uint32 {
+	s := b & 0xFF
+	if s >= 32 {
+		s = 31
+	}
+	return uint32(int32(a) >> s)
+}
+
+func rotR(a, b uint32) uint32 {
+	s := b & 31
+	if s == 0 {
+		return a
+	}
+	return a>>s | a<<(32-s)
+}
+
+// AveragePowerMW returns the run's average power in milliwatts:
+// energy / time.
+func (m *Machine) AveragePowerMW(s *Stats) float64 {
+	t := m.TimeSeconds(s)
+	if t == 0 {
+		return 0
+	}
+	return s.EnergyMJ() / t // mJ per second = mW
+}

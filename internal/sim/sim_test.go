@@ -1,0 +1,441 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/power"
+)
+
+func mustImage(t *testing.T, p *ir.Program, inRAM map[string]bool) *layout.Image {
+	t.Helper()
+	img, err := layout.New(p, layout.DefaultConfig(), inRAM)
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return img
+}
+
+func run(t *testing.T, p *ir.Program, inRAM map[string]bool) (*Machine, *Stats) {
+	t.Helper()
+	m := New(mustImage(t, p, inRAM), power.STM32F100())
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, st
+}
+
+// fig2Expected mirrors the Figure 2 function's semantics in Go.
+func fig2Expected(k int32) uint32 {
+	x := uint32(1)
+	for i := 0; i < 64; i++ {
+		x *= uint32(k)
+	}
+	if int32(x) > 255 {
+		x = 255
+	}
+	return x
+}
+
+func TestFigure2Baseline(t *testing.T) {
+	p := ir.Figure2Program()
+	m, st := run(t, p, nil)
+
+	got, err := m.ReadGlobal("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fig2Expected(3); got != want {
+		t.Errorf("result = %d, want %d", got, want)
+	}
+	if st.BlockCounts["fn_loop"] != 64 {
+		t.Errorf("fn_loop executed %d times, want 64", st.BlockCounts["fn_loop"])
+	}
+	if st.BlockCounts["fn_init"] != 1 || st.BlockCounts["fn_if"] != 1 {
+		t.Errorf("init/if counts = %d/%d, want 1/1",
+			st.BlockCounts["fn_init"], st.BlockCounts["fn_if"])
+	}
+	if st.Cycles == 0 || st.EnergyNJ <= 0 {
+		t.Error("cycles/energy not accounted")
+	}
+	// Baseline executes everything from flash.
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		if st.CyclesByMem[power.RAM][c] != 0 {
+			t.Errorf("RAM cycles for class %v in all-flash baseline", c)
+		}
+	}
+	// fn_loop: 63 iterations at mul+add+cmp+bne(taken)=6, 1 at bne not
+	// taken = 4. Spot-check the loop contributes 63*6+4 = 382 cycles.
+	if st.Cycles < 382 {
+		t.Errorf("total cycles %d too small to contain the loop", st.Cycles)
+	}
+}
+
+// optimizedFigure2 reproduces the right-hand column of Figure 2: fn_loop
+// and fn_if live in RAM; fn_init jumps in with ldr pc; fn_if returns to
+// flash through the it/ldr/ldr/bx sequence.
+func optimizedFigure2() (*ir.Program, map[string]bool) {
+	p := ir.NewProgram()
+
+	fn := p.AddFunc(&ir.Function{Name: "fn"})
+	initB := fn.AddBlock("fn_init")
+	ir.Build(initB).
+		Mov(isa.R2, isa.R0).
+		MovImm(isa.R1, 1).
+		MovImm(isa.R0, 0)
+	initB.Append(isa.Instr{Op: isa.LDRLIT, Rd: isa.PC, Sym: "fn_loop"})
+
+	loop := fn.AddBlock("fn_loop")
+	ir.Build(loop).
+		Mul(isa.R1, isa.R1, isa.R2).
+		AddImm(isa.R0, isa.R0, 1).
+		CmpImm(isa.R0, 64).
+		Bcond(isa.NE, "fn_loop")
+
+	ifB := fn.AddBlock("fn_if")
+	ir.Build(ifB).CmpImm(isa.R1, 255)
+	ifB.Append(isa.Instr{Op: isa.IT, Cond: isa.LE, ITMask: "e"})
+	ifB.Append(isa.Instr{Op: isa.LDRLIT, Cond: isa.LE, Rd: isa.R5, Sym: "fn_return"})
+	ifB.Append(isa.Instr{Op: isa.LDRLIT, Cond: isa.GT, Rd: isa.R5, Sym: "fn_iftrue"})
+	ifB.Append(isa.Instr{Op: isa.BX, Rm: isa.R5})
+
+	iftrue := fn.AddBlock("fn_iftrue")
+	ir.Build(iftrue).MovImm(isa.R1, 255)
+
+	ret := fn.AddBlock("fn_return")
+	ir.Build(ret).Mov(isa.R0, isa.R1).Ret()
+
+	m := p.AddFunc(&ir.Function{Name: "main"})
+	mb := m.AddBlock("main_entry")
+	ir.Build(mb).
+		Push(isa.R4, isa.LR).
+		MovImm(isa.R0, 3).
+		Bl("fn").
+		LdrLit(isa.R4, "result").
+		Str(isa.R0, isa.R4, 0).
+		Pop(isa.R4, isa.PC)
+
+	p.AddGlobal(&ir.Global{Name: "result", Size: 4})
+	p.Reindex()
+	return p, map[string]bool{"fn_loop": true, "fn_if": true}
+}
+
+func TestFigure2OptimizedMatchesBaselineSemantics(t *testing.T) {
+	base := ir.Figure2Program()
+	mBase, stBase := run(t, base, nil)
+
+	opt, inRAM := optimizedFigure2()
+	if err := ir.Verify(opt); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	mOpt, stOpt := run(t, opt, inRAM)
+
+	rBase, _ := mBase.ReadGlobal("result")
+	rOpt, _ := mOpt.ReadGlobal("result")
+	if rBase != rOpt {
+		t.Fatalf("optimized result %d != baseline %d", rOpt, rBase)
+	}
+
+	// The paper's core claim: moving the hot blocks to RAM lowers energy
+	// and average power while increasing execution time.
+	if stOpt.EnergyNJ >= stBase.EnergyNJ {
+		t.Errorf("optimized energy %.1f nJ >= baseline %.1f nJ", stOpt.EnergyNJ, stBase.EnergyNJ)
+	}
+	if stOpt.Cycles <= stBase.Cycles {
+		t.Errorf("optimized cycles %d <= baseline %d (instrumentation must cost time)",
+			stOpt.Cycles, stBase.Cycles)
+	}
+	pBase := mBase.AveragePowerMW(stBase)
+	pOpt := mOpt.AveragePowerMW(stOpt)
+	if pOpt >= pBase {
+		t.Errorf("optimized power %.2f mW >= baseline %.2f mW", pOpt, pBase)
+	}
+	// Most cycles now run from RAM.
+	var ramCycles, flashCycles uint64
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		ramCycles += stOpt.CyclesByMem[power.RAM][c]
+		flashCycles += stOpt.CyclesByMem[power.Flash][c]
+	}
+	if ramCycles <= flashCycles {
+		t.Errorf("RAM cycles %d <= flash cycles %d; the loop dominates and is in RAM",
+			ramCycles, flashCycles)
+	}
+}
+
+func TestContentionStalls(t *testing.T) {
+	// A RAM-resident block loading from RAM pays the single-port stall.
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "ramfn"})
+	b := f.AddBlock("ramfn_body")
+	ir.Build(b).
+		LdrLit(isa.R1, "buf").
+		Ldr(isa.R0, isa.R1, 0).
+		Ret()
+	m := p.AddFunc(&ir.Function{Name: "main"})
+	mb := m.AddBlock("main_entry")
+	ir.Build(mb).
+		Push(isa.R4, isa.LR).
+		LdrLit(isa.R4, "ramfn").
+		Blx(isa.R4).
+		Pop(isa.R4, isa.PC)
+	p.AddGlobal(&ir.Global{Name: "buf", Size: 4, Init: []byte{7, 0, 0, 0}})
+	p.Reindex()
+
+	_, st := run(t, p, map[string]bool{"ramfn_body": true})
+	// Two stalls: the literal load (pool in RAM) and the data load (buf in
+	// RAM), both fetched from RAM.
+	if st.ContentionStalls != 2 {
+		t.Errorf("ContentionStalls = %d, want 2", st.ContentionStalls)
+	}
+
+	// Same program all in flash: no stalls.
+	p2 := p.Clone()
+	_, st2 := run(t, p2, nil)
+	if st2.ContentionStalls != 0 {
+		t.Errorf("flash run stalls = %d, want 0", st2.ContentionStalls)
+	}
+}
+
+func TestCrossLoadPowerCharged(t *testing.T) {
+	// RAM code loading a flash constant draws CrossLoadPower (the tall
+	// final bar of Figure 1) — total energy must exceed the same code
+	// loading from RAM.
+	build := func(ro bool) *ir.Program {
+		p := ir.NewProgram()
+		f := p.AddFunc(&ir.Function{Name: "ramfn"})
+		b := f.AddBlock("ramfn_body")
+		bb := ir.Build(b).LdrLit(isa.R1, "cdata")
+		for i := 0; i < 32; i++ {
+			bb.Ldr(isa.R0, isa.R1, 0)
+		}
+		bb.Ret()
+		m := p.AddFunc(&ir.Function{Name: "main"})
+		mb := m.AddBlock("main_entry")
+		ir.Build(mb).
+			Push(isa.R4, isa.LR).
+			LdrLit(isa.R4, "ramfn").
+			Blx(isa.R4).
+			Pop(isa.R4, isa.PC)
+		p.AddGlobal(&ir.Global{Name: "cdata", Size: 4, RO: ro})
+		p.Reindex()
+		return p
+	}
+	inRAM := map[string]bool{"ramfn_body": true}
+	_, stFlashData := run(t, build(true), inRAM)
+	_, stRAMData := run(t, build(false), inRAM)
+	if stFlashData.EnergyNJ <= stRAMData.EnergyNJ {
+		t.Errorf("flash-data energy %.1f <= RAM-data energy %.1f; Figure 1's last bar requires more",
+			stFlashData.EnergyNJ, stRAMData.EnergyNJ)
+	}
+	// But the RAM-data version stalls, so it takes more cycles.
+	if stRAMData.Cycles <= stFlashData.Cycles {
+		t.Errorf("RAM-data cycles %d <= flash-data cycles %d; contention stall expected",
+			stRAMData.Cycles, stFlashData.Cycles)
+	}
+}
+
+func TestStoreToFlashFaults(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	ir.Build(b).
+		LdrLit(isa.R1, "ro").
+		MovImm(isa.R0, 1).
+		Str(isa.R0, isa.R1, 0).
+		Ret()
+	p.AddGlobal(&ir.Global{Name: "ro", Size: 4, RO: true})
+	p.Reindex()
+
+	m := New(mustImage(t, p, nil), power.STM32F100())
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "store to flash") {
+		t.Fatalf("err = %v, want store-to-flash fault", err)
+	}
+}
+
+func TestBadJumpFaults(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	ir.Build(b).
+		MovImm(isa.R0, 0x1000).
+		Blx(isa.R0).
+		Ret()
+	p.Reindex()
+	m := New(mustImage(t, p, nil), power.STM32F100())
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "non-instruction") {
+		t.Fatalf("err = %v, want bad-jump fault", err)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("spin")
+	ir.Build(b).B("spin")
+	p.Reindex()
+	m := New(mustImage(t, p, nil), power.STM32F100())
+	m.MaxInstrs = 1000
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Fatalf("err = %v, want instruction limit", err)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	// One block computing a mix of operations, storing results to memory.
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	bb := ir.Build(b)
+	bb.LdrLit(isa.R7, "out")
+	// r0 = 100; r1 = 7
+	bb.MovImm(isa.R0, 100).MovImm(isa.R1, 7)
+	bb.Op3(isa.SDIV, isa.R2, isa.R0, isa.R1) // 14
+	bb.Str(isa.R2, isa.R7, 0)
+	bb.Op3(isa.UDIV, isa.R2, isa.R0, isa.R1) // 14
+	bb.Str(isa.R2, isa.R7, 4)
+	bb.OpImm(isa.LSL, isa.R2, isa.R0, 3) // 800
+	bb.Str(isa.R2, isa.R7, 8)
+	bb.OpImm(isa.ASR, isa.R2, isa.R0, 2) // 25
+	bb.Str(isa.R2, isa.R7, 12)
+	bb.Op3(isa.EOR, isa.R2, isa.R0, isa.R1) // 99
+	bb.Str(isa.R2, isa.R7, 16)
+	bb.Op3(isa.BIC, isa.R2, isa.R0, isa.R1) // 100 &^ 7 = 96
+	bb.Str(isa.R2, isa.R7, 20)
+	bb.OpImm(isa.RSB, isa.R2, isa.R1, 0) // -7
+	bb.Str(isa.R2, isa.R7, 24)
+	// sdiv by zero → 0
+	bb.MovImm(isa.R3, 0)
+	bb.Op3(isa.SDIV, isa.R2, isa.R0, isa.R3)
+	bb.Str(isa.R2, isa.R7, 28)
+	bb.Ret()
+	p.AddGlobal(&ir.Global{Name: "out", Size: 32})
+	p.Reindex()
+
+	m, _ := run(t, p, nil)
+	base := m.Img.Symbols["out"]
+	wants := []uint32{14, 14, 800, 25, 99, 96, uint32(0xFFFFFFF9), 0}
+	for i, w := range wants {
+		got, err := m.ReadWord(base + uint32(4*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("out[%d] = %d (%#x), want %d", i, got, got, w)
+		}
+	}
+}
+
+func TestByteHalfwordAccess(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	bb := ir.Build(b)
+	bb.LdrLit(isa.R7, "buf").LdrLit(isa.R6, "out")
+	// Store 0x80 as a byte, load signed and unsigned.
+	bb.MovImm(isa.R0, 0x80)
+	bb.OpMem(isa.STRB, isa.R0, isa.R7, 0)
+	bb.OpMem(isa.LDRB, isa.R1, isa.R7, 0)
+	bb.Str(isa.R1, isa.R6, 0) // 0x80
+	bb.OpMem(isa.LDRSB, isa.R1, isa.R7, 0)
+	bb.Str(isa.R1, isa.R6, 4) // 0xFFFFFF80
+	// Halfword 0x8000.
+	bb.LdrConst(isa.R0, 0x8000)
+	bb.OpMem(isa.STRH, isa.R0, isa.R7, 4)
+	bb.OpMem(isa.LDRH, isa.R1, isa.R7, 4)
+	bb.Str(isa.R1, isa.R6, 8) // 0x8000
+	bb.OpMem(isa.LDRSH, isa.R1, isa.R7, 4)
+	bb.Str(isa.R1, isa.R6, 12) // 0xFFFF8000
+	bb.Ret()
+	p.AddGlobal(&ir.Global{Name: "buf", Size: 8})
+	p.AddGlobal(&ir.Global{Name: "out", Size: 16})
+	p.Reindex()
+
+	m, _ := run(t, p, nil)
+	base := m.Img.Symbols["out"]
+	wants := []uint32{0x80, 0xFFFFFF80, 0x8000, 0xFFFF8000}
+	for i, w := range wants {
+		got, _ := m.ReadWord(base + uint32(4*i))
+		if got != w {
+			t.Errorf("out[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestGlobalInitCopied(t *testing.T) {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	ir.Build(b).
+		LdrLit(isa.R1, "init").
+		Ldr(isa.R0, isa.R1, 0).
+		LdrLit(isa.R2, "out").
+		Str(isa.R0, isa.R2, 0).
+		Ret()
+	p.AddGlobal(&ir.Global{Name: "init", Size: 4, Init: []byte{0x78, 0x56, 0x34, 0x12}})
+	p.AddGlobal(&ir.Global{Name: "out", Size: 4})
+	p.Reindex()
+	m, _ := run(t, p, nil)
+	got, _ := m.ReadGlobal("out")
+	if got != 0x12345678 {
+		t.Errorf("out = %#x, want 0x12345678", got)
+	}
+}
+
+func TestReadGlobalErrors(t *testing.T) {
+	p := ir.Figure2Program()
+	m := New(mustImage(t, p, nil), power.STM32F100())
+	if _, err := m.ReadGlobal("nosuch"); err == nil {
+		t.Error("expected error for unknown global")
+	}
+	if _, err := m.ReadGlobalBytes("nosuch", 4); err == nil {
+		t.Error("expected error for unknown global")
+	}
+	if _, err := m.ReadWord(0); err == nil {
+		t.Error("expected error for unmapped address")
+	}
+}
+
+func TestResetReproducibility(t *testing.T) {
+	p := ir.Figure2Program()
+	m := New(mustImage(t, p, nil), power.STM32F100())
+	st1, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	st2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles != st2.Cycles || st1.EnergyNJ != st2.EnergyNJ ||
+		st1.Instructions != st2.Instructions {
+		t.Errorf("runs differ after Reset: %+v vs %+v", st1, st2)
+	}
+}
+
+func TestPredicationCostsOneCycle(t *testing.T) {
+	// mov(1) + cmp(1) + it(1) + failing addeq(1) + passing addne(1) + bx(3)
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	ir.Build(b).MovImm(isa.R0, 1).CmpImm(isa.R0, 0)
+	b.Append(isa.Instr{Op: isa.IT, Cond: isa.EQ, ITMask: "e"})
+	b.Append(isa.Instr{Op: isa.ADD, Cond: isa.EQ, Rd: isa.R1, Rn: isa.R1, Imm: 5, HasImm: true})
+	b.Append(isa.Instr{Op: isa.ADD, Cond: isa.NE, Rd: isa.R1, Rn: isa.R1, Imm: 9, HasImm: true})
+	b.Append(isa.Instr{Op: isa.BX, Rm: isa.LR})
+	p.Reindex()
+	m, st := run(t, p, nil)
+	if got := m.Reg(isa.R1); got != 9 {
+		t.Errorf("r1 = %d, want 9 (eq path must be skipped)", got)
+	}
+	if st.Cycles != 8 {
+		t.Errorf("cycles = %d, want 8", st.Cycles)
+	}
+}

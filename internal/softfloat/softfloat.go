@@ -1,0 +1,249 @@
+// Package softfloat provides the IEEE-754 binary32 emulation routines the
+// compiler lowers float arithmetic to — the stand-in for libgcc's AEABI
+// soft-float that the paper's toolchain links statically. The routines are
+// written in the mcc C dialect itself (integer operations only) and are
+// compiled with Library=true, which makes them invisible to the placement
+// optimizer: exactly the limitation §6 of the paper describes for
+// benchmarks like cubic and float_matmult.
+//
+// Deviations from strict IEEE-754, documented for the record: rounding is
+// round-half-up on addition and truncation on multiply/divide (not
+// round-to-nearest-even), and NaN propagation is not implemented (the
+// benchmarks never produce NaNs). Denormal inputs are flushed through a
+// normalization loop rather than handled bit-exactly.
+package softfloat
+
+// Source is the mcc-dialect implementation of the runtime.
+const Source = `
+// ---- IEEE-754 binary32 soft-float (mcc dialect, integer only) ----
+
+unsigned int __aeabi_fadd(unsigned int a, unsigned int b)
+{
+    unsigned int sa, sb, sr;
+    unsigned int ea, eb;
+    unsigned int ma, mb, m;
+    int er, d;
+
+    if ((a << 1) == 0) return b;
+    if ((b << 1) == 0) return a;
+
+    sa = a >> 31; sb = b >> 31;
+    ea = (a >> 23) & 255; eb = (b >> 23) & 255;
+    if (ea == 255) return a;  // inf/NaN passthrough
+    if (eb == 255) return b;
+
+    ma = a & 8388607; mb = b & 8388607;
+    if (ea == 0) { ea = 1; } else { ma = ma | 8388608; }
+    if (eb == 0) { eb = 1; } else { mb = mb | 8388608; }
+
+    // Three guard bits for the rounding step.
+    ma = ma << 3; mb = mb << 3;
+
+    // Align to the larger exponent.
+    if (ea < eb) {
+        d = (int)(eb - ea);
+        if (d > 26) { ma = 0; } else { ma = ma >> (unsigned int)d; }
+        er = (int)eb;
+        // larger magnitude operand is b
+        if (sa == sb) { m = ma + mb; sr = sa; }
+        else {
+            if (mb >= ma) { m = mb - ma; sr = sb; }
+            else { m = ma - mb; sr = sa; }
+        }
+    } else {
+        d = (int)(ea - eb);
+        if (d > 26) { mb = 0; } else { mb = mb >> (unsigned int)d; }
+        er = (int)ea;
+        if (sa == sb) { m = ma + mb; sr = sa; }
+        else {
+            if (ma >= mb) { m = ma - mb; sr = sa; }
+            else { m = mb - ma; sr = sb; }
+        }
+    }
+
+    if (m == 0) return 0;
+
+    // Normalize: mantissa target is [1<<26, 1<<27).
+    while (m >= 134217728) { m = m >> 1; er = er + 1; }
+    while (m < 67108864) { m = m << 1; er = er - 1; }
+
+    // Round half-up on the guard bits, renormalizing on carry.
+    m = m + 4;
+    if (m >= 134217728) { m = m >> 1; er = er + 1; }
+    m = m >> 3;
+
+    if (er >= 255) return (sr << 31) | 2139095040; // overflow -> inf
+    if (er <= 0) return sr << 31;                  // underflow -> zero
+    return (sr << 31) | ((unsigned int)er << 23) | (m & 8388607);
+}
+
+unsigned int __aeabi_fsub(unsigned int a, unsigned int b)
+{
+    return __aeabi_fadd(a, b ^ 2147483648u);
+}
+
+unsigned int __aeabi_fmul(unsigned int a, unsigned int b)
+{
+    unsigned int sr, ea, eb, ma, mb;
+    unsigned int al, ah, bl, bh;
+    unsigned int lo, mid1, mid2, hi, carry;
+    unsigned int m;
+    int er;
+
+    sr = (a ^ b) & 2147483648u;
+    if ((a << 1) == 0) return sr;
+    if ((b << 1) == 0) return sr;
+
+    ea = (a >> 23) & 255; eb = (b >> 23) & 255;
+    if (ea == 255) return sr | 2139095040;
+    if (eb == 255) return sr | 2139095040;
+
+    ma = a & 8388607; mb = b & 8388607;
+    if (ea == 0) { ea = 1; } else { ma = ma | 8388608; }
+    if (eb == 0) { eb = 1; } else { mb = mb | 8388608; }
+    while (ma < 8388608) { ma = ma << 1; ea = ea - 1; }
+    while (mb < 8388608) { mb = mb << 1; eb = eb - 1; }
+
+    // 24x24 -> 48-bit product via 16-bit halves (no long multiply on
+    // the Cortex-M3 subset we target).
+    al = ma & 65535; ah = ma >> 16;
+    bl = mb & 65535; bh = mb >> 16;
+    lo = al * bl;
+    mid1 = ah * bl;
+    mid2 = al * bh;
+    hi = ah * bh;
+
+    carry = 0;
+    mid1 = mid1 + mid2;
+    if (mid1 < mid2) carry = 65536;
+    lo = lo + (mid1 << 16);
+    if (lo < (mid1 << 16)) carry = carry + 1;
+    hi = hi + (mid1 >> 16) + carry;
+
+    er = (int)ea + (int)eb - 127;
+
+    // product in hi:lo is in [2^46, 2^48); take the top 24 bits.
+    m = (hi << 9) | (lo >> 23);
+    if (m >= 16777216) { m = m >> 1; er = er + 1; }
+
+    if (er >= 255) return sr | 2139095040;
+    if (er <= 0) return sr;
+    return sr | ((unsigned int)er << 23) | (m & 8388607);
+}
+
+unsigned int __aeabi_fdiv(unsigned int a, unsigned int b)
+{
+    unsigned int sr, ea, eb, ma, mb;
+    unsigned int q, rem;
+    int er, i;
+
+    sr = (a ^ b) & 2147483648u;
+    if ((b << 1) == 0) return sr | 2139095040; // x/0 -> inf
+    if ((a << 1) == 0) return sr;              // 0/x -> 0
+
+    ea = (a >> 23) & 255; eb = (b >> 23) & 255;
+    if (ea == 255) return sr | 2139095040;
+    if (eb == 255) return sr;
+
+    ma = a & 8388607; mb = b & 8388607;
+    if (ea == 0) { ea = 1; } else { ma = ma | 8388608; }
+    if (eb == 0) { eb = 1; } else { mb = mb | 8388608; }
+    while (ma < 8388608) { ma = ma << 1; ea = ea - 1; }
+    while (mb < 8388608) { mb = mb << 1; eb = eb - 1; }
+
+    er = (int)ea - (int)eb + 127;
+    // Pre-normalize so mb <= ma < 2*mb: the quotient is then in [1, 2)
+    // and exactly 24 shift-subtract steps produce a normalized mantissa.
+    if (ma < mb) { ma = ma << 1; er = er - 1; }
+
+    q = 0; rem = ma;
+    for (i = 0; i < 24; i++) {
+        q = q << 1;
+        if (rem >= mb) { rem = rem - mb; q = q | 1; }
+        rem = rem << 1;
+    }
+    // q in [2^23, 2^24) by construction (truncated rounding).
+
+    if (er >= 255) return sr | 2139095040;
+    if (er <= 0) return sr;
+    return sr | ((unsigned int)er << 23) | (q & 8388607);
+}
+
+unsigned int __aeabi_i2f(int x)
+{
+    unsigned int s, m;
+    int e;
+    if (x == 0) return 0;
+    s = 0;
+    m = (unsigned int)x;
+    if (x < 0) { s = 2147483648u; m = (unsigned int)(-x); }
+    e = 150; // 127 + 23
+    while (m >= 16777216) { m = m >> 1; e = e + 1; }
+    while (m < 8388608) { m = m << 1; e = e - 1; }
+    return s | ((unsigned int)e << 23) | (m & 8388607);
+}
+
+unsigned int __aeabi_ui2f(unsigned int x)
+{
+    unsigned int m;
+    int e;
+    if (x == 0) return 0;
+    m = x;
+    e = 150;
+    while (m >= 16777216) { m = m >> 1; e = e + 1; }
+    while (m < 8388608) { m = m << 1; e = e - 1; }
+    return ((unsigned int)e << 23) | (m & 8388607);
+}
+
+int __aeabi_f2iz(unsigned int a)
+{
+    unsigned int s, m;
+    int e, r;
+    s = a >> 31;
+    e = (int)((a >> 23) & 255);
+    if (e < 127) return 0;
+    e = e - 127;
+    if (e >= 31) {
+        if (s) return -2147483647 - 1;
+        return 2147483647;
+    }
+    m = (a & 8388607) | 8388608;
+    if (e >= 23) { r = (int)(m << (unsigned int)(e - 23)); }
+    else { r = (int)(m >> (unsigned int)(23 - e)); }
+    if (s) return -r;
+    return r;
+}
+
+int __aeabi_fcmpeq(unsigned int a, unsigned int b)
+{
+    if ((a << 1) == 0 && (b << 1) == 0) return 1;
+    if (a == b) return 1;
+    return 0;
+}
+
+int __aeabi_fcmplt(unsigned int a, unsigned int b)
+{
+    unsigned int sa, sb;
+    if ((a << 1) == 0 && (b << 1) == 0) return 0;
+    sa = a >> 31; sb = b >> 31;
+    if (sa != sb) return (int)sa;
+    if (sa == 0) { if (a < b) return 1; return 0; }
+    if (a > b) return 1;
+    return 0;
+}
+
+int __aeabi_fcmple(unsigned int a, unsigned int b)
+{
+    if (__aeabi_fcmpeq(a, b)) return 1;
+    return __aeabi_fcmplt(a, b);
+}
+`
+
+// Routines lists the function names the runtime defines.
+func Routines() []string {
+	return []string{
+		"__aeabi_fadd", "__aeabi_fsub", "__aeabi_fmul", "__aeabi_fdiv",
+		"__aeabi_i2f", "__aeabi_ui2f", "__aeabi_f2iz",
+		"__aeabi_fcmpeq", "__aeabi_fcmplt", "__aeabi_fcmple",
+	}
+}

@@ -1,0 +1,236 @@
+package softfloat_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mcc"
+	"repro/internal/softfloat"
+)
+
+// loadRuntime compiles the soft-float source to MIR and wraps it in the
+// MIR interpreter so individual routines can be driven directly.
+func loadRuntime(t *testing.T) *mcc.Interp {
+	t.Helper()
+	ast, err := mcc.Parse(softfloat.Source)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := mcc.CheckLibrary(ast); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	mp, err := mcc.Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mcc.Optimize(mp, mcc.O2)
+	it, err := mcc.NewInterp(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+// ulpDiff returns the distance between two float32 bit patterns in units
+// of last place, treating the sign-magnitude space linearly.
+func ulpDiff(a, b uint32) uint64 {
+	oa, ob := orderKey(a), orderKey(b)
+	if oa > ob {
+		return uint64(oa - ob)
+	}
+	return uint64(ob - oa)
+}
+
+func orderKey(bits uint32) int64 {
+	if bits&0x80000000 != 0 {
+		return -int64(bits & 0x7FFFFFFF)
+	}
+	return int64(bits)
+}
+
+func randFloat(rng *rand.Rand) float32 {
+	for {
+		// Cover a wide dynamic range without generating NaN/Inf inputs.
+		exp := rng.Intn(200) + 28 // biased exponents 28..227
+		mant := rng.Uint32() & 0x7FFFFF
+		sign := rng.Uint32() & 0x80000000
+		bits := sign | uint32(exp)<<23 | mant
+		f := math.Float32frombits(bits)
+		if !math.IsNaN(float64(f)) && !math.IsInf(float64(f), 0) {
+			return f
+		}
+	}
+}
+
+func TestRoutinesList(t *testing.T) {
+	it := loadRuntime(t)
+	for _, name := range softfloat.Routines() {
+		if _, err := it.CallFunction(name, 0, 0); err != nil {
+			t.Errorf("routine %s missing or broken: %v", name, err)
+		}
+	}
+}
+
+// TestArithmeticConformance drives fadd/fsub/fmul/fdiv with random values
+// and requires results within 2 ulp of Go's float32 (our rounding is
+// truncation/half-up rather than round-to-nearest-even).
+func TestArithmeticConformance(t *testing.T) {
+	it := loadRuntime(t)
+	rng := rand.New(rand.NewSource(42))
+	ops := []struct {
+		name string
+		ref  func(a, b float32) float32
+	}{
+		{"__aeabi_fadd", func(a, b float32) float32 { return a + b }},
+		{"__aeabi_fsub", func(a, b float32) float32 { return a - b }},
+		{"__aeabi_fmul", func(a, b float32) float32 { return a * b }},
+		{"__aeabi_fdiv", func(a, b float32) float32 { return a / b }},
+	}
+	const trials = 3000
+	for _, op := range ops {
+		worst := uint64(0)
+		for i := 0; i < trials; i++ {
+			a, b := randFloat(rng), randFloat(rng)
+			want := op.ref(a, b)
+			if math.IsInf(float64(want), 0) || math.IsNaN(float64(want)) ||
+				want != 0 && math.Abs(float64(want)) < 1.2e-38 {
+				continue // overflow/underflow edges handled separately
+			}
+			got, err := it.CallFunction(op.name, math.Float32bits(a), math.Float32bits(b))
+			if err != nil {
+				t.Fatalf("%s(%v,%v): %v", op.name, a, b, err)
+			}
+			d := ulpDiff(got, math.Float32bits(want))
+			if d > worst {
+				worst = d
+			}
+			if d > 2 {
+				t.Errorf("%s(%g, %g) = %g (%#x), want %g (%#x): %d ulp off",
+					op.name, a, b, math.Float32frombits(got), got,
+					want, math.Float32bits(want), d)
+				if t.Failed() && i > 20 {
+					t.FailNow()
+				}
+			}
+		}
+		t.Logf("%s: worst error %d ulp over %d trials", op.name, worst, trials)
+	}
+}
+
+func TestConversionsExact(t *testing.T) {
+	it := loadRuntime(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		n := int32(rng.Uint32())
+		got, err := it.CallFunction("__aeabi_i2f", uint32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Float32bits(float32(n))
+		// i2f truncates where Go rounds: allow 1 ulp.
+		if ulpDiff(got, want) > 1 {
+			t.Errorf("i2f(%d) = %#x, want %#x", n, got, want)
+		}
+		u := rng.Uint32()
+		got, err = it.CallFunction("__aeabi_ui2f", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = math.Float32bits(float32(u))
+		if ulpDiff(got, want) > 1 {
+			t.Errorf("ui2f(%d) = %#x, want %#x", u, got, want)
+		}
+	}
+	// f2iz truncates toward zero, exactly.
+	cases := []float32{0, 1, -1, 1.99, -1.99, 123456.7, -123456.7, 0.4, -0.4, 2147483000}
+	for _, f := range cases {
+		got, err := it.CallFunction("__aeabi_f2iz", math.Float32bits(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int32(got) != int32(f) {
+			t.Errorf("f2iz(%g) = %d, want %d", f, int32(got), int32(f))
+		}
+	}
+	// Saturation at the int32 edges.
+	if got, _ := it.CallFunction("__aeabi_f2iz", math.Float32bits(3e9)); int32(got) != math.MaxInt32 {
+		t.Errorf("f2iz(3e9) = %d, want MaxInt32", int32(got))
+	}
+	if got, _ := it.CallFunction("__aeabi_f2iz", math.Float32bits(-3e9)); int32(got) != math.MinInt32 {
+		t.Errorf("f2iz(-3e9) = %d, want MinInt32", int32(got))
+	}
+}
+
+func TestComparisonsExact(t *testing.T) {
+	it := loadRuntime(t)
+	rng := rand.New(rand.NewSource(11))
+	check := func(name string, a, b float32, want bool) {
+		got, err := it.CallFunction(name, math.Float32bits(a), math.Float32bits(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got != 0) != want {
+			t.Errorf("%s(%g, %g) = %d, want %v", name, a, b, got, want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randFloat(rng), randFloat(rng)
+		check("__aeabi_fcmpeq", a, b, a == b)
+		check("__aeabi_fcmplt", a, b, a < b)
+		check("__aeabi_fcmple", a, b, a <= b)
+		check("__aeabi_fcmpeq", a, a, true)
+		check("__aeabi_fcmple", a, a, true)
+		check("__aeabi_fcmplt", a, a, false)
+	}
+	// Signed-zero cases.
+	nz := float32(math.Copysign(0, -1))
+	check("__aeabi_fcmpeq", 0, nz, true)
+	check("__aeabi_fcmplt", nz, 0, false)
+	check("__aeabi_fcmple", nz, 0, true)
+}
+
+func TestSpecialValues(t *testing.T) {
+	it := loadRuntime(t)
+	f := func(x float32) uint32 { return math.Float32bits(x) }
+	// x + 0 == x, 0 + x == x.
+	for _, x := range []float32{1.5, -2.25, 1e20, -1e-20} {
+		got, _ := it.CallFunction("__aeabi_fadd", f(x), f(0))
+		if got != f(x) {
+			t.Errorf("x+0 = %#x, want %#x", got, f(x))
+		}
+		got, _ = it.CallFunction("__aeabi_fadd", f(0), f(x))
+		if got != f(x) {
+			t.Errorf("0+x = %#x, want %#x", got, f(x))
+		}
+		// x - x == 0.
+		got, _ = it.CallFunction("__aeabi_fsub", f(x), f(x))
+		if math.Float32frombits(got) != 0 {
+			t.Errorf("x-x = %#x, want 0", got)
+		}
+		// x * 0 == ±0.
+		got, _ = it.CallFunction("__aeabi_fmul", f(x), f(0))
+		if math.Float32frombits(got) != 0 {
+			t.Errorf("x*0 = %#x, want 0", got)
+		}
+	}
+	// Division by zero → infinity with the right sign.
+	got, _ := it.CallFunction("__aeabi_fdiv", f(1), f(0))
+	if got != f(float32(math.Inf(1))) {
+		t.Errorf("1/0 = %#x, want +Inf", got)
+	}
+	got, _ = it.CallFunction("__aeabi_fdiv", f(-1), f(0))
+	if got != f(float32(math.Inf(-1))) {
+		t.Errorf("-1/0 = %#x, want -Inf", got)
+	}
+	// Overflow to infinity.
+	got, _ = it.CallFunction("__aeabi_fmul", f(3e38), f(3e38))
+	if got != f(float32(math.Inf(1))) {
+		t.Errorf("3e38*3e38 = %#x, want +Inf", got)
+	}
+	// Deep underflow flushes to zero.
+	got, _ = it.CallFunction("__aeabi_fmul", f(1e-38), f(1e-38))
+	if v := math.Float32frombits(got); v != 0 && math.Abs(float64(v)) > 1e-37 {
+		t.Errorf("1e-38*1e-38 = %g, want ~0", v)
+	}
+}
