@@ -1,0 +1,166 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/beebs"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/transform"
+)
+
+// runAnalyze implements the `flashram analyze` subcommand: compile, place,
+// transform and then lint the result with the full static-analysis suite —
+// no simulation. Exits 1 when any pass reports an error diagnostic.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	var (
+		benchName = fs.String("bench", "", "built-in BEEBS benchmark name")
+		srcFile   = fs.String("src", "", "mcc source file to compile")
+		all       = fs.Bool("all", false, "analyze every built-in benchmark")
+		level     = fs.String("O", "O2", "optimization level: O0 O1 O2 O3 Os")
+		solver    = fs.String("solver", "ilp", "placement solver: ilp greedy function exhaustive")
+		xlimit    = fs.Float64("xlimit", 0, "max execution-time ratio (0 = default 2.0)")
+		rspare    = fs.Float64("rspare", 0, "RAM budget for code in bytes (0 = derive)")
+		linktime  = fs.Bool("linktime", false, "link-time mode: library code becomes placeable")
+		baseline  = fs.Bool("baseline", false, "lint the untransformed program instead")
+		verbose   = fs.Bool("v", false, "print a per-pass summary even when clean")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: flashram analyze [-bench name | -src file | -all] [flags]
+
+Runs the placement pipeline up to the code transformation, then verifies
+the result with the static-analysis suite (branch-range, instrumentation,
+cfg-equivalence, memory-map, stack-depth). Prints one line per diagnostic
+and exits 1 if any error-severity diagnostic is found.`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	optLevel, err := mcc.ParseOptLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+
+	type target struct{ name, source string }
+	var targets []target
+	switch {
+	case *all:
+		for _, b := range beebs.All() {
+			targets = append(targets, target{b.Name, b.Source})
+		}
+	case *benchName != "":
+		b := beebs.Get(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use flashram -list)", *benchName))
+		}
+		targets = []target{{b.Name, b.Source}}
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []target{{*srcFile, string(data)}}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, t := range targets {
+		res, err := analyzeOne(t.source, optLevel, *solver, *xlimit, *rspare, *linktime, *baseline)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", t.name, err))
+		}
+		for _, d := range res.Diags {
+			fmt.Printf("%s: %s\n", t.name, d)
+		}
+		nerr := len(res.Errors())
+		if nerr > 0 {
+			failed++
+		}
+		if *verbose || nerr > 0 {
+			fmt.Printf("%s at %v: %s\n", t.name, optLevel, res.Summary())
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "flashram analyze: %d of %d program(s) failed verification\n",
+			failed, len(targets))
+		os.Exit(1)
+	}
+}
+
+// analyzeOne runs compile → model → placement → transform → analysis for
+// one source, mirroring core.Optimize without the simulations.
+func analyzeOne(source string, level mcc.OptLevel, solver string, xlimit, rspare float64, linktime, baseline bool) (*analysis.Result, error) {
+	prog, err := mcc.Compile(source, level)
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(prog); err != nil {
+		return nil, err
+	}
+	cfgLayout := layout.DefaultConfig()
+	if baseline {
+		return analysis.Analyze(&analysis.Context{Prog: prog, Config: cfgLayout})
+	}
+
+	graphs, err := cfg.BuildAll(prog)
+	if err != nil {
+		return nil, err
+	}
+	est := freq.Static(prog, graphs)
+	if rspare == 0 {
+		rspare = float64(layout.SpareRAM(prog, cfgLayout))
+	}
+	if xlimit == 0 {
+		xlimit = 2.0
+	}
+	ef, er := power.STM32F100().Coefficients()
+	mdl, err := model.Build(prog, graphs, est, model.Params{
+		EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: xlimit,
+		IncludeLibrary: linktime,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var res *placement.Result
+	switch solver {
+	case "ilp":
+		res, err = placement.SolveILP(mdl)
+	case "greedy":
+		res = placement.SolveGreedy(mdl)
+	case "function":
+		res = placement.SolveFunctionLevel(mdl, prog)
+	case "exhaustive":
+		res, err = placement.SolveExhaustive(mdl, 12)
+	default:
+		return nil, fmt.Errorf("unknown solver %q", solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	opt := prog.Clone()
+	applyFn := transform.Apply
+	if linktime {
+		applyFn = transform.ApplyLinkTime
+	}
+	if _, err := applyFn(opt, res.InRAM); err != nil {
+		return nil, err
+	}
+	return analysis.Analyze(&analysis.Context{
+		Original: prog, Prog: opt, InRAM: res.InRAM,
+		Config: cfgLayout, Rspare: rspare,
+	})
+}

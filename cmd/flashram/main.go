@@ -8,6 +8,8 @@
 //	flashram -bench int_matmult -O O2
 //	flashram -src kernel.c -O Os -xlimit 1.1 -rspare 1024
 //	flashram -fig1
+//	flashram analyze -all            # static-analysis lint, no simulation
+//	flashram analyze -bench crc32 -v
 package main
 
 import (
@@ -23,6 +25,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	var (
 		benchName = flag.String("bench", "", "built-in BEEBS benchmark name")
 		srcFile   = flag.String("src", "", "mcc source file to compile")

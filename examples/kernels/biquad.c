@@ -1,0 +1,27 @@
+int result[2];
+int samples[64];
+int out_buf[64];
+int coeff_b0 = 52, coeff_b1 = 104, coeff_b2 = 52;
+int coeff_a1 = -60, coeff_a2 = 21;
+
+void biquad() {
+    int i, x, y;
+    int z1 = 0, z2 = 0;
+    for (i = 0; i < 64; i++) {
+        x = samples[i];
+        y = (coeff_b0 * x + z1) >> 7;
+        z1 = coeff_b1 * x - coeff_a1 * y + z2;
+        z2 = coeff_b2 * x - coeff_a2 * y;
+        out_buf[i] = y;
+    }
+}
+
+int main() {
+    int i, rep, acc = 0;
+    for (i = 0; i < 64; i++) samples[i] = ((i * 37) % 128) - 64;
+    for (rep = 0; rep < 16; rep++) biquad();
+    for (i = 0; i < 64; i++) acc += out_buf[i];
+    result[0] = acc;
+    result[1] = out_buf[63];
+    return 0;
+}

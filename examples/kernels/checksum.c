@@ -1,0 +1,27 @@
+int result[1];
+int frame[96];
+
+int fold(int v) {
+    int k, acc = v;
+    for (k = 0; k < 8; k++) {
+        if (acc & 1) {
+            acc = (acc >> 1) ^ 0x8c;
+        } else {
+            acc = acc >> 1;
+        }
+    }
+    return acc;
+}
+
+int main() {
+    int i, rep, sum = 0;
+    for (i = 0; i < 96; i++) frame[i] = (i * 73 + 11) % 256;
+    for (rep = 0; rep < 8; rep++) {
+        sum = 0;
+        for (i = 0; i < 96; i++) {
+            sum = fold(sum ^ frame[i]);
+        }
+    }
+    result[0] = sum;
+    return 0;
+}

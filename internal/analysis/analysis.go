@@ -1,0 +1,247 @@
+// Package analysis is the static verification layer of the toolchain: a
+// multi-pass framework that checks the transformed, laid-out, encoded
+// program against the invariants the paper's rewrite (Figure 4) depends
+// on. ir.Verify checks the IR structurally; the passes here go further and
+// verify the encoded binary (branch displacements, literal pools), the
+// dataflow facts the instrumentation relied on (scratch-register
+// liveness), control-flow preservation, the memory map, and the stack
+// bound behind the Eq. 7 RAM budget.
+//
+// Every pipeline run (core.Optimize) executes the full suite after
+// transform.Apply, so each BEEBS benchmark is verified on every run; the
+// `flashram analyze` subcommand exposes the same suite as a lint driver.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities. Errors make a program unacceptable; warnings flag facts a
+// maintainer should know (e.g. the model's RAM budget was exceeded by
+// layout padding) without invalidating the build.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns "error" or "warning".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding of one pass, located as precisely as the pass
+// can manage: function and block for IR-level findings, instruction index
+// and address for binary-level ones.
+type Diagnostic struct {
+	Pass     string   // pass name, e.g. "branch-range"
+	Code     string   // stable diagnostic code, e.g. "BR001"
+	Severity Severity //
+	Func     string   // function name ("" = program-wide)
+	Block    string   // block label ("" = function- or program-wide)
+	Instr    int      // instruction index within the block (-1 = whole block)
+	Addr     uint32   // encoded address (0 = not address-specific)
+	Message  string   //
+}
+
+// String renders the diagnostic in a grep-friendly single line.
+func (d Diagnostic) String() string {
+	loc := d.Func
+	if d.Block != "" {
+		loc += "/" + d.Block
+	}
+	if d.Instr >= 0 {
+		loc += fmt.Sprintf("[%d]", d.Instr)
+	}
+	if loc == "" {
+		loc = "<program>"
+	}
+	addr := ""
+	if d.Addr != 0 {
+		addr = fmt.Sprintf(" @%#x", d.Addr)
+	}
+	return fmt.Sprintf("%s: %s %s: %s%s: %s", d.Pass, d.Severity, d.Code, loc, addr, d.Message)
+}
+
+// Context is the shared input of every pass: the program before and after
+// transformation, the placement, and the laid-out image. Passes read, never
+// write.
+type Context struct {
+	// Original is the pre-transformation program; nil disables the checks
+	// that compare against it (cfg-equivalence, scratch liveness).
+	Original *ir.Program
+	// Prog is the program under analysis (transformed, or the original
+	// itself for a baseline lint).
+	Prog *ir.Program
+	// InRAM is the placement decision (nil = all-flash baseline).
+	InRAM map[string]bool
+	// Config is the memory map used for layout.
+	Config layout.Config
+	// Image is the laid-out Prog. Analyze builds it when nil.
+	Image *layout.Image
+	// Rspare is the model's Eq. 7 RAM budget in bytes (0 = not supplied);
+	// exceeding it is reported as a warning, exceeding physical RAM as an
+	// error.
+	Rspare float64
+}
+
+// Pass is one static check. Run returns its diagnostics; a non-nil error
+// means the pass itself could not execute (infrastructure failure), which
+// the driver converts into an Error diagnostic so it is never silently
+// dropped.
+type Pass interface {
+	Name() string
+	Run(ctx *Context) ([]Diagnostic, error)
+}
+
+// Result aggregates the diagnostics of a suite run.
+type Result struct {
+	Diags  []Diagnostic
+	Passes []string // names of the passes that ran
+}
+
+// Errors returns the Error-severity diagnostics.
+func (r *Result) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings returns the Warning-severity diagnostics.
+func (r *Result) Warnings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == Warning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the run produced no errors.
+func (r *Result) OK() bool { return len(r.Errors()) == 0 }
+
+// ByCode returns the diagnostics carrying the given code.
+func (r *Result) ByCode(code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line outcome.
+func (r *Result) Summary() string {
+	ne, nw := len(r.Errors()), len(r.Warnings())
+	if ne == 0 && nw == 0 {
+		return fmt.Sprintf("%d passes, no diagnostics", len(r.Passes))
+	}
+	var first string
+	if ne > 0 {
+		first = "; first: " + r.Errors()[0].String()
+	} else {
+		first = "; first: " + r.Warnings()[0].String()
+	}
+	return fmt.Sprintf("%d passes, %d errors, %d warnings%s", len(r.Passes), ne, nw, first)
+}
+
+// String renders every diagnostic, one per line.
+func (r *Result) String() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DefaultPasses returns the standard suite in execution order.
+func DefaultPasses() []Pass {
+	return []Pass{
+		BranchRangePass{},
+		InstrumentationPass{},
+		CFGEquivalencePass{},
+		MemoryMapPass{},
+		StackDepthPass{},
+	}
+}
+
+// Run executes the given passes over the context and collects their
+// diagnostics, sorted by (pass order, function, block, instruction).
+func Run(ctx *Context, passes ...Pass) (*Result, error) {
+	if ctx.Prog == nil {
+		return nil, fmt.Errorf("analysis: no program to analyze")
+	}
+	if ctx.Config == (layout.Config{}) {
+		ctx.Config = layout.DefaultConfig()
+	}
+	if ctx.Image == nil {
+		img, err := layout.New(ctx.Prog, ctx.Config, ctx.InRAM)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: layout: %w", err)
+		}
+		ctx.Image = img
+	}
+	res := &Result{}
+	order := map[string]int{}
+	for i, p := range passes {
+		order[p.Name()] = i
+		res.Passes = append(res.Passes, p.Name())
+		diags, err := p.Run(ctx)
+		if err != nil {
+			diags = append(diags, Diagnostic{
+				Pass: p.Name(), Code: "XX000", Severity: Error, Instr: -1,
+				Message: fmt.Sprintf("pass failed to run: %v", err),
+			})
+		}
+		res.Diags = append(res.Diags, diags...)
+	}
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if order[a.Pass] != order[b.Pass] {
+			return order[a.Pass] < order[b.Pass]
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		return a.Instr < b.Instr
+	})
+	return res, nil
+}
+
+// Analyze runs the default suite. original may equal prog (or be nil) for
+// a baseline lint of an untransformed program.
+func Analyze(ctx *Context) (*Result, error) {
+	return Run(ctx, DefaultPasses()...)
+}
+
+// memOf reports whether a label is placed in RAM under the context's
+// placement.
+func (ctx *Context) memOf(label string) bool { return ctx.InRAM[label] }
+
+// memName names a memory for messages.
+func memName(inRAM bool) string {
+	if inRAM {
+		return "RAM"
+	}
+	return "flash"
+}

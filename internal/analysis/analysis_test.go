@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/beebs"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/transform"
+)
+
+// optimizedProgram runs the placement front half of the pipeline (compile,
+// model, ILP, transform) for a benchmark, returning original, transformed
+// and the placement — the exact artifacts core.Optimize verifies.
+func optimizedProgram(t *testing.T, bench string, level mcc.OptLevel) (*ir.Program, *ir.Program, map[string]bool, float64) {
+	t.Helper()
+	b := beebs.Get(bench)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := cfg.BuildAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := freq.Static(prog, graphs)
+	ef, er := power.STM32F100().Coefficients()
+	rspare := float64(layout.SpareRAM(prog, layout.DefaultConfig()))
+	mdl, err := model.Build(prog, graphs, est, model.Params{
+		EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := placement.SolveILP(mdl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := prog.Clone()
+	if _, err := transform.Apply(opt, res.InRAM); err != nil {
+		t.Fatal(err)
+	}
+	return prog, opt, res.InRAM, rspare
+}
+
+// TestSuiteCleanOnBEEBS is the acceptance gate: the full analysis suite
+// reports zero diagnostics on every seed BEEBS benchmark after
+// transform.Apply, at both paper levels.
+func TestSuiteCleanOnBEEBS(t *testing.T) {
+	for _, b := range beebs.All() {
+		for _, level := range []mcc.OptLevel{mcc.O2, mcc.Os} {
+			orig, opt, inRAM, rspare := optimizedProgram(t, b.Name, level)
+			res, err := Analyze(&Context{
+				Original: orig, Prog: opt, InRAM: inRAM,
+				Config: layout.DefaultConfig(), Rspare: rspare,
+			})
+			if err != nil {
+				t.Fatalf("%s %v: %v", b.Name, level, err)
+			}
+			if len(res.Diags) != 0 {
+				t.Errorf("%s %v: expected a clean bill, got:\n%s", b.Name, level, res)
+			}
+			if len(res.Passes) != 5 {
+				t.Fatalf("expected 5 passes, ran %v", res.Passes)
+			}
+		}
+	}
+}
+
+// TestSuiteCleanSplitPlacement forces every other block of each
+// non-library function into RAM. The ILP placements above tend to move
+// small benchmarks wholesale, so this is the positive case that actually
+// exercises the Figure 4 instrumentation shapes (ldr pc, it/ldr/ldr/bx,
+// ldr+blx) end to end: the suite must still be clean on them.
+func TestSuiteCleanSplitPlacement(t *testing.T) {
+	for _, name := range []string{"crc32", "fdct", "dijkstra"} {
+		prog, err := mcc.Compile(beebs.Get(name).Source, mcc.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inRAM := map[string]bool{}
+		for _, f := range prog.Funcs {
+			if f.Library {
+				continue
+			}
+			for i, b := range f.Blocks {
+				if i%2 == 0 {
+					inRAM[b.Label] = true
+				}
+			}
+		}
+		opt := prog.Clone()
+		if _, err := transform.Apply(opt, inRAM); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(&Context{
+			Original: prog, Prog: opt, InRAM: inRAM,
+			Config: layout.DefaultConfig(),
+		})
+		if err != nil {
+			t.Fatalf("%s split: %v", name, err)
+		}
+		if len(res.Diags) != 0 {
+			t.Errorf("%s split: expected a clean bill, got:\n%s", name, res)
+		}
+	}
+}
+
+// TestSuiteCleanBaseline lints untransformed programs (no placement, no
+// original to diff against): still clean.
+func TestSuiteCleanBaseline(t *testing.T) {
+	for _, name := range []string{"crc32", "fdct"} {
+		prog, err := mcc.Compile(beebs.Get(name).Source, mcc.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(&Context{Prog: prog, Config: layout.DefaultConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Diags) != 0 {
+			t.Errorf("%s baseline: %s", name, res)
+		}
+	}
+}

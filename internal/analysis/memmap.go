@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemoryMapPass audits the laid-out image against the SoC's memory map:
+// nothing may overlap, everything must sit inside its region and respect
+// alignment, RAM contents must stay out of the stack reservation, and the
+// code placed in RAM must honour the Eq. 7 budget the placement model was
+// solved under.
+//
+// Codes:
+//
+//	MM001  two placed objects overlap
+//	MM002  object lies (partly) outside its memory region
+//	MM003  misaligned object (instruction, literal word or global)
+//	MM004  RAM contents grow into the stack reserve / capacity exceeded
+//	MM005  RAM code exceeds the model's Rspare budget (warning)
+//	MM006  image placement disagrees with the placement decision map
+type MemoryMapPass struct{}
+
+// Name implements Pass.
+func (MemoryMapPass) Name() string { return "memory-map" }
+
+// extent is a placed byte range [lo, hi).
+type extent struct {
+	lo, hi uint32
+	ram    bool
+	what   string
+}
+
+// Run implements Pass.
+func (p MemoryMapPass) Run(ctx *Context) ([]Diagnostic, error) {
+	img := ctx.Image
+	cfg := img.Config
+	var diags []Diagnostic
+	report := func(code string, sev Severity, block string, addr uint32, format string, args ...interface{}) {
+		fn := ""
+		if b := ctx.Prog.BlockByLabel(block); b != nil && b.Func != nil {
+			fn = b.Func.Name
+		}
+		diags = append(diags, Diagnostic{
+			Pass: p.Name(), Code: code, Severity: sev,
+			Func: fn, Block: block, Instr: -1, Addr: addr,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	var extents []extent
+	for _, pl := range img.Blocks {
+		label := pl.Block.Label
+		// The image must agree with the placement decision.
+		if pl.InRAM != ctx.memOf(label) {
+			report("MM006", Error, label, pl.Addr,
+				"image places block in %s but the placement decision says %s",
+				memName(pl.InRAM), memName(ctx.memOf(label)))
+		}
+		if pl.Addr%2 != 0 {
+			report("MM003", Error, label, pl.Addr, "block start misaligned")
+		}
+		if pl.CodeEnd > pl.Addr {
+			extents = append(extents, extent{pl.Addr, pl.CodeEnd, pl.InRAM,
+				"code of " + label})
+		}
+		// Literal-pool words may be deferred far past the block's code, so
+		// they are tracked as individual word extents.
+		for i, lit := range pl.LitAddrs {
+			if lit == 0 {
+				continue
+			}
+			if lit%4 != 0 {
+				report("MM003", Error, label, lit, "literal word misaligned")
+			}
+			extents = append(extents, extent{lit, lit + 4, pl.InRAM,
+				fmt.Sprintf("literal %d of %s", i, label)})
+		}
+	}
+	for _, g := range ctx.Prog.Globals {
+		addr, ok := img.Symbols[g.Name]
+		if !ok {
+			report("MM002", Error, "", 0, "global %q has no address", g.Name)
+			continue
+		}
+		if addr%4 != 0 {
+			report("MM003", Error, "", addr, "global %q misaligned", g.Name)
+		}
+		extents = append(extents, extent{addr, addr + uint32(g.Size), !g.RO,
+			"global " + g.Name})
+	}
+
+	// Region bounds, including the stack reservation at the top of RAM.
+	flashEnd := cfg.FlashBase + uint32(cfg.FlashSize)
+	ramLimit := cfg.RAMBase + uint32(cfg.RAMSize-cfg.StackReserve)
+	for _, e := range extents {
+		if e.ram {
+			if e.lo < cfg.RAMBase || e.hi > cfg.RAMBase+uint32(cfg.RAMSize) {
+				report("MM002", Error, "", e.lo, "%s [%#x,%#x) outside RAM", e.what, e.lo, e.hi)
+			} else if e.hi > ramLimit {
+				report("MM004", Error, "", e.lo,
+					"%s [%#x,%#x) grows into the %d-byte stack reserve above %#x",
+					e.what, e.lo, e.hi, cfg.StackReserve, ramLimit)
+			}
+		} else if e.lo < cfg.FlashBase || e.hi > flashEnd {
+			report("MM002", Error, "", e.lo, "%s [%#x,%#x) outside flash", e.what, e.lo, e.hi)
+		}
+	}
+
+	// Overlaps: sort by start and compare neighbours.
+	sort.Slice(extents, func(i, j int) bool {
+		if extents[i].lo != extents[j].lo {
+			return extents[i].lo < extents[j].lo
+		}
+		return extents[i].hi < extents[j].hi
+	})
+	for i := 1; i < len(extents); i++ {
+		prev, cur := extents[i-1], extents[i]
+		if cur.lo < prev.hi {
+			report("MM001", Error, "", cur.lo, "%s [%#x,%#x) overlaps %s [%#x,%#x)",
+				cur.what, cur.lo, cur.hi, prev.what, prev.lo, prev.hi)
+		}
+	}
+
+	// Aggregate capacities (Eq. 7's physical form) and the model budget.
+	if used := img.FlashCodeBytes + img.RodataBytes; used > cfg.FlashSize {
+		report("MM004", Error, "", 0, "flash capacity exceeded: %d of %d bytes", used, cfg.FlashSize)
+	}
+	if used := img.RAMCodeBytes + img.DataBytes + cfg.StackReserve; used > cfg.RAMSize {
+		report("MM004", Error, "", 0,
+			"RAM capacity exceeded: %d bytes incl. %d stack reserve, %d available",
+			used, cfg.StackReserve, cfg.RAMSize)
+	}
+	if ctx.Rspare > 0 && float64(img.RAMCodeBytes) > ctx.Rspare {
+		report("MM005", Warning, "", 0,
+			"RAM code is %d bytes, above the model's Rspare budget of %.0f (layout padding)",
+			img.RAMCodeBytes, ctx.Rspare)
+	}
+	return diags, nil
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+)
+
+// StackDepthPass bounds the worst-case stack over the call graph (the
+// static analysis §4.1 cites for deriving Rspare) and verifies it fits:
+// the stack descends from the top of RAM, and RAM-resident code and data
+// sit below it, so the worst-case depth must never reach the highest
+// placed RAM byte. The StackReserve is the budget the placement model
+// was solved under — a program may legitimately exceed it when the RAM
+// left over is deeper than the reserve (fdct at O0 does).
+//
+// Codes:
+//
+//	SD001  stack depth unbounded (recursion) or indirect call unresolvable
+//	SD002  worst-case stack descends into placed RAM contents
+type StackDepthPass struct{}
+
+// Name implements Pass.
+func (StackDepthPass) Name() string { return "stack-depth" }
+
+// Run implements Pass.
+func (p StackDepthPass) Run(ctx *Context) ([]Diagnostic, error) {
+	an, err := layout.AnalyzeStack(ctx.Prog)
+	if err != nil {
+		return []Diagnostic{{
+			Pass: p.Name(), Code: "SD001", Severity: Error, Instr: -1,
+			Message: err.Error(),
+		}}, nil
+	}
+
+	// Highest RAM byte in use: RAM-placed code (including its literal
+	// pools) and writable globals.
+	img := ctx.Image
+	maxUsed := img.Config.RAMBase
+	for _, pl := range img.Blocks {
+		if pl.InRAM && pl.End > maxUsed {
+			maxUsed = pl.End
+		}
+	}
+	for _, g := range ctx.Prog.Globals {
+		if g.RO {
+			continue
+		}
+		if addr, ok := img.Symbols[g.Name]; ok && addr+uint32(g.Size) > maxUsed {
+			maxUsed = addr + uint32(g.Size)
+		}
+	}
+
+	// Signed arithmetic: contents may already extend past the stack top.
+	limit := int64(img.StackTop()) - int64(maxUsed)
+	if int64(an.MaxDepth) > limit {
+		fn := ""
+		if len(an.DeepestPath) > 0 {
+			fn = an.DeepestPath[0]
+		}
+		return []Diagnostic{{
+			Pass: p.Name(), Code: "SD002", Severity: Error, Instr: -1, Func: fn,
+			Addr: maxUsed,
+			Message: fmt.Sprintf(
+				"worst-case stack %d bytes descends past %#x into placed RAM contents "+
+					"(only %d bytes free above %#x; deepest path: %s)",
+				an.MaxDepth, img.StackTop()-uint32(an.MaxDepth), limit, maxUsed,
+				strings.Join(an.DeepestPath, " → ")),
+		}}, nil
+	}
+	return nil, nil
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cfg"
 	"repro/internal/freq"
 	"repro/internal/ir"
@@ -102,6 +103,7 @@ type Report struct {
 	Transform  *transform.Report
 	Optimized0 *ir.Program // the transformed program
 	Image      *layout.Image
+	Analysis   *analysis.Result // static verification of the transformed image
 
 	// EnergyChange, TimeChange and PowerChange are fractional changes
 	// (optimized/baseline − 1); negative is an improvement for energy
@@ -199,6 +201,22 @@ func Optimize(p *ir.Program, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: optimized layout: %w", err)
 	}
+
+	// Static verification of the transformed artifact: every branch in
+	// range, every cross-memory edge instrumented with a dead scratch,
+	// the CFG preserved, the memory map sound, the stack bounded. Error
+	// diagnostics abort the run before simulation can mask them.
+	ares, err := analysis.Analyze(&analysis.Context{
+		Original: p, Prog: opt, InRAM: res.InRAM,
+		Config: opts.Layout, Image: optImg, Rspare: rspare,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	if n := len(ares.Errors()); n > 0 {
+		return nil, fmt.Errorf("core: analysis found %d error(s):\n%s", n, ares)
+	}
+
 	optMachine := sim.New(optImg, opts.Profile)
 	optStats, err := optMachine.Run()
 	if err != nil {
@@ -219,6 +237,7 @@ func Optimize(p *ir.Program, opts Options) (*Report, error) {
 		Transform:  trep,
 		Optimized0: opt,
 		Image:      optImg,
+		Analysis:   ares,
 	}
 	if rep.Baseline.EnergyMJ > 0 {
 		rep.Ke = rep.Optimized.EnergyMJ / rep.Baseline.EnergyMJ

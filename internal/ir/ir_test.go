@@ -164,6 +164,72 @@ func TestVerifyCatchesBadPrograms(t *testing.T) {
 	}
 }
 
+func TestVerifyBranchRangeAndBackPointers(t *testing.T) {
+	expect := func(t *testing.T, p *Program, want string) {
+		t.Helper()
+		err := Verify(p)
+		if err == nil {
+			t.Fatalf("Verify accepted bad program, want %q", want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error = %q, want substring %q", err, want)
+		}
+	}
+
+	t.Run("backward cbz", func(t *testing.T) {
+		p := NewProgram()
+		f := p.AddFunc(&Function{Name: "main"})
+		Build(f.AddBlock("a")).Nop()
+		Build(f.AddBlock("b")).Cbz(isa.R0, "a")
+		Build(f.AddBlock("c")).Ret()
+		p.Reindex()
+		expect(t, p, "forward displacements only")
+	})
+
+	t.Run("out-of-range cbnz", func(t *testing.T) {
+		p := NewProgram()
+		f := p.AddFunc(&Function{Name: "main"})
+		Build(f.AddBlock("near")).Cbnz(isa.R0, "far")
+		// 70 two-byte instructions: a 140-byte lower bound, beyond any
+		// cbz/cbnz encoding regardless of layout decisions.
+		mid := Build(f.AddBlock("mid"))
+		for i := 0; i < 70; i++ {
+			mid.Nop()
+		}
+		mid.Ret()
+		Build(f.AddBlock("far")).Ret()
+		p.Reindex()
+		expect(t, p, "beyond the 126-byte cbz/cbnz range")
+	})
+
+	t.Run("stale literal back-pointer", func(t *testing.T) {
+		p := NewProgram()
+		f := p.AddFunc(&Function{Name: "main"})
+		Build(f.AddBlock("entry")).LdrLit(isa.R4, "tail").Nop()
+		Build(f.AddBlock("tail")).Ret()
+		p.Reindex()
+		MustVerify(p)
+		f.Block("tail").Index = 7 // corrupt without Reindex
+		expect(t, p, "stale back-pointers")
+	})
+
+	t.Run("predicated literal crosses functions", func(t *testing.T) {
+		p := NewProgram()
+		f := p.AddFunc(&Function{Name: "main"})
+		b1 := f.AddBlock("b1")
+		Build(b1).CmpImm(isa.R0, 0)
+		b1.Append(isa.Instr{Op: isa.IT, Cond: isa.NE, ITMask: "e"})
+		b1.Append(isa.Instr{Op: isa.LDRLIT, Cond: isa.NE, Rd: isa.R5, Sym: "other_entry"})
+		b1.Append(isa.Instr{Op: isa.LDRLIT, Cond: isa.EQ, Rd: isa.R5, Sym: "b2"})
+		b1.Append(isa.Instr{Op: isa.BX, Rm: isa.R5})
+		Build(f.AddBlock("b2")).Ret()
+		g := p.AddFunc(&Function{Name: "other"})
+		Build(g.AddBlock("other_entry")).Ret()
+		p.Reindex()
+		expect(t, p, "targets a block of function")
+	})
+}
+
 func TestVerifyAcceptsInstrumentationShapes(t *testing.T) {
 	// The Figure 4 conditional form: it / ldrCC r5,=a / ldrCC' r5,=b / bx r5
 	p := NewProgram()

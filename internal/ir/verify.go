@@ -13,6 +13,11 @@ import (
 //     =label used by instrumentation) resolves to a block label; every bl
 //     target resolves to a function; every ldr =sym data reference resolves
 //     to a global, function or block
+//   - cbz/cbnz targets lie forward and within the encodable 126-byte
+//     range (using a 2-bytes-per-instruction lower bound on the skipped
+//     distance, so no layout decision can rescue a rejected branch)
+//   - blocks referenced by literal loads carry fresh Reindex back-pointers,
+//     and predicated (instrumentation) literals stay within their function
 //   - control-transfer instructions appear only as block terminators
 //     (instrumentation bx sequences excepted: the predicated ldr pair
 //     before a bx is permitted)
@@ -95,6 +100,26 @@ func Verify(p *Program) error {
 						return fmt.Errorf("ir: %s/%s: branch crosses into function %s",
 							f.Name, b.Label, tgt.Func.Name)
 					}
+					if in.Op == isa.CBZ || in.Op == isa.CBNZ {
+						if tgt.Index <= bi {
+							return fmt.Errorf("ir: %s/%s: %s targets %q backward; cbz/cbnz encode forward displacements only",
+								f.Name, b.Label, in.Op, in.Sym)
+						}
+						// Lower bound on the displacement: every skipped
+						// instruction occupies at least 2 bytes whatever
+						// widths layout later picks, and the encoding
+						// reaches at most pc+4+126 — 128 bytes past the
+						// cbz itself. If even the lower bound is out of
+						// reach, no layout can encode this branch.
+						min := 0
+						for _, between := range f.Blocks[bi+1 : tgt.Index] {
+							min += 2 * len(between.Instrs)
+						}
+						if min > 128 {
+							return fmt.Errorf("ir: %s/%s: %s to %q skips at least %d bytes, beyond the 126-byte cbz/cbnz range",
+								f.Name, b.Label, in.Op, in.Sym, min)
+						}
+					}
 				case isa.BL:
 					if _, ok := funcs[in.Sym]; !ok {
 						return fmt.Errorf("ir: %s/%s: call to unknown function %q",
@@ -112,13 +137,34 @@ func Verify(p *Program) error {
 							return fmt.Errorf("ir: %s/%s: ldr pc not at block end",
 								f.Name, b.Label)
 						}
-						if _, ok := labels[in.Sym]; !ok {
+						tgt, ok := labels[in.Sym]
+						if !ok {
 							return fmt.Errorf("ir: %s/%s: ldr pc to unknown label %q",
 								f.Name, b.Label, in.Sym)
 						}
-					} else if !in.HasImm && !symExists(in.Sym) {
-						return fmt.Errorf("ir: %s/%s: ldr =%s references unknown symbol",
-							f.Name, b.Label, in.Sym)
+						if tgt.Func != f {
+							return fmt.Errorf("ir: %s/%s: ldr pc crosses into function %s",
+								f.Name, b.Label, tgt.Func.Name)
+						}
+					} else if !in.HasImm {
+						if !symExists(in.Sym) {
+							return fmt.Errorf("ir: %s/%s: ldr =%s references unknown symbol",
+								f.Name, b.Label, in.Sym)
+						}
+						// Instrumentation literals resolve through the
+						// target's back-pointers at layout time; a stale
+						// clone would silently address the wrong block.
+						if tgt, ok := labels[in.Sym]; ok {
+							if tgt.Func == nil || tgt.Index >= len(tgt.Func.Blocks) ||
+								tgt.Func.Blocks[tgt.Index] != tgt {
+								return fmt.Errorf("ir: %s/%s: ldr =%s references block with stale back-pointers (call Reindex)",
+									f.Name, b.Label, in.Sym)
+							}
+							if in.Cond != isa.AL && tgt.Func != f {
+								return fmt.Errorf("ir: %s/%s: predicated ldr =%s targets a block of function %s",
+									f.Name, b.Label, in.Sym, tgt.Func.Name)
+							}
+						}
 					}
 				case isa.POP:
 					if in.RegList&(1<<isa.PC) != 0 && !last {

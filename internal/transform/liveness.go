@@ -108,6 +108,37 @@ func liveOutSets(p *ir.Program, f *ir.Function) (map[*ir.Block]regSet, error) {
 	return liveOut, nil
 }
 
+// LiveSet is an exported register bitmask over r0..pc, for consumers that
+// need to cross-check the scavenger's decisions (internal/analysis).
+type LiveSet uint16
+
+// Has reports whether the register is in the set.
+func (s LiveSet) Has(r isa.Reg) bool { return regSet(s).has(r) }
+
+// LiveOut computes the per-block live-out register sets of one function,
+// keyed by block label. It is the same analysis the scavenger uses, so a
+// verifier comparing against it sees exactly the facts the transformation
+// relied on.
+func LiveOut(p *ir.Program, f *ir.Function) (map[string]LiveSet, error) {
+	lo, err := liveOutSets(p, f)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]LiveSet, len(lo))
+	for b, s := range lo {
+		out[b.Label] = LiveSet(s)
+	}
+	return out, nil
+}
+
+// UsesOf returns the liveness-augmented use set of an instruction: plain
+// register reads plus the AAPCS argument registers for calls and the
+// conservative return-live set for returns.
+func UsesOf(in *isa.Instr) LiveSet { return LiveSet(instrUses(in)) }
+
+// DefsOf returns the registers the instruction writes.
+func DefsOf(in *isa.Instr) LiveSet { return LiveSet(instrDefs(in)) }
+
 // scavenge returns a provably dead low register at the end of block b, or
 // (ScratchReg, false) when none can be proven dead.
 func scavenge(liveOut regSet) (isa.Reg, bool) {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# check.sh — lint gate run alongside the tier-1 tests (see ROADMAP.md).
+#
+#   gofmt -l            all Go sources formatted
+#   go vet ./...        no vet complaints
+#   flashram analyze    static analysis suite clean on every BEEBS
+#                       benchmark and on the examples/kernels sources,
+#                       at both paper levels (O2, Os)
+#
+# Exits non-zero on the first failure.
+set -e
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l cmd internal examples bench_test.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+
+go build -o /tmp/flashram.check ./cmd/flashram
+trap 'rm -f /tmp/flashram.check' EXIT
+
+for level in O2 Os; do
+    /tmp/flashram.check analyze -all -O "$level"
+    for src in examples/kernels/*.c; do
+        /tmp/flashram.check analyze -src "$src" -O "$level"
+    done
+done
+
+echo "check.sh: all clean"
