@@ -24,6 +24,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/trace"
 
 	"repro/internal/cfg"
 	"repro/internal/freq"
@@ -310,6 +311,30 @@ func BenchmarkSimulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := sim.New(img, power.STM32F100())
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
+// BenchmarkSimulatorTraced is BenchmarkSimulator with the energy
+// attribution collector attached; comparing the two quantifies the
+// observer hook's overhead (the nil-hook path above is the baseline that
+// must not regress).
+func BenchmarkSimulatorTraced(b *testing.B) {
+	img, err := layout.New(ir.Figure2Program(), layout.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	m.Attach(trace.NewCollector())
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {

@@ -3,14 +3,22 @@
 //	beebsbench -fig5        Figure 5 (per-benchmark % change at O2 and Os,
 //	                        with the actual-frequency dots)
 //	beebsbench -aggregate   the §6 averages over O0..Os
+//	beebsbench -savers      the blocks behind each benchmark's saving
 //	beebsbench -casestudy   the §7 periodic-sensing numbers for fdct
 //	beebsbench -fig9        Figure 9 (energy % versus period T)
+//
+// -workers N runs the benchmark × level sweeps across N goroutines (the
+// output is deterministic at any worker count); -json emits the selected
+// sections as one machine-readable document using the schema shared with
+// `flashram profile -json` and `tradeoff -json`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
@@ -18,41 +26,79 @@ import (
 	"repro/internal/mcc"
 )
 
+// document is the `beebsbench -json` output: one optional section per
+// selected experiment.
+type document struct {
+	Fig5      []evaluation.Figure5RowJSON    `json:"fig5,omitempty"`
+	Aggregate *evaluation.AggregateJSON      `json:"aggregate,omitempty"`
+	Savers    []evaluation.SaversRowJSON     `json:"savers,omitempty"`
+	CaseStudy *evaluation.ScenarioJSON       `json:"casestudy,omitempty"`
+	Fig9      []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
+	WallMS    float64                        `json:"wall_ms"`
+	Workers   int                            `json:"workers"`
+}
+
 func main() {
 	var (
 		fig5      = flag.Bool("fig5", false, "regenerate Figure 5")
 		aggregate = flag.Bool("aggregate", false, "regenerate the §6 aggregate numbers")
+		savers    = flag.Bool("savers", false, "report which blocks produced each benchmark's energy saving (O2, Os)")
 		study     = flag.Bool("casestudy", false, "regenerate the §7 case study")
 		fig9      = flag.Bool("fig9", false, "regenerate Figure 9")
 		all       = flag.Bool("all", false, "run everything")
+		workers   = flag.Int("workers", 1, "benchmark sweep worker goroutines")
+		top       = flag.Int("top", 3, "blocks per run in the -savers report")
+		asJSON    = flag.Bool("json", false, "emit the selected sections as one JSON document")
 	)
 	flag.Parse()
-	if !(*fig5 || *aggregate || *study || *fig9 || *all) {
+	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
+	evaluation.Workers = *workers
 
+	start := time.Now()
+	var doc document
+	doc.Workers = *workers
 	if *fig5 || *all {
-		runFig5()
+		runFig5(*asJSON, &doc)
 	}
 	if *aggregate || *all {
-		runAggregate()
+		runAggregate(*asJSON, &doc)
+	}
+	if *savers || *all {
+		runSavers(*asJSON, *top, &doc)
 	}
 	if *study || *all {
-		runCaseStudy()
+		runCaseStudy(*asJSON, &doc)
 	}
 	if *fig9 || *all {
-		runFig9()
+		runFig9(*asJSON, &doc)
+	}
+	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("wall clock: %.0f ms with %d worker(s)\n", doc.WallMS, *workers)
 	}
 }
 
-func runFig5() {
-	fmt.Println("== Figure 5: % change per benchmark (energy, time), O2 and Os ==")
-	fmt.Println("   dots: the same run with actual (profiled) block frequencies")
+func runFig5(asJSON bool, doc *document) {
 	rows, err := evaluation.Figure5([]mcc.OptLevel{mcc.O2, mcc.Os})
 	if err != nil {
 		fatal(err)
 	}
+	if asJSON {
+		doc.Fig5 = evaluation.NewFigure5JSON(rows)
+		return
+	}
+	fmt.Println("== Figure 5: % change per benchmark (energy, time), O2 and Os ==")
+	fmt.Println("   dots: the same run with actual (profiled) block frequencies")
 	fmt.Printf("%-15s %-4s %9s %9s %9s | %9s %9s\n",
 		"benchmark", "lvl", "energy%", "time%", "power%", "E%(freq)", "T%(freq)")
 	for _, r := range rows {
@@ -63,12 +109,17 @@ func runFig5() {
 	fmt.Println()
 }
 
-func runAggregate() {
-	fmt.Println("== §6 aggregate over O0, O1, O2, O3, Os ==")
+func runAggregate(asJSON bool, doc *document) {
 	agg, err := evaluation.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
 	if err != nil {
 		fatal(err)
 	}
+	if asJSON {
+		j := evaluation.NewAggregateJSON(agg)
+		doc.Aggregate = &j
+		return
+	}
+	fmt.Println("== §6 aggregate over O0, O1, O2, O3, Os ==")
 	fmt.Printf("runs: %d (10 benchmarks x 5 levels)\n", len(agg.Runs))
 	fmt.Printf("mean energy change: %+.1f%%   (paper: -7.7%%)\n", 100*agg.MeanEnergyChange)
 	fmt.Printf("mean power  change: %+.1f%%   (paper: -21.9%%)\n", 100*agg.MeanPowerChange)
@@ -80,13 +131,38 @@ func runAggregate() {
 	fmt.Println()
 }
 
-func runCaseStudy() {
-	fmt.Println("== §7 case study: periodic sensing with the fdct active region ==")
+func runSavers(asJSON bool, top int, doc *document) {
+	rows, err := evaluation.TopSavers([]mcc.OptLevel{mcc.O2, mcc.Os}, top)
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		doc.Savers = evaluation.NewSaversJSON(rows)
+		return
+	}
+	fmt.Println("== blocks behind each benchmark's energy saving (attribution diff) ==")
+	for _, r := range rows {
+		fmt.Printf("%-15s %-4v total %+0.1f%%:", r.Bench, r.Level, 100*r.Report.EnergyChange)
+		for _, s := range r.Savers {
+			fmt.Printf("  %s %+0.2fuJ", s.Label, s.SavedNJ/1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func runCaseStudy(asJSON bool, doc *document) {
 	r, err := evaluation.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
 	if err != nil {
 		fatal(err)
 	}
 	sc := evaluation.Scenario(r)
+	if asJSON {
+		j := evaluation.NewScenarioJSON(sc)
+		doc.CaseStudy = &j
+		return
+	}
+	fmt.Println("== §7 case study: periodic sensing with the fdct active region ==")
 	fmt.Printf("measured: E0 = %.4f mJ, TA = %.4f ms, ke = %.3f, kt = %.3f, PS = %.1f mW\n",
 		sc.E0, 1e3*sc.TA, sc.Ke, sc.Kt, sc.PS)
 	fmt.Printf("paper   : E0 = 16.9 mJ,  TA = 1180 ms,  ke = 0.825, kt = 1.33,  PS = 3.5 mW\n")
@@ -107,13 +183,17 @@ func runCaseStudy() {
 	fmt.Println()
 }
 
-func runFig9() {
-	fmt.Println("== Figure 9: energy consumption (%) vs period T ==")
+func runFig9(asJSON bool, doc *document) {
 	mult := []float64{1, 2, 3, 4, 6, 8, 12, 16}
 	series, err := evaluation.Figure9(mcc.O2, mult)
 	if err != nil {
 		fatal(err)
 	}
+	if asJSON {
+		doc.Fig9 = evaluation.NewFigure9JSON(series)
+		return
+	}
+	fmt.Println("== Figure 9: energy consumption (%) vs period T ==")
 	fmt.Printf("%-8s", "T/TA")
 	for _, s := range series {
 		fmt.Printf(" %14s", s.Bench)

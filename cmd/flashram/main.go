@@ -10,6 +10,8 @@
 //	flashram -fig1
 //	flashram analyze -all            # static-analysis lint, no simulation
 //	flashram analyze -bench crc32 -v
+//	flashram profile -bench sha -O Os -top 5
+//	flashram profile -bench crc32 -json
 package main
 
 import (
@@ -29,6 +31,10 @@ func main() {
 		runAnalyze(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		runProfile(os.Args[2:])
+		return
+	}
 	var (
 		benchName = flag.String("bench", "", "built-in BEEBS benchmark name")
 		srcFile   = flag.String("src", "", "mcc source file to compile")
@@ -38,6 +44,7 @@ func main() {
 		rspare    = flag.Float64("rspare", 0, "RAM budget for code in bytes (0 = derive)")
 		profile   = flag.Bool("profile", false, "use measured block frequencies instead of the static estimate")
 		linktime  = flag.Bool("linktime", false, "link-time mode: library code (soft-float) becomes placeable (§8 future work)")
+		maxinstr  = flag.Uint64("maxinstr", 0, "per-run instruction limit (0 = simulator default)")
 		dump      = flag.Bool("dump", false, "dump the optimized assembly")
 		emit      = flag.String("emit", "", "write the encoded machine-code image to <prefix>.flash.bin and <prefix>.ram.bin")
 		disasm    = flag.Bool("disasm", false, "disassemble the optimized image (encoded bytes + assembly)")
@@ -102,6 +109,7 @@ func main() {
 		Rspare:     *rspare,
 		UseProfile: *profile,
 		LinkTime:   *linktime,
+		MaxInstrs:  *maxinstr,
 	})
 	if err != nil {
 		fatal(err)

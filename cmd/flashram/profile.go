@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/beebs"
+	"repro/internal/core"
+	"repro/internal/evaluation"
+	"repro/internal/isa"
+	"repro/internal/mcc"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// profileDoc is the `flashram profile -json` document. The run and
+// attribution sections reuse the shared schema (internal/evaluation and
+// internal/trace JSON types) so beebsbench/tradeoff consumers parse the
+// same field names.
+type profileDoc struct {
+	Bench     string                 `json:"bench"`
+	Level     string                 `json:"level"`
+	Solver    string                 `json:"solver"`
+	Run       evaluation.RunJSON     `json:"run"`
+	Baseline  trace.ProfileJSON      `json:"baseline_profile"`
+	Optimized trace.ProfileJSON      `json:"optimized_profile"`
+	Savers    []evaluation.SaverJSON `json:"savers"`
+	ModelDiff trace.DiffJSON         `json:"model_diff"`
+}
+
+// runProfile implements the `flashram profile` subcommand: run the full
+// pipeline with the energy-attribution tracer attached, then report where
+// the cycles and nanojoules went — per block, function, memory and class —
+// plus the before/after attribution diff and the model-vs-measured
+// comparison of §6.
+func runProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	var (
+		benchName = fs.String("bench", "", "built-in BEEBS benchmark name")
+		srcFile   = fs.String("src", "", "mcc source file to compile")
+		level     = fs.String("O", "O2", "optimization level: O0 O1 O2 O3 Os")
+		solver    = fs.String("solver", "ilp", "placement solver: ilp greedy function exhaustive")
+		xlimit    = fs.Float64("xlimit", 0, "max execution-time ratio (0 = default 2.0)")
+		rspare    = fs.Float64("rspare", 0, "RAM budget for code in bytes (0 = derive)")
+		useFreq   = fs.Bool("profile", false, "use measured block frequencies instead of the static estimate")
+		linktime  = fs.Bool("linktime", false, "link-time mode: library code becomes placeable")
+		top       = fs.Int("top", 10, "rows per table (<= 0 shows everything)")
+		outlier   = fs.Float64("outlier", 0.5, "relative model-vs-measured disagreement that flags a block")
+		maxinstr  = fs.Uint64("maxinstr", 0, "per-run instruction limit (0 = simulator default)")
+		asJSON    = fs.Bool("json", false, "emit one machine-readable JSON document")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: flashram profile [-bench name | -src file] [flags]
+
+Runs the placement pipeline with the cycle-level energy-attribution tracer
+attached to both simulations and reports the hot blocks, the per-memory and
+per-class splits, which blocks produced the energy saving, and where the
+ILP cost model disagrees with the measured attribution.`)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	optLevel, err := mcc.ParseOptLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+
+	var source, name string
+	switch {
+	case *benchName != "":
+		b := beebs.Get(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use flashram -list)", *benchName))
+		}
+		source, name = b.Source, b.Name
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fatal(err)
+		}
+		source, name = string(data), *srcFile
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := mcc.Compile(source, optLevel)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := core.Optimize(prog, core.Options{
+		Solver:     core.Solver(*solver),
+		Xlimit:     *xlimit,
+		Rspare:     *rspare,
+		UseProfile: *useFreq,
+		LinkTime:   *linktime,
+		Trace:      true,
+		MaxInstrs:  *maxinstr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	diff := trace.ModelDiff(rep.OptimizedTrace, rep.Model, rep.Placement.InRAM,
+		trace.DiffOptions{OutlierRelErr: *outlier})
+	savers := rep.BlockSavings(*top)
+	run := &evaluation.Run{Bench: name, Level: optLevel, Report: rep}
+
+	if *asJSON {
+		doc := profileDoc{
+			Bench:     name,
+			Level:     optLevel.String(),
+			Solver:    *solver,
+			Run:       evaluation.NewRunJSON(run),
+			Baseline:  rep.BaselineTrace.JSON(*top),
+			Optimized: rep.OptimizedTrace.JSON(*top),
+			ModelDiff: diff.JSON(*top),
+		}
+		for _, s := range savers {
+			doc.Savers = append(doc.Savers, evaluation.NewSaverJSON(s))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%s at %v (%s solver)\n", name, optLevel, *solver)
+	fmt.Printf("  baseline : %.4f mJ, %.3f ms, %.2f mW (%d cycles)\n",
+		rep.Baseline.EnergyMJ, 1e3*rep.Baseline.TimeS, rep.Baseline.PowerMW, rep.Baseline.Cycles)
+	fmt.Printf("  optimized: %.4f mJ, %.3f ms, %.2f mW (%d cycles)\n",
+		rep.Optimized.EnergyMJ, 1e3*rep.Optimized.TimeS, rep.Optimized.PowerMW, rep.Optimized.Cycles)
+	fmt.Printf("  change   : energy %+.1f%%, time %+.1f%%, power %+.1f%%\n",
+		100*rep.EnergyChange, 100*rep.TimeChange, 100*rep.PowerChange)
+
+	printHotBlocks("baseline", rep.BaselineTrace, *top)
+	printHotBlocks("optimized", rep.OptimizedTrace, *top)
+	printMemAndClass(rep.OptimizedTrace)
+	printSavers(rep, savers)
+	printDiff(diff, *top)
+}
+
+func printHotBlocks(which string, p *trace.Profile, top int) {
+	fmt.Printf("\nhot blocks (%s run), by attributed energy:\n", which)
+	fmt.Printf("  %-22s %-14s %-5s %9s %10s %7s %11s %6s\n",
+		"block", "func", "mem", "entries", "cycles", "stalls", "energy(uJ)", "share")
+	for _, b := range p.TopBlocks(top) {
+		mem := power.Flash
+		if b.InRAM {
+			mem = power.RAM
+		}
+		share := 0.0
+		if p.TotalEnergyNJ > 0 {
+			share = b.EnergyNJ / p.TotalEnergyNJ
+		}
+		fmt.Printf("  %-22s %-14s %-5s %9d %10d %7d %11.2f %5.1f%%\n",
+			b.Label, b.Func, mem, b.Entries, b.Cycles, b.StallCycles,
+			b.EnergyNJ/1e3, 100*share)
+	}
+}
+
+func printMemAndClass(p *trace.Profile) {
+	fmt.Println("\nattribution by fetch memory and instruction class (optimized run):")
+	for _, mem := range []power.Memory{power.Flash, power.RAM} {
+		fmt.Printf("  %-6s %12d cycles %12.2f uJ (%5.1f%% of energy)\n",
+			mem, p.ByMem[mem].Cycles, p.ByMem[mem].EnergyNJ/1e3, 100*p.MemShare(mem))
+	}
+	for i, c := range p.ByClass {
+		if c.Instructions == 0 {
+			continue
+		}
+		share := 0.0
+		if p.TotalEnergyNJ > 0 {
+			share = c.EnergyNJ / p.TotalEnergyNJ
+		}
+		fmt.Printf("  %-6s %12d cycles %12.2f uJ (%5.1f%% of energy)\n",
+			isa.Class(i), c.Cycles, c.EnergyNJ/1e3, 100*share)
+	}
+}
+
+func printSavers(rep *core.Report, savers []core.BlockSaving) {
+	fmt.Println("\nwhere the saving came from (baseline → optimized attribution diff):")
+	fmt.Printf("  %-22s %-14s %-5s %11s %11s %11s\n",
+		"block", "func", "mem", "base(uJ)", "opt(uJ)", "saved(uJ)")
+	for _, s := range savers {
+		mem := "flash"
+		if s.InRAM {
+			mem = "ram"
+		}
+		fmt.Printf("  %-22s %-14s %-5s %11.2f %11.2f %+11.2f\n",
+			s.Label, s.Func, mem, s.BaselineNJ/1e3, s.OptimizedNJ/1e3, s.SavedNJ/1e3)
+	}
+}
+
+func printDiff(d *trace.Diff, top int) {
+	fmt.Printf("\nmodel vs measured energy shares (optimized run): %d outlier block(s)\n", d.Outliers)
+	fmt.Printf("  %-22s %-14s %-5s %9s %9s %9s %9s %7s\n",
+		"block", "func", "mem", "meas", "pred", "Fmeas", "Fpred", "relerr")
+	n := 0
+	for _, b := range d.Blocks {
+		if n >= top && top > 0 {
+			break
+		}
+		flag := " "
+		if b.Outlier {
+			flag = "!"
+		}
+		mem := "flash"
+		if b.InRAM {
+			mem = "ram"
+		}
+		fmt.Printf("%s %-22s %-14s %-5s %8.1f%% %8.1f%% %9.0f %9.0f %6.0f%%\n",
+			flag, b.Label, b.Func, mem, 100*b.MeasuredShare, 100*b.PredictedShare,
+			b.MeasuredF, b.PredictedF, 100*b.RelErr)
+		n++
+	}
+	if d.Outliers > 0 {
+		fmt.Println("  (! = model off by more than the -outlier threshold on a significant block —")
+		fmt.Println("   §6: usually the static frequency estimate missing data-dependent behaviour)")
+	}
+}

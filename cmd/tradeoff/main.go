@@ -5,9 +5,11 @@
 //
 //	tradeoff -bench int_matmult -k 8
 //	tradeoff -bench fdct -k 8 -points
+//	tradeoff -bench fdct -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +24,7 @@ func main() {
 		level     = flag.String("O", "O2", "optimization level")
 		k         = flag.Int("k", 8, "number of hottest blocks to enumerate (2^k placements)")
 		points    = flag.Bool("points", false, "dump every cloud point (mask energy cycles ram)")
+		asJSON    = flag.Bool("json", false, "emit the Figure 6 dataset as JSON (cloud points included with -points)")
 	)
 	flag.Parse()
 
@@ -34,6 +37,15 @@ func main() {
 	data, err := evaluation.Figure6(*benchName, optLevel, *k, ramSweep, xSweep)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(evaluation.NewFigure6JSON(data, optLevel.String(), *points)); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("Figure 6 for %s at %v: 2^%d placements over blocks %v\n",

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/analysis"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/transform"
 )
 
@@ -62,6 +64,12 @@ type Options struct {
 	// sees library code (soft-float runtime) and may place it in RAM,
 	// as if the pass ran in the linker with a full view of the program.
 	LinkTime bool
+	// Trace attaches an energy-attribution collector (internal/trace) to
+	// both simulations and fills Report.BaselineTrace/OptimizedTrace.
+	Trace bool
+	// MaxInstrs bounds each simulated run (0 = simulator default); runs
+	// exceeding it fault with the current block and function named.
+	MaxInstrs uint64
 }
 
 func (o *Options) fill() {
@@ -105,6 +113,11 @@ type Report struct {
 	Image      *layout.Image
 	Analysis   *analysis.Result // static verification of the transformed image
 
+	// BaselineTrace and OptimizedTrace are the per-block energy
+	// attributions of the two runs (nil unless Options.Trace).
+	BaselineTrace  *trace.Profile
+	OptimizedTrace *trace.Profile
+
 	// EnergyChange, TimeChange and PowerChange are fractional changes
 	// (optimized/baseline − 1); negative is an improvement for energy
 	// and power.
@@ -137,6 +150,12 @@ func Optimize(p *ir.Program, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("core: baseline layout: %w", err)
 	}
 	baseMachine := sim.New(baseImg, opts.Profile)
+	baseMachine.MaxInstrs = opts.MaxInstrs
+	var baseCol *trace.Collector
+	if opts.Trace {
+		baseCol = trace.NewCollector()
+		baseMachine.Attach(baseCol)
+	}
 	baseStats, err := baseMachine.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline run: %w", err)
@@ -218,6 +237,12 @@ func Optimize(p *ir.Program, opts Options) (*Report, error) {
 	}
 
 	optMachine := sim.New(optImg, opts.Profile)
+	optMachine.MaxInstrs = opts.MaxInstrs
+	var optCol *trace.Collector
+	if opts.Trace {
+		optCol = trace.NewCollector()
+		optMachine.Attach(optCol)
+	}
 	optStats, err := optMachine.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: optimized run: %w", err)
@@ -238,6 +263,19 @@ func Optimize(p *ir.Program, opts Options) (*Report, error) {
 		Optimized0: opt,
 		Image:      optImg,
 		Analysis:   ares,
+	}
+	if opts.Trace {
+		rep.BaselineTrace = baseCol.Profile()
+		rep.OptimizedTrace = optCol.Profile()
+		// The attribution invariant is cheap to check and catastrophic to
+		// miss: every nanojoule the simulator charged must have landed in
+		// exactly one block.
+		if err := rep.BaselineTrace.CheckConservation(baseStats); err != nil {
+			return nil, fmt.Errorf("core: baseline %w", err)
+		}
+		if err := rep.OptimizedTrace.CheckConservation(optStats); err != nil {
+			return nil, fmt.Errorf("core: optimized %w", err)
+		}
 	}
 	if rep.Baseline.EnergyMJ > 0 {
 		rep.Ke = rep.Optimized.EnergyMJ / rep.Baseline.EnergyMJ
@@ -298,6 +336,61 @@ func compareGlobals(p *ir.Program, a, b *sim.Machine) error {
 		}
 	}
 	return nil
+}
+
+// BlockSaving attributes part of the run-level energy change to one
+// block: the difference between its baseline and optimized attributed
+// energy. Positive SavedNJ is a saving. Blocks that appear in only one
+// run (e.g. never executed after optimization) still get a row.
+type BlockSaving struct {
+	Label       string
+	Func        string
+	InRAM       bool // placed in RAM in the optimized image
+	BaselineNJ  float64
+	OptimizedNJ float64
+	SavedNJ     float64
+}
+
+// BlockSavings ranks blocks by their contribution to the measured energy
+// change, largest absolute contribution first (n <= 0 returns all).
+// Requires Options.Trace; returns nil when the report has no traces.
+func (r *Report) BlockSavings(n int) []BlockSaving {
+	if r.BaselineTrace == nil || r.OptimizedTrace == nil {
+		return nil
+	}
+	rows := make(map[string]*BlockSaving)
+	get := func(label, fn string) *BlockSaving {
+		s := rows[label]
+		if s == nil {
+			s = &BlockSaving{Label: label, Func: fn}
+			rows[label] = s
+		}
+		return s
+	}
+	for lbl, b := range r.BaselineTrace.Blocks {
+		get(lbl, b.Func).BaselineNJ = b.EnergyNJ
+	}
+	for lbl, b := range r.OptimizedTrace.Blocks {
+		s := get(lbl, b.Func)
+		s.OptimizedNJ = b.EnergyNJ
+		s.InRAM = b.InRAM
+	}
+	out := make([]BlockSaving, 0, len(rows))
+	for _, s := range rows {
+		s.SavedNJ = s.BaselineNJ - s.OptimizedNJ
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].SavedNJ), math.Abs(out[j].SavedNJ)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Label < out[j].Label
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
 }
 
 // MovedLabels returns the RAM-placed block labels, sorted.

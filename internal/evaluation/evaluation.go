@@ -41,6 +41,11 @@ type Options struct {
 	// LinkTime enables the §8 link-time extension (library code becomes
 	// placeable).
 	LinkTime bool
+	// Trace attaches the internal/trace attribution collectors, filling
+	// Report.BaselineTrace/OptimizedTrace.
+	Trace bool
+	// MaxInstrs bounds each simulated run (0 = simulator default).
+	MaxInstrs uint64
 }
 
 // RunBenchmark executes the full pipeline for one benchmark at one level.
@@ -55,6 +60,8 @@ func RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, e
 		Xlimit:     opts.Xlimit,
 		Rspare:     opts.Rspare,
 		LinkTime:   opts.LinkTime,
+		Trace:      opts.Trace,
+		MaxInstrs:  opts.MaxInstrs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
@@ -74,31 +81,52 @@ type Figure5Row struct {
 
 // Figure5 reproduces the Figure 5 sweep: every benchmark at the given
 // levels (the paper plots O2 and Os), with both the static estimate and
-// actual frequencies.
+// actual frequencies. The benchmark × level jobs run across the Workers
+// pool; row order is benchmark-major regardless of parallelism.
 func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
-	var rows []Figure5Row
-	for _, b := range beebs.All() {
-		for _, level := range levels {
-			static, err := RunBenchmark(b, level, Options{})
-			if err != nil {
-				return nil, err
-			}
-			prof, err := RunBenchmark(b, level, Options{UseProfile: true})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Figure5Row{
-				Bench:            b.Name,
-				Level:            level,
-				EnergyChange:     static.Report.EnergyChange,
-				TimeChange:       static.Report.TimeChange,
-				PowerChange:      static.Report.PowerChange,
-				ProfEnergyChange: prof.Report.EnergyChange,
-				ProfTimeChange:   prof.Report.TimeChange,
-			})
+	jobs := sweepJobs(levels)
+	rows := make([]Figure5Row, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		static, err := RunBenchmark(j.bench, j.level, Options{})
+		if err != nil {
+			return err
 		}
+		prof, err := RunBenchmark(j.bench, j.level, Options{UseProfile: true})
+		if err != nil {
+			return err
+		}
+		rows[i] = Figure5Row{
+			Bench:            j.bench.Name,
+			Level:            j.level,
+			EnergyChange:     static.Report.EnergyChange,
+			TimeChange:       static.Report.TimeChange,
+			PowerChange:      static.Report.PowerChange,
+			ProfEnergyChange: prof.Report.EnergyChange,
+			ProfTimeChange:   prof.Report.TimeChange,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// sweepJob is one benchmark × level cell of an evaluation sweep.
+type sweepJob struct {
+	bench *beebs.Benchmark
+	level mcc.OptLevel
+}
+
+func sweepJobs(levels []mcc.OptLevel) []sweepJob {
+	var jobs []sweepJob
+	for _, b := range beebs.All() {
+		for _, level := range levels {
+			jobs = append(jobs, sweepJob{b, level})
+		}
+	}
+	return jobs
 }
 
 // Aggregate is the §6 summary over all benchmarks and levels: "the average
@@ -117,41 +145,85 @@ type Aggregate struct {
 	FailedPlacement  int // runs where nothing could be placed
 }
 
-// RunAggregate evaluates all benchmarks across the given levels.
+// RunAggregate evaluates all benchmarks across the given levels. The
+// benchmark × level runs execute across the Workers pool; the aggregation
+// itself is serial over the deterministically ordered results, so the
+// reported means are bit-identical at any worker count.
 func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
 	agg := &Aggregate{Levels: levels}
-	n := 0
-	for _, b := range beebs.All() {
-		for _, level := range levels {
-			r, err := RunBenchmark(b, level, Options{})
-			if err != nil {
-				return nil, err
-			}
-			agg.Runs = append(agg.Runs, *r)
-			rep := r.Report
-			agg.MeanEnergyChange += rep.EnergyChange
-			agg.MeanPowerChange += rep.PowerChange
-			agg.MeanTimeChange += rep.TimeChange
-			if saving := -rep.EnergyChange; saving > agg.MaxEnergySaving {
-				agg.MaxEnergySaving = saving
-				agg.MaxEnergyBench = fmt.Sprintf("%s %v", b.Name, level)
-			}
-			if saving := -rep.PowerChange; saving > agg.MaxPowerSaving {
-				agg.MaxPowerSaving = saving
-				agg.MaxPowerBench = fmt.Sprintf("%s %v", b.Name, level)
-			}
-			if len(rep.MovedLabels()) == 0 {
-				agg.FailedPlacement++
-			}
-			n++
+	jobs := sweepJobs(levels)
+	runs := make([]*Run, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		r, err := RunBenchmark(jobs[i].bench, jobs[i].level, Options{})
+		if err != nil {
+			return err
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		agg.Runs = append(agg.Runs, *r)
+		rep := r.Report
+		agg.MeanEnergyChange += rep.EnergyChange
+		agg.MeanPowerChange += rep.PowerChange
+		agg.MeanTimeChange += rep.TimeChange
+		if saving := -rep.EnergyChange; saving > agg.MaxEnergySaving {
+			agg.MaxEnergySaving = saving
+			agg.MaxEnergyBench = fmt.Sprintf("%s %v", r.Bench, r.Level)
+		}
+		if saving := -rep.PowerChange; saving > agg.MaxPowerSaving {
+			agg.MaxPowerSaving = saving
+			agg.MaxPowerBench = fmt.Sprintf("%s %v", r.Bench, r.Level)
+		}
+		if len(rep.MovedLabels()) == 0 {
+			agg.FailedPlacement++
 		}
 	}
-	if n > 0 {
+	if n := len(runs); n > 0 {
 		agg.MeanEnergyChange /= float64(n)
 		agg.MeanPowerChange /= float64(n)
 		agg.MeanTimeChange /= float64(n)
 	}
 	return agg, nil
+}
+
+// SaversRow names the blocks behind one benchmark's measured energy
+// saving: the attribution diff between the baseline and optimized runs.
+type SaversRow struct {
+	Bench  string
+	Level  mcc.OptLevel
+	Report *core.Report
+	// Savers are the top blocks by absolute contribution to the energy
+	// change (positive SavedNJ = saving).
+	Savers []core.BlockSaving
+}
+
+// TopSavers runs every benchmark at the given levels with tracing enabled
+// and reports, per run, which blocks produced the energy saving. Jobs run
+// across the Workers pool with deterministic output order.
+func TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
+	jobs := sweepJobs(levels)
+	rows := make([]SaversRow, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		r, err := RunBenchmark(jobs[i].bench, jobs[i].level, Options{Trace: true})
+		if err != nil {
+			return err
+		}
+		rows[i] = SaversRow{
+			Bench:  r.Bench,
+			Level:  r.Level,
+			Report: r.Report,
+			Savers: r.Report.BlockSavings(n),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Figure6Data carries the trade-off cloud and solver paths for one

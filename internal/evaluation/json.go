@@ -1,0 +1,287 @@
+package evaluation
+
+import (
+	"repro/internal/casestudy"
+	"repro/internal/core"
+)
+
+// The types below are the machine-readable schema shared by the CLIs:
+// `beebsbench -json`, `tradeoff -json` and `flashram profile -json` all
+// emit these structures (plus internal/trace's ProfileJSON/DiffJSON for
+// attribution data), so downstream tooling parses one set of field names.
+// Convention: lower snake case with explicit unit suffixes (_mj, _ms,
+// _mw, _nj, _bytes).
+
+// MetricsJSON is one simulated run's headline numbers.
+type MetricsJSON struct {
+	EnergyMJ     float64 `json:"energy_mj"`
+	TimeMS       float64 `json:"time_ms"`
+	PowerMW      float64 `json:"power_mw"`
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	RAMCodeBytes int     `json:"ram_code_bytes"`
+}
+
+// NewMetricsJSON converts a core.RunMetrics.
+func NewMetricsJSON(m core.RunMetrics) MetricsJSON {
+	return MetricsJSON{
+		EnergyMJ:     m.EnergyMJ,
+		TimeMS:       1e3 * m.TimeS,
+		PowerMW:      m.PowerMW,
+		Cycles:       m.Cycles,
+		Instructions: m.Instructions,
+		RAMCodeBytes: m.RAMCodeBytes,
+	}
+}
+
+// RunJSON is one benchmark × level pipeline outcome.
+type RunJSON struct {
+	Bench        string      `json:"bench"`
+	Level        string      `json:"level"`
+	Baseline     MetricsJSON `json:"baseline"`
+	Optimized    MetricsJSON `json:"optimized"`
+	EnergyChange float64     `json:"energy_change"`
+	TimeChange   float64     `json:"time_change"`
+	PowerChange  float64     `json:"power_change"`
+	BlocksInRAM  int         `json:"blocks_in_ram"`
+	MovedBlocks  []string    `json:"moved_blocks"`
+}
+
+// NewRunJSON converts a Run.
+func NewRunJSON(r *Run) RunJSON {
+	rep := r.Report
+	return RunJSON{
+		Bench:        r.Bench,
+		Level:        r.Level.String(),
+		Baseline:     NewMetricsJSON(rep.Baseline),
+		Optimized:    NewMetricsJSON(rep.Optimized),
+		EnergyChange: rep.EnergyChange,
+		TimeChange:   rep.TimeChange,
+		PowerChange:  rep.PowerChange,
+		BlocksInRAM:  len(rep.MovedLabels()),
+		MovedBlocks:  rep.MovedLabels(),
+	}
+}
+
+// Figure5RowJSON is one Figure 5 row (bars + frequency dots).
+type Figure5RowJSON struct {
+	Bench            string  `json:"bench"`
+	Level            string  `json:"level"`
+	EnergyChange     float64 `json:"energy_change"`
+	TimeChange       float64 `json:"time_change"`
+	PowerChange      float64 `json:"power_change"`
+	ProfEnergyChange float64 `json:"prof_energy_change"`
+	ProfTimeChange   float64 `json:"prof_time_change"`
+}
+
+// NewFigure5JSON converts a Figure5 result.
+func NewFigure5JSON(rows []Figure5Row) []Figure5RowJSON {
+	out := make([]Figure5RowJSON, len(rows))
+	for i, r := range rows {
+		out[i] = Figure5RowJSON{
+			Bench:            r.Bench,
+			Level:            r.Level.String(),
+			EnergyChange:     r.EnergyChange,
+			TimeChange:       r.TimeChange,
+			PowerChange:      r.PowerChange,
+			ProfEnergyChange: r.ProfEnergyChange,
+			ProfTimeChange:   r.ProfTimeChange,
+		}
+	}
+	return out
+}
+
+// AggregateJSON is the §6 summary.
+type AggregateJSON struct {
+	Runs             []RunJSON `json:"runs"`
+	MeanEnergyChange float64   `json:"mean_energy_change"`
+	MeanPowerChange  float64   `json:"mean_power_change"`
+	MeanTimeChange   float64   `json:"mean_time_change"`
+	MaxEnergySaving  float64   `json:"max_energy_saving"`
+	MaxEnergyBench   string    `json:"max_energy_bench"`
+	MaxPowerSaving   float64   `json:"max_power_saving"`
+	MaxPowerBench    string    `json:"max_power_bench"`
+	FailedPlacement  int       `json:"failed_placement"`
+}
+
+// NewAggregateJSON converts an Aggregate.
+func NewAggregateJSON(agg *Aggregate) AggregateJSON {
+	out := AggregateJSON{
+		MeanEnergyChange: agg.MeanEnergyChange,
+		MeanPowerChange:  agg.MeanPowerChange,
+		MeanTimeChange:   agg.MeanTimeChange,
+		MaxEnergySaving:  agg.MaxEnergySaving,
+		MaxEnergyBench:   agg.MaxEnergyBench,
+		MaxPowerSaving:   agg.MaxPowerSaving,
+		MaxPowerBench:    agg.MaxPowerBench,
+		FailedPlacement:  agg.FailedPlacement,
+	}
+	for i := range agg.Runs {
+		out.Runs = append(out.Runs, NewRunJSON(&agg.Runs[i]))
+	}
+	return out
+}
+
+// SaverJSON is one block's contribution to a run's energy change.
+type SaverJSON struct {
+	Label       string  `json:"label"`
+	Func        string  `json:"func"`
+	Mem         string  `json:"mem"` // optimized-image residence
+	BaselineNJ  float64 `json:"baseline_nj"`
+	OptimizedNJ float64 `json:"optimized_nj"`
+	SavedNJ     float64 `json:"saved_nj"`
+}
+
+// NewSaverJSON converts a core.BlockSaving.
+func NewSaverJSON(s core.BlockSaving) SaverJSON {
+	mem := "flash"
+	if s.InRAM {
+		mem = "ram"
+	}
+	return SaverJSON{
+		Label:       s.Label,
+		Func:        s.Func,
+		Mem:         mem,
+		BaselineNJ:  s.BaselineNJ,
+		OptimizedNJ: s.OptimizedNJ,
+		SavedNJ:     s.SavedNJ,
+	}
+}
+
+// SaversRowJSON names the blocks behind one run's energy saving.
+type SaversRowJSON struct {
+	Bench  string      `json:"bench"`
+	Level  string      `json:"level"`
+	Savers []SaverJSON `json:"savers"`
+}
+
+// NewSaversJSON converts a TopSavers result.
+func NewSaversJSON(rows []SaversRow) []SaversRowJSON {
+	out := make([]SaversRowJSON, len(rows))
+	for i, r := range rows {
+		out[i] = SaversRowJSON{Bench: r.Bench, Level: r.Level.String()}
+		for _, s := range r.Savers {
+			out[i].Savers = append(out[i].Savers, NewSaverJSON(s))
+		}
+	}
+	return out
+}
+
+// ScenarioJSON is the §7 periodic-sensing scenario built from a run.
+type ScenarioJSON struct {
+	E0MJ         float64 `json:"e0_mj"`
+	TAMS         float64 `json:"ta_ms"`
+	Ke           float64 `json:"ke"`
+	Kt           float64 `json:"kt"`
+	SleepPowerMW float64 `json:"sleep_power_mw"`
+	SavedMJ      float64 `json:"saved_mj"` // Eq. 12, period independent
+}
+
+// NewScenarioJSON converts a casestudy.Scenario.
+func NewScenarioJSON(sc casestudy.Scenario) ScenarioJSON {
+	return ScenarioJSON{
+		E0MJ:         sc.E0,
+		TAMS:         1e3 * sc.TA,
+		Ke:           sc.Ke,
+		Kt:           sc.Kt,
+		SleepPowerMW: sc.PS,
+		SavedMJ:      sc.EnergySaved(),
+	}
+}
+
+// SweepPointJSON is one Figure 9 period point.
+type SweepPointJSON struct {
+	Multiple      float64 `json:"multiple"` // T / TA
+	EnergyPercent float64 `json:"energy_percent"`
+	LifeExtension float64 `json:"life_extension"`
+}
+
+// Figure9SeriesJSON is one benchmark's Figure 9 curve.
+type Figure9SeriesJSON struct {
+	Bench    string           `json:"bench"`
+	Scenario ScenarioJSON     `json:"scenario"`
+	Points   []SweepPointJSON `json:"points"`
+}
+
+// NewFigure9JSON converts a Figure9 result.
+func NewFigure9JSON(series []Figure9Series) []Figure9SeriesJSON {
+	out := make([]Figure9SeriesJSON, len(series))
+	for i, s := range series {
+		out[i] = Figure9SeriesJSON{Bench: s.Bench, Scenario: NewScenarioJSON(s.Scenario)}
+		for _, p := range s.Points {
+			out[i].Points = append(out[i].Points, SweepPointJSON{
+				Multiple:      p.Multiple,
+				EnergyPercent: p.EnergyPercent,
+				LifeExtension: p.LifeExtension,
+			})
+		}
+	}
+	return out
+}
+
+// PathPointJSON is one solver decision along a Figure 6 constraint sweep.
+type PathPointJSON struct {
+	Constraint float64 `json:"constraint"`
+	EnergyNJ   float64 `json:"energy_nj"`
+	Cycles     float64 `json:"cycles"`
+	RAMBytes   float64 `json:"ram_bytes"`
+}
+
+// PointJSON is one enumerated placement of the Figure 6 cloud.
+type PointJSON struct {
+	Mask     uint64  `json:"mask"`
+	EnergyNJ float64 `json:"energy_nj"`
+	Cycles   float64 `json:"cycles"`
+	RAMBytes float64 `json:"ram_bytes"`
+	Feasible bool    `json:"feasible"`
+}
+
+// Figure6JSON is the machine-readable Figure 6 dataset.
+type Figure6JSON struct {
+	Bench        string          `json:"bench"`
+	Level        string          `json:"level"`
+	Blocks       []string        `json:"blocks"`
+	BaseEnergyNJ float64         `json:"base_energy_nj"`
+	BaseCycles   float64         `json:"base_cycles"`
+	Points       []PointJSON     `json:"points,omitempty"`
+	RAMPath      []PathPointJSON `json:"ram_path"`
+	TimePath     []PathPointJSON `json:"time_path"`
+}
+
+// NewFigure6JSON converts a Figure6Data (points included only when
+// withPoints, the cloud being 2^k entries).
+func NewFigure6JSON(d *Figure6Data, level string, withPoints bool) Figure6JSON {
+	out := Figure6JSON{
+		Bench:        d.Bench,
+		Level:        level,
+		Blocks:       d.Blocks,
+		BaseEnergyNJ: d.BaseEnergyNJ,
+		BaseCycles:   d.BaseCycles,
+	}
+	if withPoints {
+		for _, p := range d.Points {
+			out.Points = append(out.Points, PointJSON{
+				Mask:     uint64(p.Mask),
+				EnergyNJ: p.EnergyNJ,
+				Cycles:   p.Cycles,
+				RAMBytes: p.RAMBytes,
+				Feasible: p.Feasible,
+			})
+		}
+	}
+	conv := func(pts []PathPoint) []PathPointJSON {
+		out := make([]PathPointJSON, len(pts))
+		for i, p := range pts {
+			out[i] = PathPointJSON{
+				Constraint: p.Constraint,
+				EnergyNJ:   p.EnergyNJ,
+				Cycles:     p.Cycles,
+				RAMBytes:   p.RAMBytes,
+			}
+		}
+		return out
+	}
+	out.RAMPath = conv(d.RAMPath)
+	out.TimePath = conv(d.TimePath)
+	return out
+}

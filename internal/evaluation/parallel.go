@@ -1,0 +1,60 @@
+package evaluation
+
+import "sync/atomic"
+
+// Workers bounds the sweep worker pool used by Figure5, RunAggregate and
+// TopSavers. 0 or 1 runs serially (the default); cmd/beebsbench sets it
+// from its -workers flag. Every sweep writes results into index-addressed
+// slots, so the output ordering is deterministic — and the numbers
+// identical — regardless of the setting.
+var Workers = 1
+
+// forEach runs fn(0..n-1) across a pool of at most Workers goroutines and
+// returns the error of the lowest-indexed failing job. After any failure
+// the remaining jobs are skipped (in-flight ones finish).
+func forEach(n int, fn func(i int) error) error {
+	w := Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var failed atomic.Bool
+	errs := make([]error, n)
+	idx := make(chan int)
+	done := make(chan struct{})
+	for k := 0; k < w; k++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for k := 0; k < w; k++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -165,14 +165,22 @@ func rpo(g *cfg.Graph) []*ir.Block {
 	return post
 }
 
-// FromProfile converts simulator block counts into an Estimate — the
-// "actual basic block frequency" runs of Figure 5.
-func FromProfile(st *sim.Stats) Estimate {
-	est := make(Estimate, len(st.BlockCounts))
-	for label, n := range st.BlockCounts {
+// FromCounts converts raw per-block entry counts (however measured) into
+// an Estimate. Both the simulator's Stats.BlockCounts and the trace
+// subsystem's attribution profiles feed through here, so the two
+// profiled-frequency paths cannot drift apart.
+func FromCounts(counts map[string]uint64) Estimate {
+	est := make(Estimate, len(counts))
+	for label, n := range counts {
 		est[label] = float64(n)
 	}
 	return est
+}
+
+// FromProfile converts simulator block counts into an Estimate — the
+// "actual basic block frequency" runs of Figure 5.
+func FromProfile(st *sim.Stats) Estimate {
+	return FromCounts(st.BlockCounts)
 }
 
 // Of returns the frequency of a block, 0 when unknown.

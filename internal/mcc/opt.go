@@ -586,14 +586,16 @@ func inlineSmallFunctions(p *MProgram, maxIns int) {
 	if len(inlinable) == 0 {
 		return
 	}
+	// The label-uniquifying sequence is scoped to the compilation so that
+	// concurrent compiles (the parallel evaluation sweep) stay
+	// race-free and each program's labels are deterministic.
+	inlineSeq := 0
 	for _, f := range p.Funcs {
-		inlineInto(f, inlinable)
+		inlineInto(f, inlinable, &inlineSeq)
 	}
 }
 
-var inlineSeq int
-
-func inlineInto(f *MFunc, inlinable map[string]*MFunc) {
+func inlineInto(f *MFunc, inlinable map[string]*MFunc, inlineSeq *int) {
 	for bi := 0; bi < len(f.Blocks); bi++ {
 		b := f.Blocks[bi]
 		for ii := 0; ii < len(b.Ins); ii++ {
@@ -605,8 +607,8 @@ func inlineInto(f *MFunc, inlinable map[string]*MFunc) {
 			if !ok || callee.Name == f.Name {
 				continue
 			}
-			inlineSeq++
-			prefix := fmt.Sprintf("%s_il%d_", f.Name, inlineSeq)
+			*inlineSeq++
+			prefix := fmt.Sprintf("%s_il%d_", f.Name, *inlineSeq)
 
 			// Clone callee with remapped vregs and labels.
 			remap := make([]VReg, callee.NumVRegs)

@@ -22,6 +22,46 @@ import (
 // equivalent is EXC_RETURN).
 const exitLR = 0xFFFFFFFE
 
+// Event describes one executed (and charged) instruction for an attached
+// Observer. The same Event value is reused across calls — observers must
+// copy out anything they keep.
+type Event struct {
+	Block *layout.Placed // the placed basic block being executed
+	Index int            // instruction index within the block
+	PC    uint32
+
+	Class    isa.Class
+	FetchMem power.Memory // memory the fetch hit (block residence)
+	DataMem  power.Memory // memory a data access hit (power.None if none)
+
+	// Cycles is the total cycle cost charged, including Stall.
+	Cycles uint64
+	// Stall is the RAM-port contention stall included in Cycles (the
+	// paper's Lb effect).
+	Stall uint64
+	// EnergyNJ is the energy charged for this instruction.
+	EnergyNJ float64
+	// Taken is true when the instruction redirected control flow (taken
+	// branch, call, return, pop-to-pc, ldr pc,=...), i.e. it paid the
+	// pipeline-refill penalty.
+	Taken bool
+	// BlockEntry is true on the first charged instruction of a block
+	// activation — exactly when Stats.BlockCounts is incremented.
+	BlockEntry bool
+}
+
+// Observer receives one Event per executed instruction. A nil observer
+// (the default) keeps the simulator on its fast path; Run's inner loop
+// only pays a nil check per instruction.
+type Observer interface {
+	Event(*Event)
+}
+
+// Attach installs an observer (nil detaches). Attach before Run; events
+// are emitted for every charged instruction, including failed-predication
+// issue cycles.
+func (m *Machine) Attach(o Observer) { m.obs = o }
+
 // Machine is one simulated SoC instance.
 type Machine struct {
 	Img     *layout.Image
@@ -36,6 +76,8 @@ type Machine struct {
 	flash []byte
 	ram   []byte
 
+	obs   Observer
+	ev    Event // reused event buffer when obs != nil
 	stats Stats
 }
 
@@ -62,13 +104,32 @@ func (s *Stats) timeSeconds(clockHz float64) float64 {
 func (s *Stats) EnergyMJ() float64 { return s.EnergyNJ * 1e-6 }
 
 // Fault is a simulated hardware fault (bad memory access, bad jump, ...).
+// Block and Func locate the faulting instruction in the program ("" when
+// the PC resolves to no block, e.g. a wild jump).
 type Fault struct {
 	PC     uint32
+	Block  string
+	Func   string
 	Reason string
 }
 
 func (f *Fault) Error() string {
+	if f.Block != "" {
+		return fmt.Sprintf("sim: fault at pc=%#x (block %s, func %s): %s",
+			f.PC, f.Block, f.Func, f.Reason)
+	}
 	return fmt.Sprintf("sim: fault at pc=%#x: %s", f.PC, f.Reason)
+}
+
+// locate fills a fault's Block/Func from an instruction reference.
+func (f *Fault) locate(ref layout.InstrRef) {
+	if f.Block != "" || ref.Placed == nil {
+		return
+	}
+	f.Block = ref.Placed.Block.Label
+	if fn := ref.Placed.Block.Func; fn != nil {
+		f.Func = fn.Name
+	}
 }
 
 // New prepares a machine for the image: zeroed registers, data sections
@@ -271,24 +332,33 @@ func (m *Machine) runFrom(entry uint32) error {
 		maxInstrs = 500_000_000
 	}
 	pc := entry
+	var last layout.InstrRef // previous instruction, for wild-jump faults
 	for {
 		if pc == exitLR {
 			return nil
 		}
 		ref, ok := m.Img.InstrAt(pc)
 		if !ok {
-			return &Fault{PC: pc, Reason: "jump to non-instruction address"}
+			f := &Fault{PC: pc, Reason: "jump to non-instruction address"}
+			f.locate(last) // blame the transferring block
+			return f
 		}
 		if m.stats.Instructions >= maxInstrs {
-			return &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
+			f := &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
+			f.locate(ref)
+			return f
 		}
 		if ref.Index == 0 {
 			m.stats.BlockCounts[ref.Placed.Block.Label]++
 		}
 		next, err := m.step(ref, pc)
 		if err != nil {
+			if f, ok := err.(*Fault); ok {
+				f.locate(ref)
+			}
 			return err
 		}
+		last = ref
 		pc = next
 	}
 }
@@ -304,13 +374,26 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 	}
 	seqNext := pc + uint32(pl.InstrSize(ref.Index))
 
+	// stall and taken are set before charging so the observer event can
+	// attribute contention stalls and pipeline-refill penalties.
+	stall, taken := 0, false
 	charge := func(cycles int, dataMem power.Memory) {
 		cl := isa.ClassOf(in.Op)
 		m.stats.Instructions++
 		m.stats.Cycles += uint64(cycles)
 		m.stats.CyclesByMem[fetchMem][cl] += uint64(cycles)
 		mw := m.Profile.InstrPower(fetchMem, cl, dataMem)
-		m.stats.EnergyNJ += float64(cycles) * m.Profile.EnergyPerCycle(mw)
+		e := float64(cycles) * m.Profile.EnergyPerCycle(mw)
+		m.stats.EnergyNJ += e
+		if m.obs != nil {
+			m.ev = Event{
+				Block: pl, Index: ref.Index, PC: pc,
+				Class: cl, FetchMem: fetchMem, DataMem: dataMem,
+				Cycles: uint64(cycles), Stall: uint64(stall),
+				EnergyNJ: e, Taken: taken, BlockEntry: ref.Index == 0,
+			}
+			m.obs.Event(&m.ev)
+		}
 	}
 
 	// Predication: a failed condition costs one issue cycle, no effects.
@@ -328,6 +411,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 		cyc := baseCycles
 		if fetchMem == power.RAM && dataMem == power.RAM {
 			cyc += isa.RAMContentionStall
+			stall = isa.RAMContentionStall
 			m.stats.ContentionStalls++
 		}
 		charge(cyc, dataMem)
@@ -501,6 +585,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 			v = uint32(in.Imm)
 		}
 		if in.Rd == isa.PC {
+			taken = true
 			chargeLoad(dataMem, isa.Cycles(in))
 			return v, nil
 		}
@@ -553,6 +638,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 			}
 		}
 		m.regs[isa.SP] = a
+		taken = gotPC
 		chargeLoad(power.RAM, isa.Cycles(in))
 		if gotPC {
 			return newPC, nil
@@ -561,6 +647,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 
 	case isa.B:
 		if in.Cond == isa.AL || in.Cond.Holds(m.n, m.z, m.c, m.v) {
+			taken = true
 			charge(isa.Cycles(in), power.None)
 			return m.labelAddr(pc, in.Sym)
 		}
@@ -568,8 +655,8 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 		return seqNext, nil
 
 	case isa.CBZ, isa.CBNZ:
-		taken := (m.regs[in.Rn] == 0) == (in.Op == isa.CBZ)
-		if taken {
+		if (m.regs[in.Rn] == 0) == (in.Op == isa.CBZ) {
+			taken = true
 			charge(isa.Cycles(in), power.None)
 			return m.labelAddr(pc, in.Sym)
 		}
@@ -578,15 +665,18 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 
 	case isa.BL:
 		m.regs[isa.LR] = seqNext
+		taken = true
 		charge(isa.Cycles(in), power.None)
 		return m.labelAddr(pc, in.Sym)
 
 	case isa.BLX:
 		m.regs[isa.LR] = seqNext
+		taken = true
 		charge(isa.Cycles(in), power.None)
 		return m.regs[in.Rm] &^ 1, nil
 
 	case isa.BX:
+		taken = true
 		charge(isa.Cycles(in), power.None)
 		return m.regs[in.Rm] &^ 1, nil
 	}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// The JSON document types below are the machine-readable form of a
+// Profile and a Diff. Their field names are the stable schema shared by
+// `flashram profile -json`, `beebsbench -json` and `tradeoff -json`
+// (naming convention: lower snake case, explicit units suffixes — _nj,
+// _mj, _ms, _mw, _bytes).
+
+// BlockJSON is one block's attribution row.
+type BlockJSON struct {
+	Label        string  `json:"label"`
+	Func         string  `json:"func"`
+	Mem          string  `json:"mem"` // fetch memory: "flash" or "ram"
+	Entries      uint64  `json:"entries"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	StallCycles  uint64  `json:"stall_cycles"`
+	TakenCycles  uint64  `json:"taken_cycles"`
+	EnergyNJ     float64 `json:"energy_nj"`
+	EnergyShare  float64 `json:"energy_share"`
+}
+
+// MemJSON is the per-fetch-memory split.
+type MemJSON struct {
+	Mem      string  `json:"mem"`
+	Cycles   uint64  `json:"cycles"`
+	EnergyNJ float64 `json:"energy_nj"`
+}
+
+// ClassJSON is the per-instruction-class split.
+type ClassJSON struct {
+	Class        string  `json:"class"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles"`
+	EnergyNJ     float64 `json:"energy_nj"`
+}
+
+// ProfileJSON is the machine-readable form of a Profile.
+type ProfileJSON struct {
+	Instructions uint64      `json:"instructions"`
+	Cycles       uint64      `json:"cycles"`
+	StallCycles  uint64      `json:"stall_cycles"`
+	EnergyNJ     float64     `json:"energy_nj"`
+	ByMem        []MemJSON   `json:"by_mem"`
+	ByClass      []ClassJSON `json:"by_class"`
+	Blocks       []BlockJSON `json:"blocks"` // energy-descending
+}
+
+// JSON renders the profile with its topN highest-energy blocks (<= 0
+// includes every block).
+func (p *Profile) JSON(topN int) ProfileJSON {
+	out := ProfileJSON{
+		Instructions: p.TotalInstructions,
+		Cycles:       p.TotalCycles,
+		StallCycles:  p.TotalStalls,
+		EnergyNJ:     p.TotalEnergyNJ,
+	}
+	for _, mem := range []power.Memory{power.Flash, power.RAM} {
+		out.ByMem = append(out.ByMem, MemJSON{
+			Mem:      mem.String(),
+			Cycles:   p.ByMem[mem].Cycles,
+			EnergyNJ: p.ByMem[mem].EnergyNJ,
+		})
+	}
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		out.ByClass = append(out.ByClass, ClassJSON{
+			Class:        c.String(),
+			Instructions: p.ByClass[c].Instructions,
+			Cycles:       p.ByClass[c].Cycles,
+			EnergyNJ:     p.ByClass[c].EnergyNJ,
+		})
+	}
+	for _, b := range p.TopBlocks(topN) {
+		row := BlockJSON{
+			Label:        b.Label,
+			Func:         b.Func,
+			Mem:          power.Flash.String(),
+			Entries:      b.Entries,
+			Instructions: b.Instructions,
+			Cycles:       b.Cycles,
+			StallCycles:  b.StallCycles,
+			TakenCycles:  b.TakenCycles,
+			EnergyNJ:     b.EnergyNJ,
+		}
+		if b.InRAM {
+			row.Mem = power.RAM.String()
+		}
+		if p.TotalEnergyNJ > 0 {
+			row.EnergyShare = b.EnergyNJ / p.TotalEnergyNJ
+		}
+		out.Blocks = append(out.Blocks, row)
+	}
+	return out
+}
+
+// BlockDiffJSON is one row of the model-versus-measured comparison.
+type BlockDiffJSON struct {
+	Label          string  `json:"label"`
+	Func           string  `json:"func"`
+	Mem            string  `json:"mem"`
+	MeasuredNJ     float64 `json:"measured_nj"`
+	PredictedNJ    float64 `json:"predicted_nj"`
+	MeasuredF      float64 `json:"measured_freq"`
+	PredictedF     float64 `json:"predicted_freq"`
+	MeasuredShare  float64 `json:"measured_share"`
+	PredictedShare float64 `json:"predicted_share"`
+	RelErr         float64 `json:"rel_err"`
+	Outlier        bool    `json:"outlier"`
+}
+
+// DiffJSON is the machine-readable form of a Diff.
+type DiffJSON struct {
+	MeasuredNJ  float64         `json:"measured_nj"`
+	PredictedNJ float64         `json:"predicted_nj"`
+	Outliers    int             `json:"outliers"`
+	Blocks      []BlockDiffJSON `json:"blocks"` // disagreement-descending
+}
+
+// JSON renders the diff with its topN most-disagreeing blocks (<= 0
+// includes every block).
+func (d *Diff) JSON(topN int) DiffJSON {
+	out := DiffJSON{
+		MeasuredNJ:  d.TotalMeasuredNJ,
+		PredictedNJ: d.TotalPredictedNJ,
+		Outliers:    d.Outliers,
+	}
+	rows := d.Blocks
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	for _, b := range rows {
+		row := BlockDiffJSON{
+			Label:          b.Label,
+			Func:           b.Func,
+			Mem:            power.Flash.String(),
+			MeasuredNJ:     b.MeasuredNJ,
+			PredictedNJ:    b.PredictedNJ,
+			MeasuredF:      b.MeasuredF,
+			PredictedF:     b.PredictedF,
+			MeasuredShare:  b.MeasuredShare,
+			PredictedShare: b.PredictedShare,
+			RelErr:         b.RelErr,
+			Outlier:        b.Outlier,
+		}
+		if b.InRAM {
+			row.Mem = power.RAM.String()
+		}
+		out.Blocks = append(out.Blocks, row)
+	}
+	return out
+}

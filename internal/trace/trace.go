@@ -1,0 +1,274 @@
+// Package trace is the observability subsystem of the simulated board: it
+// attaches to internal/sim's per-instruction observer hook and aggregates
+// the event stream into an energy-attribution Profile — per basic block,
+// per function, per fetch memory and per instruction class — of cycles,
+// RAM-port contention stalls (the paper's Lb effect), taken-branch refill
+// penalties and nanojoules.
+//
+// The package's load-bearing property is energy conservation: every
+// nanojoule the simulator charges is attributed to exactly one block, so
+// the per-block energies sum to sim.Stats.EnergyNJ (CheckConservation,
+// enforced by tests on every BEEBS benchmark). On top of the measured
+// profile, ModelDiff compares each block's attributed energy with the ILP
+// objective's predicted contribution (the Fb·Cb·E terms of Eq. 1–2),
+// turning the paper's §6 discussion of where the model mispredicts into a
+// checkable report.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/freq"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// BlockProfile is the attribution record of one basic block.
+type BlockProfile struct {
+	Label string
+	Func  string
+	InRAM bool // fetched from RAM (block residence)
+
+	Entries      uint64 // block activations (== Stats.BlockCounts entry)
+	Instructions uint64
+	Cycles       uint64
+	StallCycles  uint64 // RAM-port contention stalls (Lb exposure)
+	TakenCycles  uint64 // cycles spent in taken control transfers (Tb exposure)
+	EnergyNJ     float64
+}
+
+// FuncProfile aggregates a function's blocks.
+type FuncProfile struct {
+	Name         string
+	Blocks       int
+	Entries      uint64
+	Instructions uint64
+	Cycles       uint64
+	StallCycles  uint64
+	EnergyNJ     float64
+}
+
+// MemProfile splits the run by fetch memory.
+type MemProfile struct {
+	Cycles   uint64
+	EnergyNJ float64
+}
+
+// ClassProfile splits the run by instruction class.
+type ClassProfile struct {
+	Instructions uint64
+	Cycles       uint64
+	EnergyNJ     float64
+}
+
+// Profile is a complete attribution of one simulated run.
+type Profile struct {
+	Blocks  map[string]*BlockProfile
+	ByMem   [2]MemProfile // indexed by power.Flash, power.RAM
+	ByClass [isa.NumClasses]ClassProfile
+
+	TotalInstructions uint64
+	TotalCycles       uint64
+	TotalStalls       uint64
+	TotalEnergyNJ     float64
+}
+
+// Collector implements sim.Observer and accumulates a Profile. Attach one
+// to a machine with Machine.Attach before Run; a Collector must not be
+// shared between machines running concurrently.
+type Collector struct {
+	p *Profile
+	// last memoizes the current block's record: consecutive events almost
+	// always hit the same block, so the map lookup is off the hot path.
+	lastLabel string
+	lastRec   *BlockProfile
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{p: &Profile{Blocks: make(map[string]*BlockProfile)}}
+}
+
+// Event implements sim.Observer.
+func (c *Collector) Event(ev *sim.Event) {
+	b := ev.Block.Block
+	rec := c.lastRec
+	if rec == nil || b.Label != c.lastLabel {
+		rec = c.p.Blocks[b.Label]
+		if rec == nil {
+			rec = &BlockProfile{Label: b.Label, InRAM: ev.Block.InRAM}
+			if b.Func != nil {
+				rec.Func = b.Func.Name
+			}
+			c.p.Blocks[b.Label] = rec
+		}
+		c.lastLabel, c.lastRec = b.Label, rec
+	}
+	if ev.BlockEntry {
+		rec.Entries++
+	}
+	rec.Instructions++
+	rec.Cycles += ev.Cycles
+	rec.StallCycles += ev.Stall
+	rec.EnergyNJ += ev.EnergyNJ
+	if ev.Taken {
+		rec.TakenCycles += ev.Cycles
+	}
+
+	p := c.p
+	p.TotalInstructions++
+	p.TotalCycles += ev.Cycles
+	p.TotalStalls += ev.Stall
+	p.TotalEnergyNJ += ev.EnergyNJ
+	p.ByMem[ev.FetchMem].Cycles += ev.Cycles
+	p.ByMem[ev.FetchMem].EnergyNJ += ev.EnergyNJ
+	p.ByClass[ev.Class].Instructions++
+	p.ByClass[ev.Class].Cycles += ev.Cycles
+	p.ByClass[ev.Class].EnergyNJ += ev.EnergyNJ
+}
+
+// Profile returns the collected attribution.
+func (c *Collector) Profile() *Profile { return c.p }
+
+// Entries returns per-block activation counts — the trace-side equivalent
+// of sim.Stats.BlockCounts.
+func (p *Profile) Entries() map[string]uint64 {
+	out := make(map[string]uint64, len(p.Blocks))
+	for lbl, b := range p.Blocks {
+		out[lbl] = b.Entries
+	}
+	return out
+}
+
+// FreqEstimate converts the measured entry counts into a frequency
+// estimate via the same path as freq.FromProfile, so trace-derived Fb
+// values cannot diverge from the simulator-profile ones.
+func (p *Profile) FreqEstimate() freq.Estimate {
+	return freq.FromCounts(p.Entries())
+}
+
+// TopBlocks returns the n highest-energy blocks (all of them when n <= 0
+// or exceeds the block count), sorted by attributed energy descending with
+// the label as a deterministic tie-break.
+func (p *Profile) TopBlocks(n int) []*BlockProfile {
+	out := make([]*BlockProfile, 0, len(p.Blocks))
+	for _, b := range p.Blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyNJ != out[j].EnergyNJ {
+			return out[i].EnergyNJ > out[j].EnergyNJ
+		}
+		return out[i].Label < out[j].Label
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Functions aggregates the block profiles by owning function, sorted by
+// energy descending (name tie-break). A function's Entries sums the
+// activations of all its blocks (not just the entry block), so it counts
+// intra-function control flow; Blocks reports how many distinct blocks of
+// the function executed.
+func (p *Profile) Functions() []*FuncProfile {
+	byName := make(map[string]*FuncProfile)
+	for _, b := range p.Blocks {
+		f := byName[b.Func]
+		if f == nil {
+			f = &FuncProfile{Name: b.Func}
+			byName[b.Func] = f
+		}
+		f.Blocks++
+		f.Entries += b.Entries
+		f.Instructions += b.Instructions
+		f.Cycles += b.Cycles
+		f.StallCycles += b.StallCycles
+		f.EnergyNJ += b.EnergyNJ
+	}
+	out := make([]*FuncProfile, 0, len(byName))
+	for _, f := range byName {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EnergyNJ != out[j].EnergyNJ {
+			return out[i].EnergyNJ > out[j].EnergyNJ
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ConservationTolerance is the relative tolerance of CheckConservation.
+// Attribution accumulates the identical float64 additions the simulator
+// makes, in the same order, so the agreement is far tighter in practice;
+// 1e-6 is the contract the tests enforce.
+const ConservationTolerance = 1e-6
+
+// CheckConservation verifies the subsystem's hard invariant against the
+// simulator's own accounting: attributed energy, cycles, instructions,
+// stalls and block entry counts must all match the run's Stats. It returns
+// nil when every quantity is conserved.
+func (p *Profile) CheckConservation(st *sim.Stats) error {
+	if !closeRel(p.TotalEnergyNJ, st.EnergyNJ, ConservationTolerance) {
+		return fmt.Errorf("trace: energy not conserved: attributed %.9g nJ, simulated %.9g nJ",
+			p.TotalEnergyNJ, st.EnergyNJ)
+	}
+	var blockE float64
+	for _, b := range p.Blocks {
+		blockE += b.EnergyNJ
+	}
+	if !closeRel(blockE, st.EnergyNJ, ConservationTolerance) {
+		return fmt.Errorf("trace: per-block energy not conserved: Σ blocks %.9g nJ, simulated %.9g nJ",
+			blockE, st.EnergyNJ)
+	}
+	if p.TotalCycles != st.Cycles {
+		return fmt.Errorf("trace: cycles not conserved: attributed %d, simulated %d",
+			p.TotalCycles, st.Cycles)
+	}
+	if p.TotalInstructions != st.Instructions {
+		return fmt.Errorf("trace: instructions not conserved: attributed %d, simulated %d",
+			p.TotalInstructions, st.Instructions)
+	}
+	if p.TotalStalls != st.ContentionStalls {
+		return fmt.Errorf("trace: stalls not conserved: attributed %d, simulated %d",
+			p.TotalStalls, st.ContentionStalls)
+	}
+	if len(p.Blocks) != len(st.BlockCounts) {
+		return fmt.Errorf("trace: %d blocks attributed, %d in the simulator profile",
+			len(p.Blocks), len(st.BlockCounts))
+	}
+	for lbl, n := range st.BlockCounts {
+		b := p.Blocks[lbl]
+		if b == nil {
+			return fmt.Errorf("trace: block %s executed %d times but never attributed", lbl, n)
+		}
+		if b.Entries != n {
+			return fmt.Errorf("trace: block %s entry count %d, simulator counted %d",
+				lbl, b.Entries, n)
+		}
+	}
+	return nil
+}
+
+// MemShare returns the fraction of energy attributed to the given fetch
+// memory (0 when the run consumed no energy).
+func (p *Profile) MemShare(mem power.Memory) float64 {
+	if p.TotalEnergyNJ == 0 {
+		return 0
+	}
+	return p.ByMem[mem].EnergyNJ / p.TotalEnergyNJ
+}
+
+func closeRel(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d == 0
+	}
+	return d <= tol*scale
+}
