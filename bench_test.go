@@ -357,3 +357,94 @@ func BenchmarkCompiler(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFigure5Sweep measures the whole Figure 5 sweep (10 benchmarks
+// × O2/Os × static+profiled) end to end:
+//
+//   - "shared" is the shipped path: one evaluation.Sweep, so each cell
+//     compiles and baseline-simulates once and the profiled variant reuses
+//     the static variant's session artifacts.
+//   - "fresh" rebuilds a session per configuration — the cost profile of
+//     the pre-Session monolithic core.Optimize, kept here so the win is
+//     measurable in a single run.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	levels := []mcc.OptLevel{mcc.O2, mcc.Os}
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evaluation.NewSweep(1).Figure5(levels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bench := range beebs.All() {
+				for _, level := range levels {
+					// Package-level RunBenchmark uses a private one-shot
+					// Sweep: nothing is shared between the two calls.
+					if _, err := evaluation.RunBenchmark(bench, level, evaluation.Options{}); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := evaluation.RunBenchmark(bench, level, evaluation.Options{UseProfile: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkTradeoffSweep measures the Figure 6 trade-off generation (the
+// `tradeoff` CLI's workload: 2^8 cloud plus 24 constrained ILP solves).
+// "shared" runs all solve points out of one session; "per-point" pays a
+// fresh session (compile, CFG, frequency estimate) per solve point, the
+// cost of sweeping without cross-point artifact reuse.
+func BenchmarkTradeoffSweep(b *testing.B) {
+	ramSweep := []float64{0, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096}
+	xSweep := []float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0}
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evaluation.NewSweep(1).Figure6("int_matmult", mcc.O2, 8, ramSweep, xSweep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-point", func(b *testing.B) {
+		bench := beebs.Get("int_matmult")
+		solve := func(rspare, xlimit float64) {
+			sess, err := evaluation.NewSession(bench, mcc.O2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Solve(core.SolveSpec{
+				ModelSpec: core.ModelSpec{Rspare: rspare, Xlimit: xlimit, MaxCandidates: 8},
+				Solver:    core.SolverILP,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			sess, err := evaluation.NewSession(bench, mcc.O2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spare, err := sess.SpareRAM()
+			if err != nil {
+				b.Fatal(err)
+			}
+			mFree, err := sess.Model(core.ModelSpec{Rspare: spare, Xlimit: 1e9, MaxCandidates: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := placement.Enumerate(mFree, 8); err != nil {
+				b.Fatal(err)
+			}
+			for _, rs := range ramSweep {
+				solve(rs, 1e9)
+			}
+			for _, xl := range xSweep {
+				solve(spare, xl)
+			}
+		}
+	})
+}

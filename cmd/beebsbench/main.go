@@ -7,10 +7,14 @@
 //	beebsbench -casestudy   the §7 periodic-sensing numbers for fdct
 //	beebsbench -fig9        Figure 9 (energy % versus period T)
 //
-// -workers N runs the benchmark × level sweeps across N goroutines (the
-// output is deterministic at any worker count); -json emits the selected
-// sections as one machine-readable document using the schema shared with
-// `flashram profile -json` and `tradeoff -json`.
+// All selected sections run through one evaluation.Sweep, so each
+// benchmark × level cell is compiled and baseline-simulated once no
+// matter how many experiments revisit it. -workers N runs the benchmark
+// × level sweeps across N goroutines (the output is deterministic at any
+// worker count); -json emits the selected sections as one
+// machine-readable document — including the session_stats reuse counters
+// — using the schema shared with `flashram profile -json` and
+// `tradeoff -json`.
 package main
 
 import (
@@ -27,15 +31,18 @@ import (
 )
 
 // document is the `beebsbench -json` output: one optional section per
-// selected experiment.
+// selected experiment, plus the sweep's pipeline-reuse counters (all the
+// sections run through one evaluation.Sweep, so e.g. -all pays for each
+// benchmark×level compile and baseline simulation once).
 type document struct {
-	Fig5      []evaluation.Figure5RowJSON    `json:"fig5,omitempty"`
-	Aggregate *evaluation.AggregateJSON      `json:"aggregate,omitempty"`
-	Savers    []evaluation.SaversRowJSON     `json:"savers,omitempty"`
-	CaseStudy *evaluation.ScenarioJSON       `json:"casestudy,omitempty"`
-	Fig9      []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
-	WallMS    float64                        `json:"wall_ms"`
-	Workers   int                            `json:"workers"`
+	Fig5         []evaluation.Figure5RowJSON    `json:"fig5,omitempty"`
+	Aggregate    *evaluation.AggregateJSON      `json:"aggregate,omitempty"`
+	Savers       []evaluation.SaversRowJSON     `json:"savers,omitempty"`
+	CaseStudy    *evaluation.ScenarioJSON       `json:"casestudy,omitempty"`
+	Fig9         []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
+	SessionStats evaluation.SweepStats          `json:"session_stats"`
+	WallMS       float64                        `json:"wall_ms"`
+	Workers      int                            `json:"workers"`
 }
 
 func main() {
@@ -55,27 +62,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	evaluation.Workers = *workers
+	sw := evaluation.NewSweep(*workers)
 
 	start := time.Now()
 	var doc document
 	doc.Workers = *workers
 	if *fig5 || *all {
-		runFig5(*asJSON, &doc)
+		runFig5(sw, *asJSON, &doc)
 	}
 	if *aggregate || *all {
-		runAggregate(*asJSON, &doc)
+		runAggregate(sw, *asJSON, &doc)
 	}
 	if *savers || *all {
-		runSavers(*asJSON, *top, &doc)
+		runSavers(sw, *asJSON, *top, &doc)
 	}
 	if *study || *all {
-		runCaseStudy(*asJSON, &doc)
+		runCaseStudy(sw, *asJSON, &doc)
 	}
 	if *fig9 || *all {
-		runFig9(*asJSON, &doc)
+		runFig9(sw, *asJSON, &doc)
 	}
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
+	doc.SessionStats = sw.Stats()
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -84,12 +92,14 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		fmt.Printf("wall clock: %.0f ms with %d worker(s)\n", doc.WallMS, *workers)
+		st := doc.SessionStats
+		fmt.Printf("wall clock: %.0f ms with %d worker(s); %d compiles, %d stage reuses, %d simulator runs\n",
+			doc.WallMS, *workers, st.SessionMisses, st.Stages.Reuses(), st.Stages.SimRuns)
 	}
 }
 
-func runFig5(asJSON bool, doc *document) {
-	rows, err := evaluation.Figure5([]mcc.OptLevel{mcc.O2, mcc.Os})
+func runFig5(sw *evaluation.Sweep, asJSON bool, doc *document) {
+	rows, err := sw.Figure5([]mcc.OptLevel{mcc.O2, mcc.Os})
 	if err != nil {
 		fatal(err)
 	}
@@ -109,8 +119,8 @@ func runFig5(asJSON bool, doc *document) {
 	fmt.Println()
 }
 
-func runAggregate(asJSON bool, doc *document) {
-	agg, err := evaluation.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
+func runAggregate(sw *evaluation.Sweep, asJSON bool, doc *document) {
+	agg, err := sw.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
 	if err != nil {
 		fatal(err)
 	}
@@ -131,8 +141,8 @@ func runAggregate(asJSON bool, doc *document) {
 	fmt.Println()
 }
 
-func runSavers(asJSON bool, top int, doc *document) {
-	rows, err := evaluation.TopSavers([]mcc.OptLevel{mcc.O2, mcc.Os}, top)
+func runSavers(sw *evaluation.Sweep, asJSON bool, top int, doc *document) {
+	rows, err := sw.TopSavers([]mcc.OptLevel{mcc.O2, mcc.Os}, top)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,8 +161,8 @@ func runSavers(asJSON bool, top int, doc *document) {
 	fmt.Println()
 }
 
-func runCaseStudy(asJSON bool, doc *document) {
-	r, err := evaluation.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
+func runCaseStudy(sw *evaluation.Sweep, asJSON bool, doc *document) {
+	r, err := sw.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -183,9 +193,9 @@ func runCaseStudy(asJSON bool, doc *document) {
 	fmt.Println()
 }
 
-func runFig9(asJSON bool, doc *document) {
+func runFig9(sw *evaluation.Sweep, asJSON bool, doc *document) {
 	mult := []float64{1, 2, 3, 4, 6, 8, 12, 16}
-	series, err := evaluation.Figure9(mcc.O2, mult)
+	series, err := sw.Figure9(mcc.O2, mult)
 	if err != nil {
 		fatal(err)
 	}

@@ -103,7 +103,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.Optimize(prog, core.Options{
+	// One session per invocation: with -profile the frequency estimate
+	// reuses the baseline run the report measures anyway, so the program
+	// is simulated twice (baseline + optimized), not three times.
+	sess, err := core.NewSession(prog, core.SessionConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sess.Optimize(core.Options{
 		Solver:     core.Solver(*solver),
 		Xlimit:     *xlimit,
 		Rspare:     *rspare,

@@ -90,7 +90,13 @@ ILP cost model disagrees with the measured attribution.`)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := core.Optimize(prog, core.Options{
+	// The traced run comes out of a session so the -profile frequency
+	// estimate shares the baseline simulation with the report itself.
+	sess, err := core.NewSession(prog, core.SessionConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sess.Optimize(core.Options{
 		Solver:     core.Solver(*solver),
 		Xlimit:     *xlimit,
 		Rspare:     *rspare,

@@ -15,8 +15,6 @@ import (
 	"sort"
 
 	"repro/internal/analysis"
-	"repro/internal/cfg"
-	"repro/internal/freq"
 	"repro/internal/ir"
 	"repro/internal/layout"
 	"repro/internal/model"
@@ -137,159 +135,18 @@ type Report struct {
 	StartupCopyEnergyMJ float64
 }
 
-// Optimize runs the full pipeline on the program.
+// Optimize runs the full pipeline on the program. It is a thin wrapper
+// over a single-use Session; sweeps that revisit the same program should
+// build one Session and call its Optimize instead, so the compile,
+// baseline simulation, CFG, frequency and model stages are shared across
+// configurations.
 func Optimize(p *ir.Program, opts Options) (*Report, error) {
 	opts.fill()
-	if err := ir.Verify(p); err != nil {
-		return nil, fmt.Errorf("core: input program: %w", err)
-	}
-
-	// Baseline: everything in flash.
-	baseImg, err := layout.New(p, opts.Layout, nil)
+	s, err := NewSession(p, SessionConfig{Profile: opts.Profile, Layout: opts.Layout})
 	if err != nil {
-		return nil, fmt.Errorf("core: baseline layout: %w", err)
+		return nil, err
 	}
-	baseMachine := sim.New(baseImg, opts.Profile)
-	baseMachine.MaxInstrs = opts.MaxInstrs
-	var baseCol *trace.Collector
-	if opts.Trace {
-		baseCol = trace.NewCollector()
-		baseMachine.Attach(baseCol)
-	}
-	baseStats, err := baseMachine.Run()
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline run: %w", err)
-	}
-
-	// Analysis.
-	graphs, err := cfg.BuildAll(p)
-	if err != nil {
-		return nil, fmt.Errorf("core: cfg: %w", err)
-	}
-	var est freq.Estimate
-	if opts.UseProfile {
-		est = freq.FromProfile(baseStats)
-	} else {
-		est = freq.Static(p, graphs)
-	}
-
-	rspare := opts.Rspare
-	if rspare == 0 {
-		rspare = float64(layout.SpareRAM(p, opts.Layout))
-	}
-	ef, er := opts.Profile.Coefficients()
-	mdl, err := model.Build(p, graphs, est, model.Params{
-		EFlash: ef, ERAM: er,
-		Rspare: rspare, Xlimit: opts.Xlimit,
-		MaxCandidates:  opts.MaxCandidates,
-		IncludeLibrary: opts.LinkTime,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: model: %w", err)
-	}
-
-	// Placement.
-	var res *placement.Result
-	switch opts.Solver {
-	case SolverILP:
-		res, err = placement.SolveILP(mdl)
-	case SolverGreedy:
-		res = placement.SolveGreedy(mdl)
-	case SolverFunction:
-		res = placement.SolveFunctionLevel(mdl, p)
-	case SolverExhaustive:
-		res, err = placement.SolveExhaustive(mdl, opts.ExhaustiveK)
-	default:
-		return nil, fmt.Errorf("core: unknown solver %q", opts.Solver)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: placement: %w", err)
-	}
-
-	// Transformation on a clone.
-	opt := p.Clone()
-	applyFn := transform.Apply
-	if opts.LinkTime {
-		applyFn = transform.ApplyLinkTime
-	}
-	trep, err := applyFn(opt, res.InRAM)
-	if err != nil {
-		return nil, fmt.Errorf("core: transform: %w", err)
-	}
-	optImg, err := layout.New(opt, opts.Layout, res.InRAM)
-	if err != nil {
-		return nil, fmt.Errorf("core: optimized layout: %w", err)
-	}
-
-	// Static verification of the transformed artifact: every branch in
-	// range, every cross-memory edge instrumented with a dead scratch,
-	// the CFG preserved, the memory map sound, the stack bounded. Error
-	// diagnostics abort the run before simulation can mask them.
-	ares, err := analysis.Analyze(&analysis.Context{
-		Original: p, Prog: opt, InRAM: res.InRAM,
-		Config: opts.Layout, Image: optImg, Rspare: rspare,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: analysis: %w", err)
-	}
-	if n := len(ares.Errors()); n > 0 {
-		return nil, fmt.Errorf("core: analysis found %d error(s):\n%s", n, ares)
-	}
-
-	optMachine := sim.New(optImg, opts.Profile)
-	optMachine.MaxInstrs = opts.MaxInstrs
-	var optCol *trace.Collector
-	if opts.Trace {
-		optCol = trace.NewCollector()
-		optMachine.Attach(optCol)
-	}
-	optStats, err := optMachine.Run()
-	if err != nil {
-		return nil, fmt.Errorf("core: optimized run: %w", err)
-	}
-
-	// Semantic validation: every writable global must hold identical
-	// bytes after both runs.
-	if err := compareGlobals(p, baseMachine, optMachine); err != nil {
-		return nil, fmt.Errorf("core: transformation changed program behaviour: %w", err)
-	}
-
-	rep := &Report{
-		Baseline:   metrics(baseMachine, baseStats, baseImg),
-		Optimized:  metrics(optMachine, optStats, optImg),
-		Placement:  res,
-		Model:      mdl,
-		Transform:  trep,
-		Optimized0: opt,
-		Image:      optImg,
-		Analysis:   ares,
-	}
-	if opts.Trace {
-		rep.BaselineTrace = baseCol.Profile()
-		rep.OptimizedTrace = optCol.Profile()
-		// The attribution invariant is cheap to check and catastrophic to
-		// miss: every nanojoule the simulator charged must have landed in
-		// exactly one block.
-		if err := rep.BaselineTrace.CheckConservation(baseStats); err != nil {
-			return nil, fmt.Errorf("core: baseline %w", err)
-		}
-		if err := rep.OptimizedTrace.CheckConservation(optStats); err != nil {
-			return nil, fmt.Errorf("core: optimized %w", err)
-		}
-	}
-	if rep.Baseline.EnergyMJ > 0 {
-		rep.Ke = rep.Optimized.EnergyMJ / rep.Baseline.EnergyMJ
-		rep.EnergyChange = rep.Ke - 1
-	}
-	if rep.Baseline.TimeS > 0 {
-		rep.Kt = rep.Optimized.TimeS / rep.Baseline.TimeS
-		rep.TimeChange = rep.Kt - 1
-	}
-	if rep.Baseline.PowerMW > 0 {
-		rep.PowerChange = rep.Optimized.PowerMW/rep.Baseline.PowerMW - 1
-	}
-	rep.StartupCopyCycles, rep.StartupCopyEnergyMJ = startupCopyCost(optImg, opts.Profile)
-	return rep, nil
+	return s.Optimize(opts)
 }
 
 // startupCopyCost estimates the boot-time copy of .data and .ramcode: a
@@ -313,29 +170,6 @@ func metrics(m *sim.Machine, st *sim.Stats, img *layout.Image) RunMetrics {
 		RAMCodeBytes: img.RAMCodeBytes,
 		Stats:        st,
 	}
-}
-
-func compareGlobals(p *ir.Program, a, b *sim.Machine) error {
-	for _, g := range p.Globals {
-		if g.RO {
-			continue
-		}
-		av, err := a.ReadGlobalBytes(g.Name, g.Size)
-		if err != nil {
-			return err
-		}
-		bv, err := b.ReadGlobalBytes(g.Name, g.Size)
-		if err != nil {
-			return err
-		}
-		for i := range av {
-			if av[i] != bv[i] {
-				return fmt.Errorf("global %q differs at byte %d: %#x vs %#x",
-					g.Name, i, av[i], bv[i])
-			}
-		}
-	}
-	return nil
 }
 
 // BlockSaving attributes part of the run-level energy change to one

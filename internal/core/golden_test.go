@@ -1,0 +1,201 @@
+package core_test
+
+// Golden equivalence harness for the Session refactor: the fingerprints
+// in testdata/session_goldens.json were generated from the monolithic
+// pre-Session core.Optimize (go test -run TestSessionGolden -update at
+// that commit) and pin every externally visible Report quantity for all
+// ten BEEBS benchmarks at the paper's two levels. The staged pipeline
+// must reproduce them byte-for-byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/beebs"
+	"repro/internal/core"
+	"repro/internal/mcc"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite testdata goldens from the current pipeline")
+
+// reportFingerprint flattens a Report into a deterministic, fully
+// comparable form: every externally visible number, no pointer identity.
+type reportFingerprint struct {
+	Bench string `json:"bench"`
+	Level string `json:"level"`
+
+	Baseline  metricsFingerprint `json:"baseline"`
+	Optimized metricsFingerprint `json:"optimized"`
+
+	EnergyChange float64 `json:"energy_change"`
+	TimeChange   float64 `json:"time_change"`
+	PowerChange  float64 `json:"power_change"`
+	Ke           float64 `json:"ke"`
+	Kt           float64 `json:"kt"`
+
+	StartupCopyCycles   uint64  `json:"startup_copy_cycles"`
+	StartupCopyEnergyMJ float64 `json:"startup_copy_energy_mj"`
+
+	Moved []string `json:"moved"`
+
+	PlacementMethod string  `json:"placement_method"`
+	PlacementNodes  int     `json:"placement_nodes"`
+	PlacementProven bool    `json:"placement_proven"`
+	OutcomeEnergyNJ float64 `json:"outcome_energy_nj"`
+	OutcomeCycles   float64 `json:"outcome_cycles"`
+	OutcomeRAMBytes float64 `json:"outcome_ram_bytes"`
+
+	ModelBaseCycles   float64 `json:"model_base_cycles"`
+	ModelBaseEnergyNJ float64 `json:"model_base_energy_nj"`
+	ModelBlocks       int     `json:"model_blocks"`
+
+	TransformMoved        []string `json:"transform_moved"`
+	TransformInstrumented []string `json:"transform_instrumented"`
+	TransformExtraBytes   int      `json:"transform_extra_bytes"`
+	TransformExtraCycles  int      `json:"transform_extra_cycles"`
+	TransformScavenged    int      `json:"transform_scavenged"`
+
+	ImageFlashCodeBytes int `json:"image_flash_code_bytes"`
+	ImageRAMCodeBytes   int `json:"image_ram_code_bytes"`
+	ImageDataBytes      int `json:"image_data_bytes"`
+	ImageRodataBytes    int `json:"image_rodata_bytes"`
+
+	AnalysisDiags int `json:"analysis_diags"`
+}
+
+type metricsFingerprint struct {
+	EnergyMJ         float64 `json:"energy_mj"`
+	TimeS            float64 `json:"time_s"`
+	PowerMW          float64 `json:"power_mw"`
+	Cycles           uint64  `json:"cycles"`
+	Instructions     uint64  `json:"instructions"`
+	RAMCodeBytes     int     `json:"ram_code_bytes"`
+	ContentionStalls uint64  `json:"contention_stalls"`
+}
+
+func metricsFP(m core.RunMetrics) metricsFingerprint {
+	return metricsFingerprint{
+		EnergyMJ:         m.EnergyMJ,
+		TimeS:            m.TimeS,
+		PowerMW:          m.PowerMW,
+		Cycles:           m.Cycles,
+		Instructions:     m.Instructions,
+		RAMCodeBytes:     m.RAMCodeBytes,
+		ContentionStalls: m.Stats.ContentionStalls,
+	}
+}
+
+func fingerprint(bench, level string, rep *core.Report) reportFingerprint {
+	return reportFingerprint{
+		Bench:               bench,
+		Level:               level,
+		Baseline:            metricsFP(rep.Baseline),
+		Optimized:           metricsFP(rep.Optimized),
+		EnergyChange:        rep.EnergyChange,
+		TimeChange:          rep.TimeChange,
+		PowerChange:         rep.PowerChange,
+		Ke:                  rep.Ke,
+		Kt:                  rep.Kt,
+		StartupCopyCycles:   rep.StartupCopyCycles,
+		StartupCopyEnergyMJ: rep.StartupCopyEnergyMJ,
+		Moved:               rep.MovedLabels(),
+		PlacementMethod:     rep.Placement.Method,
+		PlacementNodes:      rep.Placement.Nodes,
+		PlacementProven:     rep.Placement.Proven,
+		OutcomeEnergyNJ:     rep.Placement.Outcome.EnergyNJ,
+		OutcomeCycles:       rep.Placement.Outcome.Cycles,
+		OutcomeRAMBytes:     rep.Placement.Outcome.RAMBytes,
+		ModelBaseCycles:     rep.Model.BaseCycles,
+		ModelBaseEnergyNJ:   rep.Model.BaseEnergyNJ,
+		ModelBlocks:         len(rep.Model.Blocks),
+		TransformMoved:      append([]string(nil), rep.Transform.Moved...),
+
+		TransformInstrumented: append([]string(nil), rep.Transform.Instrumented...),
+		TransformExtraBytes:   rep.Transform.ExtraBytes,
+		TransformExtraCycles:  rep.Transform.ExtraCycles,
+		TransformScavenged:    rep.Transform.Scavenged,
+		ImageFlashCodeBytes:   rep.Image.FlashCodeBytes,
+		ImageRAMCodeBytes:     rep.Image.RAMCodeBytes,
+		ImageDataBytes:        rep.Image.DataBytes,
+		ImageRodataBytes:      rep.Image.RodataBytes,
+		AnalysisDiags:         len(rep.Analysis.Diags),
+	}
+}
+
+const goldenPath = "testdata/session_goldens.json"
+
+func goldenLevels() []mcc.OptLevel { return []mcc.OptLevel{mcc.O2, mcc.Os} }
+
+// computeFingerprints runs the full pipeline for every benchmark × level
+// through core.Optimize and fingerprints each report.
+func computeFingerprints(t testing.TB) []reportFingerprint {
+	t.Helper()
+	var out []reportFingerprint
+	for _, b := range beebs.All() {
+		for _, level := range goldenLevels() {
+			prog, err := mcc.Compile(b.Source, level)
+			if err != nil {
+				t.Fatalf("%s %v: %v", b.Name, level, err)
+			}
+			rep, err := core.Optimize(prog, core.Options{})
+			if err != nil {
+				t.Fatalf("%s %v: %v", b.Name, level, err)
+			}
+			out = append(out, fingerprint(b.Name, level.String(), rep))
+		}
+	}
+	return out
+}
+
+func marshalFingerprints(t testing.TB, fps []reportFingerprint) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(fps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestSessionGolden asserts that the pipeline — today a thin wrapper over
+// core.Session — reproduces the monolithic pre-refactor reports exactly,
+// for all ten BEEBS benchmarks at O2 and Os.
+func TestSessionGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 10×2 golden sweep in long mode only")
+	}
+	got := marshalFingerprints(t, computeFingerprints(t))
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update at a known-good commit): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Decode both to name the first diverging run.
+		var gf, wf []reportFingerprint
+		if json.Unmarshal(got, &gf) == nil && json.Unmarshal(want, &wf) == nil && len(gf) == len(wf) {
+			for i := range gf {
+				gj, _ := json.Marshal(gf[i])
+				wj, _ := json.Marshal(wf[i])
+				if !bytes.Equal(gj, wj) {
+					t.Errorf("%s %s diverges:\n got %s\nwant %s",
+						gf[i].Bench, gf[i].Level, gj, wj)
+				}
+			}
+		}
+		t.Fatalf("session pipeline output differs from the pre-refactor goldens (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}

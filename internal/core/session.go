@@ -1,0 +1,785 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/transform"
+)
+
+// Session is the staged form of the pipeline: one program, one board
+// profile, one memory map — and every expensive artifact (baseline
+// image/run, CFG, frequency estimates, cost models, placements, whole
+// reports) materialized at most once and shared across configurations.
+// The paper's experiments are sweeps: Figure 5 solves every benchmark
+// twice (static and profiled Fb), Figure 6 re-solves one program at a
+// dozen constraint points, and the §6 aggregate revisits the same
+// benchmark×level cells other experiments already ran. A Session makes
+// all of that share work instead of recompiling and re-simulating the
+// identical baseline each time.
+//
+// Every artifact handed out is treated as immutable once built: models,
+// graphs and estimates are read-only to the solvers, the baseline
+// machine state is snapshotted into plain bytes, and each Optimize call
+// transforms a fresh clone of the program. That makes concurrent solves
+// over one Session safe (the evaluation sweeps run them across a worker
+// pool under the race detector).
+type Session struct {
+	prog    *ir.Program
+	profile *power.Profile
+	layout  layout.Config
+
+	counters sessionCounters
+
+	graphs     memo[struct{}, map[string]*cfg.Graph]
+	spare      memo[struct{}, float64]
+	measures   memo[measureKey, *Measurement]
+	freqs      memo[freqKey, freq.Estimate]
+	models     memo[modelKey, *model.Model]
+	solves     memo[solveKey, *placement.Result]
+	transforms memo[transformKey, *transformed]
+	optRuns    memo[optRunKey, *Measurement]
+	reports    memo[reportKey, *Report]
+}
+
+// SessionConfig fixes the per-session invariants. Zero values mean the
+// pipeline defaults (STM32F100 profile, default memory map) — the same
+// defaults Options.fill applies.
+type SessionConfig struct {
+	Profile *power.Profile
+	Layout  layout.Config
+}
+
+// NewSession verifies the program once and wraps it in an empty staged
+// pipeline. The program must not be mutated afterwards; every transform
+// the Session performs works on a clone.
+func NewSession(p *ir.Program, cfg SessionConfig) (*Session, error) {
+	if cfg.Profile == nil {
+		cfg.Profile = power.STM32F100()
+	}
+	if cfg.Layout == (layout.Config{}) {
+		cfg.Layout = layout.DefaultConfig()
+	}
+	if err := ir.Verify(p); err != nil {
+		return nil, fmt.Errorf("core: input program: %w", err)
+	}
+	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout}, nil
+}
+
+// Program returns the session's (immutable) input program.
+func (s *Session) Program() *ir.Program { return s.prog }
+
+// Profile returns the session's board power profile.
+func (s *Session) Profile() *power.Profile { return s.profile }
+
+// LayoutConfig returns the session's memory map.
+func (s *Session) LayoutConfig() layout.Config { return s.layout }
+
+// ---------------------------------------------------------------------
+// Stage keys. Each stage is memoized on exactly the parameters that can
+// change its output; everything else is a session invariant.
+
+// measureKey identifies one simulated run of the session program: the
+// placement (canonicalized label set), the instruction limit, and
+// whether the energy-attribution collector was attached.
+type measureKey struct {
+	placement string
+	maxInstrs uint64
+	traced    bool
+}
+
+// freqKey identifies a frequency estimate: the static estimate has one
+// value per session; the profiled estimate depends on the baseline run,
+// hence on the instruction limit.
+type freqKey struct {
+	profiled  bool
+	maxInstrs uint64
+}
+
+// modelKey carries every parameter that reaches model.Build: the Fb
+// source, the (resolved) RAM and time budgets, the candidate cap and
+// link-time visibility. EFlash/ERAM come from the session profile.
+type modelKey struct {
+	freq          freqKey
+	rspare        float64
+	xlimit        float64
+	maxCandidates int
+	linkTime      bool
+}
+
+// solveKey is a modelKey plus the solver choice.
+type solveKey struct {
+	model       modelKey
+	solver      Solver
+	exhaustiveK int
+}
+
+// reportKey identifies a full Optimize outcome: the solve plus the
+// run-level knobs (tracing, instruction limit).
+type reportKey struct {
+	solve     solveKey
+	traced    bool
+	maxInstrs uint64
+}
+
+// transformKey identifies a transformed program: the chosen placement,
+// the transform mode, and the RAM budget the static analysis verifies
+// against. Two solves that pick the same block set — common between the
+// static and profiled Figure 5 variants, which also share the derived
+// budget — share one transformed program, optimized image and analysis.
+type transformKey struct {
+	placement string
+	linkTime  bool
+	rspare    float64
+}
+
+// optRunKey identifies one simulated run of a transformed program.
+type optRunKey struct {
+	transform transformKey
+	traced    bool
+	maxInstrs uint64
+}
+
+func canonicalPlacement(inRAM map[string]bool) string {
+	if len(inRAM) == 0 {
+		return ""
+	}
+	labels := make([]string, 0, len(inRAM))
+	for lbl, in := range inRAM {
+		if in {
+			labels = append(labels, lbl)
+		}
+	}
+	sort.Strings(labels)
+	return strings.Join(labels, "\x00")
+}
+
+// resolve normalizes Options into stage keys, filling the same defaults
+// the monolithic path fills, so that e.g. Xlimit 0 and Xlimit 2.0 hit
+// the same cache slot.
+func (s *Session) resolve(opts Options) (reportKey, error) {
+	if opts.Profile != nil && opts.Profile != s.profile {
+		return reportKey{}, fmt.Errorf("core: session profile mismatch (build a new Session for a different board)")
+	}
+	if opts.Layout != (layout.Config{}) && opts.Layout != s.layout {
+		return reportKey{}, fmt.Errorf("core: session layout mismatch (build a new Session for a different memory map)")
+	}
+	opts.Profile, opts.Layout = s.profile, s.layout
+	opts.fill()
+	rspare := opts.Rspare
+	if rspare == 0 {
+		var err error
+		rspare, err = s.SpareRAM()
+		if err != nil {
+			return reportKey{}, err
+		}
+	}
+	mc := opts.MaxCandidates
+	if mc == 0 {
+		mc = model.DefaultMaxCandidates
+	}
+	return reportKey{
+		solve: solveKey{
+			model: modelKey{
+				freq:          freqKey{profiled: opts.UseProfile, maxInstrs: profiledMaxInstrs(opts.UseProfile, opts.MaxInstrs)},
+				rspare:        rspare,
+				xlimit:        opts.Xlimit,
+				maxCandidates: mc,
+				linkTime:      opts.LinkTime,
+			},
+			solver:      opts.Solver,
+			exhaustiveK: opts.ExhaustiveK,
+		},
+		traced:    opts.Trace,
+		maxInstrs: opts.MaxInstrs,
+	}, nil
+}
+
+// profiledMaxInstrs keeps the static-estimate key independent of the
+// instruction limit (the estimate never simulates).
+func profiledMaxInstrs(profiled bool, maxInstrs uint64) uint64 {
+	if !profiled {
+		return 0
+	}
+	return maxInstrs
+}
+
+// ---------------------------------------------------------------------
+// Stages.
+
+// Graphs builds (once) the per-function control-flow graphs.
+func (s *Session) Graphs() (map[string]*cfg.Graph, error) {
+	return s.graphs.do(&s.counters.cfg, struct{}{}, func() (map[string]*cfg.Graph, error) {
+		g, err := cfg.BuildAll(s.prog)
+		if err != nil {
+			return nil, fmt.Errorf("core: cfg: %w", err)
+		}
+		return g, nil
+	})
+}
+
+// SpareRAM derives (once) the default Rspare: physical RAM minus data
+// and the statically bounded stack, as §4.1 suggests.
+func (s *Session) SpareRAM() (float64, error) {
+	return s.spare.do(&s.counters.cfg, struct{}{}, func() (float64, error) {
+		return float64(layout.SpareRAM(s.prog, s.layout)), nil
+	})
+}
+
+// Measurement is one simulated execution of the session program under a
+// given placement: the image, the run statistics, the derived headline
+// metrics, the optional energy attribution, and a snapshot of every
+// writable global's final bytes (for semantic-equivalence checks).
+type Measurement struct {
+	Image   *layout.Image
+	Stats   *sim.Stats
+	Metrics RunMetrics
+	// Trace is the per-block energy attribution (nil unless the run was
+	// requested with tracing).
+	Trace *trace.Profile
+
+	globals map[string][]byte
+}
+
+// Measure lays out the session program with the given placement and
+// simulates it, memoizing on (placement, instruction limit, tracing).
+// A nil placement is the all-in-flash baseline. An untraced request is
+// satisfied by an already-completed traced run of the same
+// configuration: the observer is passive, so the statistics and final
+// memory state are identical.
+func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) (*Measurement, error) {
+	key := measureKey{placement: canonicalPlacement(inRAM), maxInstrs: maxInstrs, traced: traced}
+	if !traced {
+		tk := key
+		tk.traced = true
+		if m, ok := s.measures.peek(tk); ok {
+			s.counters.baseline.hit()
+			return m, nil
+		}
+	}
+	return s.measures.do(&s.counters.baseline, key, func() (*Measurement, error) {
+		img, err := layout.New(s.prog, s.layout, inRAM)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline layout: %w", err)
+		}
+		machine := sim.New(img, s.profile)
+		machine.MaxInstrs = maxInstrs
+		var col *trace.Collector
+		if traced {
+			col = trace.NewCollector()
+			machine.Attach(col)
+		}
+		stats, err := machine.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline run: %w", err)
+		}
+		s.counters.simRuns.Add(1)
+		s.counters.cyclesSimulated.Add(stats.Cycles)
+		m := &Measurement{
+			Image:   img,
+			Stats:   stats,
+			Metrics: metrics(machine, stats, img),
+			globals: snapshotGlobals(s.prog, machine),
+		}
+		if col != nil {
+			m.Trace = col.Profile()
+		}
+		return m, nil
+	})
+}
+
+// Baseline is the all-in-flash Measure with the default instruction
+// limit — the shared denominator of every configuration.
+func (s *Session) Baseline() (*Measurement, error) { return s.Measure(nil, false, 0) }
+
+// Frequencies returns the Fb estimate: the static loop-depth estimate,
+// or the measured block counts of the baseline run.
+func (s *Session) Frequencies(useProfile bool, maxInstrs uint64) (freq.Estimate, error) {
+	key := freqKey{profiled: useProfile, maxInstrs: profiledMaxInstrs(useProfile, maxInstrs)}
+	return s.freqs.do(&s.counters.freq, key, func() (freq.Estimate, error) {
+		if useProfile {
+			base, err := s.Measure(nil, false, maxInstrs)
+			if err != nil {
+				return nil, err
+			}
+			return freq.FromProfile(base.Stats), nil
+		}
+		graphs, err := s.Graphs()
+		if err != nil {
+			return nil, err
+		}
+		return freq.Static(s.prog, graphs), nil
+	})
+}
+
+// ModelSpec selects one cost-model instance. Unlike Options.Rspare,
+// the Rspare here is literal bytes — a zero budget is a real (placeable-
+// nothing) configuration in the Figure 6 sweeps; callers wanting the
+// derived default pass SpareRAM(). Xlimit 0 and MaxCandidates 0 resolve
+// to the pipeline defaults.
+type ModelSpec struct {
+	UseProfile    bool
+	Rspare        float64
+	Xlimit        float64
+	MaxCandidates int
+	LinkTime      bool
+	// MaxInstrs only matters when UseProfile is set (it bounds the
+	// profiling run).
+	MaxInstrs uint64
+}
+
+func (s *Session) resolveModel(spec ModelSpec) modelKey {
+	if spec.Xlimit == 0 {
+		spec.Xlimit = 2.0
+	}
+	if spec.MaxCandidates == 0 {
+		spec.MaxCandidates = model.DefaultMaxCandidates
+	}
+	return modelKey{
+		freq:          freqKey{profiled: spec.UseProfile, maxInstrs: profiledMaxInstrs(spec.UseProfile, spec.MaxInstrs)},
+		rspare:        spec.Rspare,
+		xlimit:        spec.Xlimit,
+		maxCandidates: spec.MaxCandidates,
+		linkTime:      spec.LinkTime,
+	}
+}
+
+// Model assembles (or reuses) the Eq. 1–9 cost model for the spec.
+func (s *Session) Model(spec ModelSpec) (*model.Model, error) {
+	return s.model(s.resolveModel(spec))
+}
+
+func (s *Session) model(key modelKey) (*model.Model, error) {
+	return s.models.do(&s.counters.model, key, func() (*model.Model, error) {
+		graphs, err := s.Graphs()
+		if err != nil {
+			return nil, err
+		}
+		est, err := s.Frequencies(key.freq.profiled, key.freq.maxInstrs)
+		if err != nil {
+			return nil, err
+		}
+		ef, er := s.profile.Coefficients()
+		mdl, err := model.Build(s.prog, graphs, est, model.Params{
+			EFlash: ef, ERAM: er,
+			Rspare: key.rspare, Xlimit: key.xlimit,
+			MaxCandidates:  key.maxCandidates,
+			IncludeLibrary: key.linkTime,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: model: %w", err)
+		}
+		return mdl, nil
+	})
+}
+
+// SolveSpec is a ModelSpec plus the placement algorithm.
+type SolveSpec struct {
+	ModelSpec
+	Solver Solver
+	// ExhaustiveK bounds the exhaustive solver's block set (0 = 12).
+	ExhaustiveK int
+}
+
+// Solve runs (or reuses) the placement solver on the spec's model.
+func (s *Session) Solve(spec SolveSpec) (*placement.Result, error) {
+	if spec.Solver == "" {
+		spec.Solver = SolverILP
+	}
+	if spec.ExhaustiveK == 0 {
+		spec.ExhaustiveK = 12
+	}
+	return s.solve(solveKey{model: s.resolveModel(spec.ModelSpec), solver: spec.Solver, exhaustiveK: spec.ExhaustiveK})
+}
+
+func (s *Session) solve(key solveKey) (*placement.Result, error) {
+	return s.solves.do(&s.counters.solve, key, func() (*placement.Result, error) {
+		mdl, err := s.model(key.model)
+		if err != nil {
+			return nil, err
+		}
+		var res *placement.Result
+		switch key.solver {
+		case SolverILP:
+			res, err = placement.SolveILP(mdl)
+		case SolverGreedy:
+			res = placement.SolveGreedy(mdl)
+		case SolverFunction:
+			res = placement.SolveFunctionLevel(mdl, s.prog)
+		case SolverExhaustive:
+			res, err = placement.SolveExhaustive(mdl, key.exhaustiveK)
+		default:
+			return nil, fmt.Errorf("core: unknown solver %q", key.solver)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: placement: %w", err)
+		}
+		return res, nil
+	})
+}
+
+// transformed is the placement-determined artifact set: the transformed
+// program clone, the transformation report, the optimized image, and its
+// static analysis. All immutable after construction.
+type transformed struct {
+	prog *ir.Program
+	trep *transform.Report
+	img  *layout.Image
+	ares *analysis.Result
+}
+
+// transformFor clones, transforms, lays out and statically verifies the
+// program for one placement. res.InRAM must canonicalize to
+// key.placement.
+func (s *Session) transformFor(key transformKey, inRAM map[string]bool) (*transformed, error) {
+	return s.transforms.do(&s.counters.transform, key, func() (*transformed, error) {
+		// Transformation on a clone: the shared session program stays
+		// pristine for every other configuration.
+		opt := s.prog.Clone()
+		applyFn := transform.Apply
+		if key.linkTime {
+			applyFn = transform.ApplyLinkTime
+		}
+		trep, err := applyFn(opt, inRAM)
+		if err != nil {
+			return nil, fmt.Errorf("core: transform: %w", err)
+		}
+		optImg, err := layout.New(opt, s.layout, inRAM)
+		if err != nil {
+			return nil, fmt.Errorf("core: optimized layout: %w", err)
+		}
+
+		// Static verification of the transformed artifact: every branch in
+		// range, every cross-memory edge instrumented with a dead scratch,
+		// the CFG preserved, the memory map sound, the stack bounded. Error
+		// diagnostics abort the run before simulation can mask them.
+		ares, err := analysis.Analyze(&analysis.Context{
+			Original: s.prog, Prog: opt, InRAM: inRAM,
+			Config: s.layout, Image: optImg, Rspare: key.rspare,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: analysis: %w", err)
+		}
+		if n := len(ares.Errors()); n > 0 {
+			return nil, fmt.Errorf("core: analysis found %d error(s):\n%s", n, ares)
+		}
+		return &transformed{prog: opt, trep: trep, img: optImg, ares: ares}, nil
+	})
+}
+
+// optRun simulates a transformed image, memoized on (placement, mode,
+// tracing, instruction limit) — so the static and profiled variants of a
+// configuration that land on the same placement simulate it once. As
+// with Measure, a completed traced run satisfies untraced requests.
+func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
+	if !key.traced {
+		tk := key
+		tk.traced = true
+		if m, ok := s.optRuns.peek(tk); ok {
+			s.counters.optrun.hit()
+			return m, nil
+		}
+	}
+	return s.optRuns.do(&s.counters.optrun, key, func() (*Measurement, error) {
+		machine := sim.New(tf.img, s.profile)
+		machine.MaxInstrs = key.maxInstrs
+		var col *trace.Collector
+		if key.traced {
+			col = trace.NewCollector()
+			machine.Attach(col)
+		}
+		stats, err := machine.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: optimized run: %w", err)
+		}
+		s.counters.simRuns.Add(1)
+		s.counters.cyclesSimulated.Add(stats.Cycles)
+		m := &Measurement{
+			Image:   tf.img,
+			Stats:   stats,
+			Metrics: metrics(machine, stats, tf.img),
+			globals: snapshotGlobals(s.prog, machine),
+		}
+		if col != nil {
+			m.Trace = col.Profile()
+			// The attribution invariant is cheap to check and catastrophic
+			// to miss: every nanojoule the simulator charged must have
+			// landed in exactly one block.
+			if err := m.Trace.CheckConservation(stats); err != nil {
+				return nil, fmt.Errorf("core: optimized %w", err)
+			}
+		}
+		return m, nil
+	})
+}
+
+// Optimize runs the full pipeline for one configuration, reusing every
+// stage the session has already materialized. Identical configurations
+// return the same (immutable) Report.
+func (s *Session) Optimize(opts Options) (*Report, error) {
+	key, err := s.resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.reports.do(&s.counters.optimize, key, func() (*Report, error) {
+		return s.optimize(key)
+	})
+}
+
+// optimize assembles one Report from the staged artifacts plus the
+// per-configuration tail (transform, optimized run, semantic check) —
+// each of which is itself memoized on the placement the solve chose.
+func (s *Session) optimize(key reportKey) (*Report, error) {
+	base, err := s.Measure(nil, key.traced, key.maxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.solve(key.solve)
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := s.model(key.solve.model)
+	if err != nil {
+		return nil, err
+	}
+
+	tkey := transformKey{
+		placement: canonicalPlacement(res.InRAM),
+		linkTime:  key.solve.model.linkTime,
+		rspare:    key.solve.model.rspare,
+	}
+	tf, err := s.transformFor(tkey, res.InRAM)
+	if err != nil {
+		return nil, err
+	}
+	orun, err := s.optRun(optRunKey{transform: tkey, traced: key.traced, maxInstrs: key.maxInstrs}, tf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Semantic validation: every writable global must hold identical
+	// bytes after both runs.
+	if err := compareGlobals(s.prog, base.globals, orun.globals); err != nil {
+		return nil, fmt.Errorf("core: transformation changed program behaviour: %w", err)
+	}
+
+	rep := &Report{
+		Baseline:   base.Metrics,
+		Optimized:  orun.Metrics,
+		Placement:  res,
+		Model:      mdl,
+		Transform:  tf.trep,
+		Optimized0: tf.prog,
+		Image:      tf.img,
+		Analysis:   tf.ares,
+	}
+	if key.traced {
+		rep.BaselineTrace = base.Trace
+		rep.OptimizedTrace = orun.Trace
+		// Baseline conservation is checked here (the optimized run checks
+		// its own when it is simulated).
+		if err := rep.BaselineTrace.CheckConservation(base.Stats); err != nil {
+			return nil, fmt.Errorf("core: baseline %w", err)
+		}
+	}
+	if rep.Baseline.EnergyMJ > 0 {
+		rep.Ke = rep.Optimized.EnergyMJ / rep.Baseline.EnergyMJ
+		rep.EnergyChange = rep.Ke - 1
+	}
+	if rep.Baseline.TimeS > 0 {
+		rep.Kt = rep.Optimized.TimeS / rep.Baseline.TimeS
+		rep.TimeChange = rep.Kt - 1
+	}
+	if rep.Baseline.PowerMW > 0 {
+		rep.PowerChange = rep.Optimized.PowerMW/rep.Baseline.PowerMW - 1
+	}
+	rep.StartupCopyCycles, rep.StartupCopyEnergyMJ = startupCopyCost(tf.img, s.profile)
+	return rep, nil
+}
+
+// snapshotGlobals captures the final bytes of every writable global so
+// later optimized runs can be checked against the baseline without
+// retaining the (mutable) machine.
+func snapshotGlobals(p *ir.Program, m *sim.Machine) map[string][]byte {
+	out := make(map[string][]byte)
+	for _, g := range p.Globals {
+		if g.RO {
+			continue
+		}
+		if b, err := m.ReadGlobalBytes(g.Name, g.Size); err == nil {
+			out[g.Name] = b
+		}
+	}
+	return out
+}
+
+func compareGlobals(p *ir.Program, base, opt map[string][]byte) error {
+	for _, g := range p.Globals {
+		if g.RO {
+			continue
+		}
+		av := base[g.Name]
+		bv := opt[g.Name]
+		for i := range av {
+			if av[i] != bv[i] {
+				return fmt.Errorf("global %q differs at byte %d: %#x vs %#x",
+					g.Name, i, av[i], bv[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Stage accounting.
+
+// StageStats counts one stage's memo lookups: a miss computes the
+// artifact, a hit reuses it.
+type StageStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// SessionStats is a snapshot of how much work a Session (or a set of
+// sessions, via Add) performed versus reused. `beebsbench -json` emits
+// it so the sweep-level saving is observable.
+type SessionStats struct {
+	Baseline  StageStats `json:"baseline"`
+	CFG       StageStats `json:"cfg"`
+	Freq      StageStats `json:"freq"`
+	Model     StageStats `json:"model"`
+	Solve     StageStats `json:"solve"`
+	Transform StageStats `json:"transform"`
+	OptRun    StageStats `json:"opt_run"`
+	Optimize  StageStats `json:"optimize"`
+	// SimRuns and CyclesSimulated count actual simulator executions
+	// (baseline + optimized, deduplicated by the memo).
+	SimRuns         uint64 `json:"sim_runs"`
+	CyclesSimulated uint64 `json:"cycles_simulated"`
+}
+
+// Reuses totals the stage hits: how many artifact computations the
+// session avoided.
+func (st SessionStats) Reuses() uint64 {
+	return st.Baseline.Hits + st.CFG.Hits + st.Freq.Hits +
+		st.Model.Hits + st.Solve.Hits + st.Transform.Hits +
+		st.OptRun.Hits + st.Optimize.Hits
+}
+
+// Add accumulates another snapshot (for aggregating across sessions).
+func (st *SessionStats) Add(o SessionStats) {
+	st.Baseline.Hits += o.Baseline.Hits
+	st.Baseline.Misses += o.Baseline.Misses
+	st.CFG.Hits += o.CFG.Hits
+	st.CFG.Misses += o.CFG.Misses
+	st.Freq.Hits += o.Freq.Hits
+	st.Freq.Misses += o.Freq.Misses
+	st.Model.Hits += o.Model.Hits
+	st.Model.Misses += o.Model.Misses
+	st.Solve.Hits += o.Solve.Hits
+	st.Solve.Misses += o.Solve.Misses
+	st.Transform.Hits += o.Transform.Hits
+	st.Transform.Misses += o.Transform.Misses
+	st.OptRun.Hits += o.OptRun.Hits
+	st.OptRun.Misses += o.OptRun.Misses
+	st.Optimize.Hits += o.Optimize.Hits
+	st.Optimize.Misses += o.Optimize.Misses
+	st.SimRuns += o.SimRuns
+	st.CyclesSimulated += o.CyclesSimulated
+}
+
+type stageCounter struct {
+	hits, misses atomic.Uint64
+}
+
+func (c *stageCounter) hit()  { c.hits.Add(1) }
+func (c *stageCounter) miss() { c.misses.Add(1) }
+
+func (c *stageCounter) snapshot() StageStats {
+	return StageStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+type sessionCounters struct {
+	baseline, cfg, freq, model, solve, transform, optrun, optimize stageCounter
+
+	simRuns, cyclesSimulated atomic.Uint64
+}
+
+// Stats snapshots the session's stage hit/miss counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Baseline:        s.counters.baseline.snapshot(),
+		CFG:             s.counters.cfg.snapshot(),
+		Freq:            s.counters.freq.snapshot(),
+		Model:           s.counters.model.snapshot(),
+		Solve:           s.counters.solve.snapshot(),
+		Transform:       s.counters.transform.snapshot(),
+		OptRun:          s.counters.optrun.snapshot(),
+		Optimize:        s.counters.optimize.snapshot(),
+		SimRuns:         s.counters.simRuns.Load(),
+		CyclesSimulated: s.counters.cyclesSimulated.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Concurrency-safe per-key memoization. First caller computes, everyone
+// else blocks on that computation and shares the (immutable) result.
+
+type memoEntry[V any] struct {
+	once sync.Once
+	done atomic.Bool
+	val  V
+	err  error
+}
+
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+func (c *memo[K, V]) do(st *stageCounter, k K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e := c.m[k]
+	if e == nil {
+		e = new(memoEntry[V])
+		c.m[k] = e
+		st.miss()
+	} else {
+		st.hit()
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		e.done.Store(true)
+	})
+	return e.val, e.err
+}
+
+// peek returns a key's value only if its computation already finished
+// successfully — it never blocks on an in-flight computation.
+func (c *memo[K, V]) peek(k K) (V, bool) {
+	c.mu.Lock()
+	e := c.m[k]
+	c.mu.Unlock()
+	if e == nil || !e.done.Load() || e.err != nil {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}

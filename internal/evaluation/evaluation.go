@@ -3,6 +3,12 @@
 // level, run the placement pipeline (internal/core), and collect the
 // numbers behind Figure 5, the §6 aggregate, Figure 6, the §7 case study
 // and Figure 9.
+//
+// Every driver exists in two forms: a method on Sweep — which shares one
+// core.Session per benchmark×level across everything run through it, so
+// e.g. Figure 5's static and profiled variants compile and baseline-
+// simulate once — and a package-level function of the same name that runs
+// on a private serial Sweep for one-shot callers.
 package evaluation
 
 import (
@@ -10,12 +16,8 @@ import (
 
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
-	"repro/internal/cfg"
 	"repro/internal/core"
-	"repro/internal/freq"
-	"repro/internal/layout"
 	"repro/internal/mcc"
-	"repro/internal/model"
 	"repro/internal/placement"
 	"repro/internal/power"
 )
@@ -48,25 +50,37 @@ type Options struct {
 	MaxInstrs uint64
 }
 
-// RunBenchmark executes the full pipeline for one benchmark at one level.
-func RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
-	prog, err := mcc.Compile(b.Source, level)
+func (o Options) core() core.Options {
+	return core.Options{
+		UseProfile: o.UseProfile,
+		Solver:     o.Solver,
+		Xlimit:     o.Xlimit,
+		Rspare:     o.Rspare,
+		LinkTime:   o.LinkTime,
+		Trace:      o.Trace,
+		MaxInstrs:  o.MaxInstrs,
+	}
+}
+
+// RunBenchmark executes the full pipeline for one benchmark at one level,
+// reusing the sweep's session for the cell (compile, baseline run, CFG,
+// frequency and model stages are shared with every other configuration of
+// the same cell).
+func (sw *Sweep) RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
+	sess, err := sw.Session(b, level)
 	if err != nil {
 		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
 	}
-	rep, err := core.Optimize(prog, core.Options{
-		UseProfile: opts.UseProfile,
-		Solver:     opts.Solver,
-		Xlimit:     opts.Xlimit,
-		Rspare:     opts.Rspare,
-		LinkTime:   opts.LinkTime,
-		Trace:      opts.Trace,
-		MaxInstrs:  opts.MaxInstrs,
-	})
+	rep, err := sess.Optimize(opts.core())
 	if err != nil {
 		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
 	}
 	return &Run{Bench: b.Name, Level: level, Report: rep}, nil
+}
+
+// RunBenchmark executes the full pipeline for one benchmark at one level.
+func RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
+	return NewSweep(1).RunBenchmark(b, level, opts)
 }
 
 // Figure5Row is one pair of bars (plus the frequency dots) of Figure 5.
@@ -81,18 +95,20 @@ type Figure5Row struct {
 
 // Figure5 reproduces the Figure 5 sweep: every benchmark at the given
 // levels (the paper plots O2 and Os), with both the static estimate and
-// actual frequencies. The benchmark × level jobs run across the Workers
-// pool; row order is benchmark-major regardless of parallelism.
-func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
+// actual frequencies. The static and profiled runs of a cell share one
+// session, so each benchmark compiles and baseline-simulates once. The
+// benchmark × level jobs run across the sweep's worker pool; row order is
+// benchmark-major regardless of parallelism.
+func (sw *Sweep) Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
 	jobs := sweepJobs(levels)
 	rows := make([]Figure5Row, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
+	err := sw.forEach(len(jobs), func(i int) error {
 		j := jobs[i]
-		static, err := RunBenchmark(j.bench, j.level, Options{})
+		static, err := sw.RunBenchmark(j.bench, j.level, Options{})
 		if err != nil {
 			return err
 		}
-		prof, err := RunBenchmark(j.bench, j.level, Options{UseProfile: true})
+		prof, err := sw.RunBenchmark(j.bench, j.level, Options{UseProfile: true})
 		if err != nil {
 			return err
 		}
@@ -111,6 +127,11 @@ func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Figure5 runs the Figure 5 sweep serially on a fresh Sweep.
+func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
+	return NewSweep(1).Figure5(levels)
 }
 
 // sweepJob is one benchmark × level cell of an evaluation sweep.
@@ -146,15 +167,15 @@ type Aggregate struct {
 }
 
 // RunAggregate evaluates all benchmarks across the given levels. The
-// benchmark × level runs execute across the Workers pool; the aggregation
-// itself is serial over the deterministically ordered results, so the
-// reported means are bit-identical at any worker count.
-func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
+// benchmark × level runs execute across the sweep's worker pool; the
+// aggregation itself is serial over the deterministically ordered
+// results, so the reported means are bit-identical at any worker count.
+func (sw *Sweep) RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
 	agg := &Aggregate{Levels: levels}
 	jobs := sweepJobs(levels)
 	runs := make([]*Run, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
-		r, err := RunBenchmark(jobs[i].bench, jobs[i].level, Options{})
+	err := sw.forEach(len(jobs), func(i int) error {
+		r, err := sw.RunBenchmark(jobs[i].bench, jobs[i].level, Options{})
 		if err != nil {
 			return err
 		}
@@ -190,6 +211,11 @@ func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
 	return agg, nil
 }
 
+// RunAggregate evaluates all benchmarks serially on a fresh Sweep.
+func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
+	return NewSweep(1).RunAggregate(levels)
+}
+
 // SaversRow names the blocks behind one benchmark's measured energy
 // saving: the attribution diff between the baseline and optimized runs.
 type SaversRow struct {
@@ -203,12 +229,12 @@ type SaversRow struct {
 
 // TopSavers runs every benchmark at the given levels with tracing enabled
 // and reports, per run, which blocks produced the energy saving. Jobs run
-// across the Workers pool with deterministic output order.
-func TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
+// across the sweep's worker pool with deterministic output order.
+func (sw *Sweep) TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
 	jobs := sweepJobs(levels)
 	rows := make([]SaversRow, len(jobs))
-	err := forEach(len(jobs), func(i int) error {
-		r, err := RunBenchmark(jobs[i].bench, jobs[i].level, Options{Trace: true})
+	err := sw.forEach(len(jobs), func(i int) error {
+		r, err := sw.RunBenchmark(jobs[i].bench, jobs[i].level, Options{Trace: true})
 		if err != nil {
 			return err
 		}
@@ -224,6 +250,11 @@ func TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// TopSavers runs the attribution sweep serially on a fresh Sweep.
+func TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
+	return NewSweep(1).TopSavers(levels, n)
 }
 
 // Figure6Data carries the trade-off cloud and solver paths for one
@@ -250,38 +281,33 @@ type PathPoint struct {
 
 // Figure6 enumerates the 2^k placement space of a benchmark under the
 // model and traces the ILP solver's choices as each constraint is relaxed.
-func Figure6(benchName string, level mcc.OptLevel, k int,
+// Every model along both constraint sweeps comes out of the cell's
+// session, so the CFG and frequency estimate are built once and repeated
+// constraint points (e.g. the unconstrained corner) reuse one model.
+func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 	ramSweep []float64, xlimitSweep []float64) (*Figure6Data, error) {
 	b := beebs.Get(benchName)
 	if b == nil {
 		return nil, fmt.Errorf("evaluation: unknown benchmark %q", benchName)
 	}
-	prog, err := mcc.Compile(b.Source, level)
+	sess, err := sw.Session(b, level)
 	if err != nil {
 		return nil, err
 	}
-	graphs, err := cfg.BuildAll(prog)
+	spare, err := sess.SpareRAM()
 	if err != nil {
 		return nil, err
 	}
-	est := freq.Static(prog, graphs)
-	prof := power.STM32F100()
-	ef, er := prof.Coefficients()
-	cfgLayout := layout.DefaultConfig()
-	spare := float64(layout.SpareRAM(prog, cfgLayout))
 
 	// Restrict the model to the same k hottest blocks the cloud
 	// enumerates, so the solver's path stays within the plotted space
 	// (the paper's programs are small enough that its k is all blocks).
-	build := func(rspare, xlimit float64) (*model.Model, error) {
-		return model.Build(prog, graphs, est, model.Params{
-			EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: xlimit,
-			MaxCandidates: k,
-		})
+	spec := func(rspare, xlimit float64) core.ModelSpec {
+		return core.ModelSpec{Rspare: rspare, Xlimit: xlimit, MaxCandidates: k}
 	}
 
 	// The cloud: no RAM or time constraint (within physical spare RAM).
-	mFree, err := build(spare, 1e9)
+	mFree, err := sess.Model(spec(spare, 1e9))
 	if err != nil {
 		return nil, err
 	}
@@ -300,11 +326,7 @@ func Figure6(benchName string, level mcc.OptLevel, k int,
 	}
 
 	for _, rs := range ramSweep {
-		m, err := build(rs, 1e9)
-		if err != nil {
-			return nil, err
-		}
-		res, err := placement.SolveILP(m)
+		res, err := sess.Solve(core.SolveSpec{ModelSpec: spec(rs, 1e9), Solver: core.SolverILP})
 		if err != nil {
 			return nil, err
 		}
@@ -316,11 +338,7 @@ func Figure6(benchName string, level mcc.OptLevel, k int,
 		})
 	}
 	for _, xl := range xlimitSweep {
-		m, err := build(spare, xl)
-		if err != nil {
-			return nil, err
-		}
-		res, err := placement.SolveILP(m)
+		res, err := sess.Solve(core.SolveSpec{ModelSpec: spec(spare, xl), Solver: core.SolverILP})
 		if err != nil {
 			return nil, err
 		}
@@ -332,6 +350,12 @@ func Figure6(benchName string, level mcc.OptLevel, k int,
 		})
 	}
 	return data, nil
+}
+
+// Figure6 runs the trade-off sweep on a fresh serial Sweep.
+func Figure6(benchName string, level mcc.OptLevel, k int,
+	ramSweep []float64, xlimitSweep []float64) (*Figure6Data, error) {
+	return NewSweep(1).Figure6(benchName, level, k, ramSweep, xlimitSweep)
 }
 
 // Scenario builds the §7 case-study scenario from a measured pipeline run.
@@ -354,11 +378,13 @@ type Figure9Series struct {
 }
 
 // Figure9 sweeps the periodic-sensing period for the paper's three
-// benchmarks (fdct, int_matmult, 2dfir) using measured ke/kt.
-func Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
+// benchmarks (fdct, int_matmult, 2dfir) using measured ke/kt. The runs
+// reuse the sweep's sessions, so a Figure 5 or aggregate sweep on the
+// same Sweep has already paid for these cells.
+func (sw *Sweep) Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
 	var out []Figure9Series
 	for _, name := range []string{"fdct", "int_matmult", "2dfir"} {
-		r, err := RunBenchmark(beebs.Get(name), level, Options{})
+		r, err := sw.RunBenchmark(beebs.Get(name), level, Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -370,4 +396,9 @@ func Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
 		})
 	}
 	return out, nil
+}
+
+// Figure9 runs the periodic-sensing sweep on a fresh serial Sweep.
+func Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
+	return NewSweep(1).Figure9(level, multiples)
 }

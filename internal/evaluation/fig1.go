@@ -3,11 +3,10 @@ package evaluation
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/isa"
-	"repro/internal/layout"
 	"repro/internal/power"
-	"repro/internal/sim"
 )
 
 // Figure1Row is one bar of Figure 1: the average power of a 16-identical-
@@ -117,47 +116,56 @@ func figure1Program(kind string, inRAM bool) (*ir.Program, map[string]bool, erro
 	return p, placement, nil
 }
 
+// figure1Bars lists the Figure 1 measurements in plot order: each
+// instruction class from flash, the same classes from RAM, and the tall
+// final bar — RAM-resident code loading flash-resident data.
+var figure1Bars = []struct {
+	kind  string
+	inRAM bool
+	label string
+}{
+	{"store", false, "store"}, {"load", false, "load"}, {"add", false, "add"},
+	{"nop", false, "nop"}, {"mul", false, "mul"}, {"branch", false, "branch"},
+	{"store", true, "store"}, {"load", true, "load"}, {"add", true, "add"},
+	{"nop", true, "nop"}, {"mul", true, "mul"}, {"branch", true, "branch"},
+	{"flashload", true, "flash load"},
+}
+
 // Figure1 measures the average power of each instruction-class loop from
 // flash and from RAM, plus the RAM-code/flash-data bar, on the simulated
-// board — regenerating Figure 1 of the paper.
-func Figure1() ([]Figure1Row, error) {
-	prof := power.STM32F100()
-	var rows []Figure1Row
-	measure := func(kind string, inRAM bool, label string) error {
-		p, placement, err := figure1Program(kind, inRAM)
+// board — regenerating Figure 1 of the paper. Each micro-program is a
+// one-measurement core.Session; the bars run across the sweep's worker
+// pool in fixed plot order.
+func (sw *Sweep) Figure1() ([]Figure1Row, error) {
+	rows := make([]Figure1Row, len(figure1Bars))
+	err := sw.forEach(len(figure1Bars), func(i int) error {
+		bar := figure1Bars[i]
+		p, placement, err := figure1Program(bar.kind, bar.inRAM)
 		if err != nil {
 			return err
 		}
-		img, err := layout.New(p, layout.DefaultConfig(), placement)
+		sess, err := core.NewSession(p, core.SessionConfig{})
 		if err != nil {
-			return fmt.Errorf("figure1 %s: %w", label, err)
+			return fmt.Errorf("figure1 %s: %w", bar.label, err)
 		}
-		m := sim.New(img, prof)
-		st, err := m.Run()
+		m, err := sess.Measure(placement, false, 0)
 		if err != nil {
-			return fmt.Errorf("figure1 %s: %w", label, err)
+			return fmt.Errorf("figure1 %s: %w", bar.label, err)
 		}
 		mem := power.Flash
-		if inRAM {
+		if bar.inRAM {
 			mem = power.RAM
 		}
-		rows = append(rows, Figure1Row{Label: label, Mem: mem, PowerMW: m.AveragePowerMW(st)})
+		rows[i] = Figure1Row{Label: bar.label, Mem: mem, PowerMW: m.Metrics.PowerMW}
 		return nil
-	}
-
-	for _, kind := range []string{"store", "load", "add", "nop", "mul", "branch"} {
-		if err := measure(kind, false, kind); err != nil {
-			return nil, err
-		}
-	}
-	for _, kind := range []string{"store", "load", "add", "nop", "mul", "branch"} {
-		if err := measure(kind, true, kind); err != nil {
-			return nil, err
-		}
-	}
-	// The tall final bar: RAM-resident code loading flash-resident data.
-	if err := measure("flashload", true, "flash load"); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Figure1 runs the micro-benchmark bars serially on a fresh Sweep.
+func Figure1() ([]Figure1Row, error) {
+	return NewSweep(1).Figure1()
 }

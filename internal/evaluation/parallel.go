@@ -1,19 +1,121 @@
 package evaluation
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
 
-// Workers bounds the sweep worker pool used by Figure5, RunAggregate and
-// TopSavers. 0 or 1 runs serially (the default); cmd/beebsbench sets it
-// from its -workers flag. Every sweep writes results into index-addressed
-// slots, so the output ordering is deterministic — and the numbers
-// identical — regardless of the setting.
-var Workers = 1
+	"repro/internal/beebs"
+	"repro/internal/core"
+	"repro/internal/mcc"
+)
 
-// forEach runs fn(0..n-1) across a pool of at most Workers goroutines and
-// returns the error of the lowest-indexed failing job. After any failure
-// the remaining jobs are skipped (in-flight ones finish).
-func forEach(n int, fn func(i int) error) error {
-	w := Workers
+// Sweep carries the cross-run machinery shared by the experiment
+// drivers: the worker-pool width and a benchmark×level cache of
+// core.Session pipelines, so every experiment run through one Sweep
+// shares compiles, baseline simulations, CFGs, frequency estimates and
+// models instead of redoing them per configuration. The zero value (or
+// NewSweep(1)) runs serially.
+//
+// There is deliberately no package-global worker count: parallelism is
+// a property of the Sweep a caller owns, so tests and the CLIs never
+// mutate shared state to configure it.
+type Sweep struct {
+	// Workers bounds the worker pool used by the sweep drivers
+	// (Figure5, RunAggregate, TopSavers, Figure1). 0 or 1 runs
+	// serially. Every sweep writes results into index-addressed slots,
+	// so the output ordering — and the numbers — are identical at any
+	// worker count.
+	Workers int
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*sessionEntry
+
+	sessionHits, sessionMisses atomic.Uint64
+}
+
+// NewSweep returns a Sweep running at most workers jobs concurrently.
+func NewSweep(workers int) *Sweep { return &Sweep{Workers: workers} }
+
+type sessionKey struct {
+	bench string
+	level mcc.OptLevel
+}
+
+type sessionEntry struct {
+	once sync.Once
+	sess *core.Session
+	err  error
+}
+
+// NewSession compiles the benchmark at the given level and wraps the
+// program in a fresh staged pipeline with the default board profile and
+// memory map.
+func NewSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSession(prog, core.SessionConfig{})
+}
+
+// Session returns the sweep's shared pipeline for one benchmark×level
+// cell, compiling it on first use.
+func (sw *Sweep) Session(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
+	key := sessionKey{bench: b.Name, level: level}
+	sw.mu.Lock()
+	if sw.sessions == nil {
+		sw.sessions = make(map[sessionKey]*sessionEntry)
+	}
+	e := sw.sessions[key]
+	if e == nil {
+		e = new(sessionEntry)
+		sw.sessions[key] = e
+		sw.sessionMisses.Add(1)
+	} else {
+		sw.sessionHits.Add(1)
+	}
+	sw.mu.Unlock()
+	e.once.Do(func() { e.sess, e.err = NewSession(b, level) })
+	return e.sess, e.err
+}
+
+// SweepStats reports how much pipeline work a Sweep reused: the session
+// (compile) cache and the per-stage counters aggregated over every
+// session the sweep touched.
+type SweepStats struct {
+	SessionHits   uint64            `json:"session_hits"`
+	SessionMisses uint64            `json:"session_misses"`
+	Stages        core.SessionStats `json:"stages"`
+}
+
+// Stats snapshots the sweep's reuse counters.
+func (sw *Sweep) Stats() SweepStats {
+	out := SweepStats{
+		SessionHits:   sw.sessionHits.Load(),
+		SessionMisses: sw.sessionMisses.Load(),
+	}
+	sw.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(sw.sessions))
+	for _, e := range sw.sessions {
+		entries = append(entries, e)
+	}
+	sw.mu.Unlock()
+	for _, e := range entries {
+		if e.sess != nil {
+			out.Stages.Add(e.sess.Stats())
+		}
+	}
+	return out
+}
+
+// forEach runs fn(0..n-1) across a pool of at most sw.Workers goroutines
+// and returns the error of the lowest-indexed failing job. After a
+// failure, unstarted jobs above the lowest failing index are neither
+// dispatched nor run (in-flight ones finish); jobs below it still run,
+// so the lowest-indexed failure is always the one reported, regardless
+// of which job happened to fail first.
+func (sw *Sweep) forEach(n int, fn func(i int) error) error {
+	w := sw.Workers
 	if w > n {
 		w = n
 	}
@@ -26,31 +128,44 @@ func forEach(n int, fn func(i int) error) error {
 		return nil
 	}
 
-	var failed atomic.Bool
+	// firstFail is the lowest failing index seen so far (n = none).
+	// Only jobs above it are skippable: any lower job could still fail
+	// with a lower index and must get its chance to run.
+	var firstFail atomic.Int64
+	firstFail.Store(int64(n))
 	errs := make([]error, n)
 	idx := make(chan int)
-	done := make(chan struct{})
+	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
+		wg.Add(1)
 		go func() {
-			defer func() { done <- struct{}{} }()
+			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
+				if int64(i) > firstFail.Load() {
 					continue
 				}
 				if err := fn(i); err != nil {
 					errs[i] = err
-					failed.Store(true)
+					for {
+						cur := firstFail.Load()
+						if int64(i) >= cur || firstFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
 				}
 			}
 		}()
 	}
 	for i := 0; i < n; i++ {
+		// Dispatch in order; once a failure is known, everything not
+		// yet dispatched has a higher index and can be dropped.
+		if int64(i) > firstFail.Load() {
+			break
+		}
 		idx <- i
 	}
 	close(idx)
-	for k := 0; k < w; k++ {
-		<-done
-	}
+	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err

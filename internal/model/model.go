@@ -217,9 +217,13 @@ func (m *Model) BuildILP() (*lp.Problem, *Vars) {
 		}
 	}
 
-	// Binary bounds for branching variables.
-	for _, j := range vars.R {
-		prob.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+	// Binary bounds for branching variables, in block order — row order
+	// must be deterministic or degenerate simplex ties (and with them the
+	// branch-and-bound node count) follow map iteration order.
+	for _, bd := range m.Blocks {
+		if j, ok := vars.R[bd.Block.Label]; ok {
+			prob.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+		}
 	}
 
 	// Eq. 5 edges: i_b ≥ r_b − r_s, i_b ≥ r_s − r_b.
@@ -250,8 +254,14 @@ func (m *Model) BuildILP() (*lp.Problem, *Vars) {
 		}
 	}
 
-	// Product linearization: p ≤ r, p ≤ i, p ≥ r + i − 1.
-	for lbl, pv := range vars.P {
+	// Product linearization: p ≤ r, p ≤ i, p ≥ r + i − 1 (block order,
+	// for the same determinism reason as the binary bounds).
+	for _, bd := range m.Blocks {
+		lbl := bd.Block.Label
+		pv, ok := vars.P[lbl]
+		if !ok {
+			continue
+		}
 		rv := vars.R[lbl]
 		iv := vars.I[lbl]
 		prob.AddRow(map[int]float64{pv: 1, rv: -1}, lp.LE, 0)
@@ -378,12 +388,14 @@ func (m *Model) Rounder(vars *Vars) func(x []float64) ([]float64, bool) {
 			}
 		}
 		for !m.Evaluate(inRAM).Feasible {
-			// Drop the least beneficial selected block.
+			// Drop the least beneficial selected block. Ties break on the
+			// label so the heuristic — and with it the branch-and-bound
+			// node count — is deterministic (map iteration order is not).
 			worst, worstVal := "", math.Inf(1)
 			for lbl := range inRAM {
 				bd := m.byLabel[lbl]
 				v := bd.F * bd.C * (m.Params.EFlash - m.Params.ERAM)
-				if v < worstVal {
+				if v < worstVal || (v == worstVal && (worst == "" || lbl < worst)) {
 					worstVal = v
 					worst = lbl
 				}

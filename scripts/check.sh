@@ -20,6 +20,17 @@ fi
 
 go vet ./...
 
+# Sweep configuration must live on the Sweep value, not in package
+# globals — the old `evaluation.Workers` variable let two concurrent
+# sweeps race on each other's worker count. Only the read-only
+# figure1Bars table is allowed at package level.
+globals=$(grep -n '^var ' internal/evaluation/*.go | grep -v '_test.go:' | grep -v 'figure1Bars' || true)
+if [ -n "$globals" ]; then
+    echo "internal/evaluation grew package-global state (put it on Sweep or Session instead):" >&2
+    echo "$globals" >&2
+    exit 1
+fi
+
 go build -o /tmp/flashram.check ./cmd/flashram
 trap 'rm -f /tmp/flashram.check' EXIT
 
