@@ -303,6 +303,36 @@ func BenchmarkILPSolve(b *testing.B) {
 	b.ReportMetric(float64(nodes), "bb-nodes")
 }
 
+// BenchmarkSimThroughput measures the simulator's sustained instruction
+// throughput (reported in MIPS of host time) on a real workload: the
+// compiled int_matmult kernel, the paper's headline benchmark. This is
+// the engine-level number behind every sweep benchmark below — one
+// Figure 5 cell simulates this program twice — and the regression gate
+// for the predecoded execution engine (see EXPERIMENTS.md and
+// BENCH_sim.json for the measured trajectory).
+func BenchmarkSimThroughput(b *testing.B) {
+	prog, err := mcc.Compile(beebs.Get("int_matmult").Source, mcc.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := layout.New(prog, layout.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
 // BenchmarkSimulator measures raw simulation speed on the Figure 2
 // program (instructions per second of host time).
 func BenchmarkSimulator(b *testing.B) {

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/beebs"
@@ -56,11 +58,24 @@ func main() {
 		workers   = flag.Int("workers", 1, "benchmark sweep worker goroutines")
 		top       = flag.Int("top", 3, "blocks per run in the -savers report")
 		asJSON    = flag.Bool("json", false, "emit the selected sections as one JSON document")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to `file`")
+		memProf   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
 	flag.Parse()
 	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *all) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	sw := evaluation.NewSweep(*workers)
 
@@ -95,6 +110,18 @@ func main() {
 		st := doc.SessionStats
 		fmt.Printf("wall clock: %.0f ms with %d worker(s); %d compiles, %d stage reuses, %d simulator runs\n",
 			doc.WallMS, *workers, st.SessionMisses, st.Stages.Reuses(), st.Stages.SimRuns)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // material allocations only, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 

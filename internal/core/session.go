@@ -44,6 +44,17 @@ type Session struct {
 
 	counters sessionCounters
 
+	// machines is a one-slot pool of simulator instances. sim.Machine
+	// retargets across images via SetImage, keeping its memory arrays and
+	// predecode-table storage, so the session's many runs (baseline,
+	// optimized, sweep points) reuse one machine instead of allocating
+	// per run. Concurrent solves that find the slot empty just allocate —
+	// pooling is an optimization, never a correctness dependency.
+	machines struct {
+		mu   sync.Mutex
+		free *sim.Machine
+	}
+
 	graphs     memo[struct{}, map[string]*cfg.Graph]
 	spare      memo[struct{}, float64]
 	measures   memo[measureKey, *Measurement]
@@ -81,6 +92,32 @@ func NewSession(p *ir.Program, cfg SessionConfig) (*Session, error) {
 
 // Program returns the session's (immutable) input program.
 func (s *Session) Program() *ir.Program { return s.prog }
+
+// acquireMachine returns a simulator targeted at img: the pooled machine
+// retargeted via SetImage when it is idle, a fresh one otherwise.
+func (s *Session) acquireMachine(img *layout.Image) *sim.Machine {
+	s.machines.mu.Lock()
+	m := s.machines.free
+	s.machines.free = nil
+	s.machines.mu.Unlock()
+	if m == nil {
+		return sim.New(img, s.profile)
+	}
+	m.SetImage(img)
+	return m
+}
+
+// releaseMachine detaches any observer and parks the machine for reuse.
+// If another run already parked one, this machine is simply dropped.
+func (s *Session) releaseMachine(m *sim.Machine) {
+	m.Attach(nil)
+	m.MaxInstrs = 0
+	s.machines.mu.Lock()
+	if s.machines.free == nil {
+		s.machines.free = m
+	}
+	s.machines.mu.Unlock()
+}
 
 // Profile returns the session's board power profile.
 func (s *Session) Profile() *power.Profile { return s.profile }
@@ -275,7 +312,8 @@ func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) 
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline layout: %w", err)
 		}
-		machine := sim.New(img, s.profile)
+		machine := s.acquireMachine(img)
+		defer s.releaseMachine(machine)
 		machine.MaxInstrs = maxInstrs
 		var col *trace.Collector
 		if traced {
@@ -494,7 +532,8 @@ func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
 		}
 	}
 	return s.optRuns.do(&s.counters.optrun, key, func() (*Measurement, error) {
-		machine := sim.New(tf.img, s.profile)
+		machine := s.acquireMachine(tf.img)
+		defer s.releaseMachine(machine)
 		machine.MaxInstrs = key.maxInstrs
 		var col *trace.Collector
 		if key.traced {

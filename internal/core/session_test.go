@@ -3,12 +3,15 @@ package core_test
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/beebs"
 	"repro/internal/core"
+	"repro/internal/layout"
 	"repro/internal/mcc"
+	"repro/internal/sim"
 )
 
 func sessionForTest(t testing.TB, bench string, level mcc.OptLevel) *core.Session {
@@ -179,6 +182,40 @@ func TestSessionTracedBaselineServesUntraced(t *testing.T) {
 	if st := s.Stats(); st.Baseline.Misses != 1 {
 		t.Errorf("baseline simulated %d times for traced+untraced, want 1", st.Baseline.Misses)
 	}
+}
+
+// TestSessionMachineReuseMatchesFresh: the session runs its simulations
+// on one pooled sim.Machine retargeted across images via SetImage. Every
+// such run must be statistically indistinguishable from a machine
+// allocated fresh for that image — Stats down to the float bits and the
+// per-block profile.
+func TestSessionMachineReuseMatchesFresh(t *testing.T) {
+	s := sessionForTest(t, "crc32", mcc.O2)
+	// Optimize runs the baseline and the optimized simulation in
+	// sequence; the second acquires the machine the first parked.
+	rep, err := s.Optimize(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Measure(nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, img *layout.Image, got *sim.Stats) {
+		t.Helper()
+		fresh := sim.New(img, s.Profile())
+		want, err := fresh.Run()
+		if err != nil {
+			t.Fatalf("%s fresh run: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: pooled-machine stats diverge from fresh machine:\n got %+v\nwant %+v",
+				name, got, want)
+		}
+	}
+	check("baseline", base.Image, base.Stats)
+	check("optimized", rep.Image, rep.Optimized.Stats)
 }
 
 // TestSessionProfileMismatch: a Session refuses Options that contradict

@@ -45,8 +45,12 @@ func DefaultConfig() Config {
 
 // Placed is one basic block with assigned addresses.
 type Placed struct {
-	Block      *ir.Block
-	InRAM      bool
+	Block *ir.Block
+	InRAM bool
+	// ID is the block's dense index within Image.Blocks (program order).
+	// The simulator uses it for array-indexed per-block counters; it is
+	// stable for the life of the image.
+	ID         int
 	Addr       uint32   // address of the first instruction
 	InstrAddrs []uint32 // address of each instruction
 	Wide       []bool   // widened-branch flag per instruction
@@ -97,6 +101,7 @@ func New(p *ir.Program, cfg Config, inRAM map[string]bool) (*Image, error) {
 			pl := &Placed{
 				Block:      b,
 				InRAM:      inRAM[b.Label],
+				ID:         len(img.Blocks),
 				InstrAddrs: make([]uint32, len(b.Instrs)),
 				Wide:       make([]bool, len(b.Instrs)),
 				LitAddrs:   make([]uint32, len(b.Instrs)),
@@ -464,6 +469,17 @@ func (img *Image) MemoryOf(addr uint32) (power.Memory, bool) {
 func (img *Image) InstrAt(addr uint32) (InstrRef, bool) {
 	r, ok := img.byAddr[addr]
 	return r, ok
+}
+
+// CodeBounds returns the base address and byte length of the code region
+// (instructions plus literal pools) resident in mem. Every instruction
+// address of a block in mem lies in [base, base+length); the simulator's
+// predecoded fetch table is indexed over exactly this range.
+func (img *Image) CodeBounds(mem power.Memory) (base uint32, length uint32) {
+	if mem == power.RAM {
+		return img.Config.RAMBase, uint32(img.RAMCodeBytes)
+	}
+	return img.Config.FlashBase, uint32(img.FlashCodeBytes)
 }
 
 // PlacedBlock returns the placement record for a block label.

@@ -144,6 +144,38 @@ func TestInstrAddressesMonotoneAndResolvable(t *testing.T) {
 	}
 }
 
+func TestDenseBlockIDsAndCodeBounds(t *testing.T) {
+	p := instrumentedProgram()
+	img, err := New(p, DefaultConfig(), map[string]bool{"ramfn_body": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pl := range img.Blocks {
+		if pl.ID != i {
+			t.Errorf("%s: ID = %d, want dense index %d", pl.Block.Label, pl.ID, i)
+		}
+		mem := power.Flash
+		if pl.InRAM {
+			mem = power.RAM
+		}
+		base, length := img.CodeBounds(mem)
+		for j, a := range pl.InstrAddrs {
+			if a < base || a >= base+length {
+				t.Errorf("%s[%d]: addr %#x outside CodeBounds(%v) [%#x, %#x)",
+					pl.Block.Label, j, a, mem, base, base+length)
+			}
+		}
+	}
+	fBase, fLen := img.CodeBounds(power.Flash)
+	rBase, rLen := img.CodeBounds(power.RAM)
+	if fBase != img.Config.FlashBase || int(fLen) != img.FlashCodeBytes {
+		t.Errorf("flash bounds (%#x, %d) != (%#x, %d)", fBase, fLen, img.Config.FlashBase, img.FlashCodeBytes)
+	}
+	if rBase != img.Config.RAMBase || int(rLen) != img.RAMCodeBytes {
+		t.Errorf("RAM bounds (%#x, %d) != (%#x, %d)", rBase, rLen, img.Config.RAMBase, img.RAMCodeBytes)
+	}
+}
+
 func TestLiteralPoolPlacement(t *testing.T) {
 	p := ir.Figure2Program()
 	img, err := New(p, DefaultConfig(), nil)

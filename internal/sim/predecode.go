@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/power"
+)
+
+// The predecoded execution engine: at SetImage time the placed image is
+// compiled once into dense per-memory instruction tables, so the run loop
+// dispatches on an array index instead of a map lookup and every
+// per-instruction constant — class, cycle costs, sequential successor,
+// resolved branch target, literal value, per-cycle energy — is computed
+// exactly once instead of once per executed instruction.
+//
+// Invariants (enforced by the sim tests and the PR 3 session goldens):
+//
+//   - Stats, fault messages and the observer event stream are
+//     byte-identical to the reference interpret-on-fetch loop. In
+//     particular the per-cycle energies are precomputed with the same
+//     float64 expression the interpreter evaluated per step, so energy
+//     accumulates bit-for-bit identically.
+//   - The table is rebuilt on any image change (Machine.SetImage) and
+//     only then; Reset keeps it.
+
+// slot is one predecoded instruction. Slots are indexed by
+// (pc - regionBase) >> 1 within their memory's table; a slot whose pl is
+// nil is not an instruction start (literal pool words, alignment padding,
+// the second half of a 32-bit encoding) and faults like any other
+// non-instruction address.
+type slot struct {
+	pl *layout.Placed
+	in *isa.Instr
+
+	// epc is the energy charged per cycle (nJ) for each possible data
+	// memory outcome, indexed by power.Memory (Flash, RAM, None).
+	epc [3]float64
+
+	seqNext uint32 // pc + laid-out instruction size
+	// target is the resolved control-transfer destination (B/CBZ/CBNZ/BL),
+	// literal value (LDRLIT) or symbol address (ADR); valid iff targetOK.
+	target   uint32
+	index    int32 // instruction index within the block
+	blockID  int32 // dense layout.Placed.ID, for array-indexed counters
+	op       isa.Op
+	class    isa.Class
+	fetchMem power.Memory
+	litMem   power.Memory // LDRLIT data memory (pool residence)
+	memSize  uint8        // load/store access width in bytes
+	memSign  bool         // load sign-extends
+	cycles   uint8        // isa.Cycles(in)
+	cyclesNT uint8        // isa.CyclesNotTaken(in)
+	targetOK bool
+}
+
+// engine holds the predecoded tables for the two code regions plus the
+// dense per-block entry counters.
+type engine struct {
+	flash, ram         []slot
+	flashBase, ramBase uint32
+	flashLen, ramLen   uint32 // code byte extents (table covers len>>1 slots)
+
+	// blockCounts is the dense form of Stats.BlockCounts, indexed by
+	// layout.Placed.ID and materialized into the public map form only
+	// when a run completes.
+	blockCounts []uint64
+}
+
+// slotAt resolves a fetch address against the predecoded tables. It
+// returns nil exactly when the reference interpreter's per-address map
+// lookup missed: odd addresses, addresses outside the code regions, and
+// addresses inside them that are not an instruction start.
+func (m *Machine) slotAt(pc uint32) *slot {
+	if pc&1 != 0 {
+		return nil
+	}
+	e := &m.eng
+	// Unsigned wraparound makes the single compare also reject pc < base.
+	if d := pc - e.flashBase; d < e.flashLen {
+		if s := &e.flash[d>>1]; s.pl != nil {
+			return s
+		}
+		return nil
+	}
+	if d := pc - e.ramBase; d < e.ramLen {
+		if s := &e.ram[d>>1]; s.pl != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// ref converts a slot back to the layout reference used by faults.
+func (s *slot) ref() layout.InstrRef {
+	return layout.InstrRef{Placed: s.pl, Index: int(s.index)}
+}
+
+// predecode compiles the current image into the engine tables. Called by
+// SetImage only — the tables depend on nothing but the image and the
+// profile, both fixed until the next SetImage.
+func (m *Machine) predecode() {
+	img, prof := m.Img, m.Profile
+	e := &m.eng
+	e.flashBase, e.flashLen = img.CodeBounds(power.Flash)
+	e.ramBase, e.ramLen = img.CodeBounds(power.RAM)
+	e.flash = resizeSlots(e.flash, int(e.flashLen+1)>>1)
+	e.ram = resizeSlots(e.ram, int(e.ramLen+1)>>1)
+	e.blockCounts = resizeCounts(e.blockCounts, len(img.Blocks))
+
+	// Per (fetchMem, class, dataMem) energy table, shared by every slot
+	// with that outcome. The expression mirrors the reference loop's
+	// EnergyPerCycle(InstrPower(...)) exactly, for bit-identical charges.
+	var epc [2][isa.NumClasses][3]float64
+	for fm := power.Flash; fm <= power.RAM; fm++ {
+		for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+			for dm := 0; dm < 3; dm++ {
+				epc[fm][cl][dm] = prof.EnergyPerCycle(prof.InstrPower(fm, cl, power.Memory(dm)))
+			}
+		}
+	}
+
+	for _, pl := range img.Blocks {
+		fetchMem, tbl, base := power.Flash, e.flash, e.flashBase
+		if pl.InRAM {
+			fetchMem, tbl, base = power.RAM, e.ram, e.ramBase
+		}
+		for i := range pl.Block.Instrs {
+			in := &pl.Block.Instrs[i]
+			s := &tbl[(pl.InstrAddrs[i]-base)>>1]
+			cl := isa.ClassOf(in.Op)
+			*s = slot{
+				pl:       pl,
+				in:       in,
+				epc:      epc[fetchMem][cl],
+				seqNext:  pl.InstrAddrs[i] + uint32(pl.InstrSize(i)),
+				index:    int32(i),
+				blockID:  int32(pl.ID),
+				op:       in.Op,
+				class:    cl,
+				fetchMem: fetchMem,
+				cycles:   uint8(isa.Cycles(in)),
+				cyclesNT: uint8(isa.CyclesNotTaken(in)),
+			}
+			switch in.Op {
+			case isa.B, isa.CBZ, isa.CBNZ, isa.BL:
+				s.target, s.targetOK = img.Symbols[in.Sym]
+			case isa.ADR:
+				s.target, s.targetOK = img.Symbols[in.Sym]
+			case isa.LDRLIT:
+				// The pool travels with its block unless the slot address
+				// resolves elsewhere — same rule as the reference loop.
+				s.litMem = fetchMem
+				if la := pl.LitAddrs[i]; la != 0 {
+					if mm, ok := img.MemoryOf(la); ok {
+						s.litMem = mm
+					}
+				}
+				if in.Sym != "" {
+					s.target, s.targetOK = img.Symbols[in.Sym]
+				} else {
+					s.target, s.targetOK = uint32(in.Imm), true
+				}
+			case isa.LDR, isa.LDRB, isa.LDRH, isa.LDRSB, isa.LDRSH,
+				isa.STR, isa.STRB, isa.STRH:
+				size, signed := memWidth(in.Op)
+				s.memSize, s.memSign = uint8(size), signed
+			}
+		}
+	}
+}
+
+// resizeSlots reuses the backing array across SetImage calls when it is
+// big enough (the session pipeline retargets one machine per run).
+func resizeSlots(s []slot, n int) []slot {
+	if cap(s) < n {
+		return make([]slot, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeCounts(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

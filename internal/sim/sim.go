@@ -6,6 +6,11 @@
 // pipeline-refill penalty on taken branches, and counts per-basic-block
 // execution frequencies (the profiler behind the "w/Frequency" results in
 // Figure 5).
+//
+// Execution runs over a predecoded instruction table (see predecode.go):
+// the image is compiled once per SetImage into dense per-memory slot
+// arrays, and the run loop is a pure array-indexed dispatch with no map
+// lookups, closures or symbol resolution per instruction.
 package sim
 
 import (
@@ -76,6 +81,12 @@ type Machine struct {
 	flash []byte
 	ram   []byte
 
+	// Memory map bounds, cached flat so load/store need no pointer chase.
+	flashBase, ramBase uint32
+	flashSize, ramSize uint32
+
+	eng engine // predecoded instruction tables (predecode.go)
+
 	obs   Observer
 	ev    Event // reused event buffer when obs != nil
 	stats Stats
@@ -91,7 +102,9 @@ type Stats struct {
 	CyclesByMem [2][isa.NumClasses]uint64
 	// ContentionStalls counts RAM-port load stalls (the Lb effect).
 	ContentionStalls uint64
-	// BlockCounts is the per-basic-block execution profile.
+	// BlockCounts is the per-basic-block execution profile. During a run
+	// the counts accumulate in a dense array indexed by block ID; this
+	// map is materialized when the run completes.
 	BlockCounts map[string]uint64
 }
 
@@ -136,14 +149,36 @@ func (f *Fault) locate(ref layout.InstrRef) {
 // initialized (the startup runtime's flash→RAM copy of .data and .ramcode
 // has happened), SP at the top of RAM.
 func New(img *layout.Image, prof *power.Profile) *Machine {
-	m := &Machine{
-		Img:     img,
-		Profile: prof,
-		flash:   make([]byte, img.Config.FlashSize),
-		ram:     make([]byte, img.Config.RAMSize),
+	m := &Machine{Profile: prof}
+	m.SetImage(img)
+	return m
+}
+
+// SetImage retargets the machine to an image, reusing the existing
+// flash/RAM arrays and predecode-table storage when capacities allow, and
+// resets to power-on state. Passing the image the machine already runs
+// skips the predecode rebuild (the table depends only on image and
+// profile). This is how core.Session reuses one machine across the
+// baseline and optimized runs instead of allocating per run.
+func (m *Machine) SetImage(img *layout.Image) {
+	rebuild := img != m.Img
+	m.Img = img
+	c := img.Config
+	m.flashBase, m.flashSize = c.FlashBase, uint32(c.FlashSize)
+	m.ramBase, m.ramSize = c.RAMBase, uint32(c.RAMSize)
+	m.flash = resizeBytes(m.flash, c.FlashSize)
+	m.ram = resizeBytes(m.ram, c.RAMSize)
+	if rebuild {
+		m.predecode()
 	}
 	m.reset()
-	return m
+}
+
+func resizeBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
 }
 
 func (m *Machine) reset() {
@@ -151,13 +186,10 @@ func (m *Machine) reset() {
 		m.regs[i] = 0
 	}
 	m.n, m.z, m.c, m.v = false, false, false, false
-	for i := range m.flash {
-		m.flash[i] = 0
-	}
-	for i := range m.ram {
-		m.ram[i] = 0
-	}
-	m.stats = Stats{BlockCounts: make(map[string]uint64)}
+	clear(m.flash)
+	clear(m.ram)
+	clear(m.eng.blockCounts)
+	m.stats = Stats{}
 
 	// Initialize globals.
 	for _, g := range m.Img.Prog.Globals {
@@ -188,12 +220,11 @@ func (m *Machine) reset() {
 
 // pokeByte writes initialization data, ignoring faults (validated later).
 func (m *Machine) pokeByte(addr uint32, b byte) {
-	c := m.Img.Config
 	switch {
-	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
-		m.flash[addr-c.FlashBase] = b
-	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
-		m.ram[addr-c.RAMBase] = b
+	case addr-m.flashBase < m.flashSize:
+		m.flash[addr-m.flashBase] = b
+	case addr-m.ramBase < m.ramSize:
+		m.ram[addr-m.ramBase] = b
 	}
 }
 
@@ -251,38 +282,30 @@ func (m *Machine) ReadGlobalBytes(name string, n int) ([]byte, error) {
 }
 
 func (m *Machine) loadByte(addr uint32) (byte, power.Memory, error) {
-	c := m.Img.Config
 	switch {
-	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
-		return m.flash[addr-c.FlashBase], power.Flash, nil
-	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
-		return m.ram[addr-c.RAMBase], power.RAM, nil
+	case addr-m.flashBase < m.flashSize:
+		return m.flash[addr-m.flashBase], power.Flash, nil
+	case addr-m.ramBase < m.ramSize:
+		return m.ram[addr-m.ramBase], power.RAM, nil
 	}
 	return 0, power.None, fmt.Errorf("load outside memory at %#x", addr)
 }
 
-func (m *Machine) storeByte(addr uint32, b byte) (power.Memory, error) {
-	c := m.Img.Config
-	switch {
-	case addr >= c.RAMBase && addr < c.RAMBase+uint32(c.RAMSize):
-		m.ram[addr-c.RAMBase] = b
-		return power.RAM, nil
-	case addr >= c.FlashBase && addr < c.FlashBase+uint32(c.FlashSize):
-		return power.None, fmt.Errorf("store to flash at %#x", addr)
-	}
-	return power.None, fmt.Errorf("store outside memory at %#x", addr)
-}
-
+// load reads a size-byte little-endian value. The access must lie
+// entirely inside one memory — that memory is the attributed power
+// domain. An access that starts inside a memory but does not fit (it
+// would straddle into the other memory or off the end) faults: real
+// hardware would split it across bus ports, and attributing the power of
+// only the last byte (the pre-predecode behaviour) mis-charges it.
 func (m *Machine) load(addr uint32, size int, signed bool) (uint32, power.Memory, error) {
 	var v uint32
 	var mem power.Memory
-	for i := 0; i < size; i++ {
-		b, mm, err := m.loadByte(addr + uint32(i))
-		if err != nil {
-			return 0, power.None, err
-		}
-		v |= uint32(b) << (8 * i)
-		mem = mm
+	if d := addr - m.flashBase; uint64(d)+uint64(size) <= uint64(m.flashSize) {
+		v, mem = readLE(m.flash[d:], size), power.Flash
+	} else if d := addr - m.ramBase; uint64(d)+uint64(size) <= uint64(m.ramSize) {
+		v, mem = readLE(m.ram[d:], size), power.RAM
+	} else {
+		return 0, power.None, m.accessFault("load", addr, size)
 	}
 	if signed {
 		shift := uint(32 - 8*size)
@@ -292,20 +315,53 @@ func (m *Machine) load(addr uint32, size int, signed bool) (uint32, power.Memory
 }
 
 func (m *Machine) store(addr uint32, v uint32, size int) (power.Memory, error) {
-	var mem power.Memory
-	for i := 0; i < size; i++ {
-		mm, err := m.storeByte(addr+uint32(i), byte(v>>(8*i)))
-		if err != nil {
-			return power.None, err
-		}
-		mem = mm
+	if d := addr - m.ramBase; uint64(d)+uint64(size) <= uint64(m.ramSize) {
+		writeLE(m.ram[d:], v, size)
+		return power.RAM, nil
 	}
-	return mem, nil
+	if addr-m.flashBase < m.flashSize {
+		return power.None, fmt.Errorf("store to flash at %#x", addr)
+	}
+	return power.None, m.accessFault("store", addr, size)
+}
+
+// accessFault distinguishes an access that is simply unmapped from one
+// that starts inside a memory but does not fit within it.
+func (m *Machine) accessFault(kind string, addr uint32, size int) error {
+	switch {
+	case addr-m.flashBase < m.flashSize:
+		return fmt.Errorf("%d-byte %s at %#x straddles the flash boundary", size, kind, addr)
+	case addr-m.ramBase < m.ramSize:
+		return fmt.Errorf("%d-byte %s at %#x straddles the ram boundary", size, kind, addr)
+	}
+	return fmt.Errorf("%s outside memory at %#x", kind, addr)
+}
+
+func readLE(b []byte, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(b[0])
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(b))
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func writeLE(b []byte, v uint32, size int) {
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	default:
+		binary.LittleEndian.PutUint32(b, v)
+	}
 }
 
 // Reset restores the machine to its power-on state (registers, memory,
 // statistics), re-running the startup data initialization. New returns an
-// already-reset machine; call Reset only to reuse one across runs.
+// already-reset machine; call Reset only to reuse one across runs. The
+// predecode tables are kept — they depend only on the image.
 func (m *Machine) Reset() { m.reset() }
 
 // Run executes the program from its entry function until it returns, and
@@ -320,7 +376,21 @@ func (m *Machine) Run() (*Stats, error) {
 		return nil, err
 	}
 	st := m.stats
+	st.BlockCounts = m.blockCountsMap()
 	return &st, nil
+}
+
+// blockCountsMap materializes the dense per-block counters into the
+// public map form: one entry per block that executed at least once —
+// exactly the entries the per-step map increment used to create.
+func (m *Machine) blockCountsMap() map[string]uint64 {
+	out := make(map[string]uint64)
+	for id, n := range m.eng.blockCounts {
+		if n != 0 {
+			out[m.Img.Blocks[id].Block.Label] = n
+		}
+	}
+	return out
 }
 
 // TimeSeconds converts collected cycles to seconds at this profile's clock.
@@ -331,101 +401,108 @@ func (m *Machine) runFrom(entry uint32) error {
 	if maxInstrs == 0 {
 		maxInstrs = 500_000_000
 	}
+	counts := m.eng.blockCounts
 	pc := entry
-	var last layout.InstrRef // previous instruction, for wild-jump faults
+	var last *slot // previous instruction, for wild-jump faults
 	for {
 		if pc == exitLR {
 			return nil
 		}
-		ref, ok := m.Img.InstrAt(pc)
-		if !ok {
+		s := m.slotAt(pc)
+		if s == nil {
 			f := &Fault{PC: pc, Reason: "jump to non-instruction address"}
-			f.locate(last) // blame the transferring block
+			if last != nil {
+				f.locate(last.ref()) // blame the transferring block
+			}
 			return f
 		}
 		if m.stats.Instructions >= maxInstrs {
 			f := &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
-			f.locate(ref)
+			f.locate(s.ref())
 			return f
 		}
-		if ref.Index == 0 {
-			m.stats.BlockCounts[ref.Placed.Block.Label]++
+		if s.index == 0 {
+			counts[s.blockID]++
 		}
-		next, err := m.step(ref, pc)
+		next, err := m.step(s, pc)
 		if err != nil {
 			if f, ok := err.(*Fault); ok {
-				f.locate(ref)
+				f.locate(s.ref())
 			}
 			return err
 		}
-		last = ref
+		last = s
 		pc = next
 	}
 }
 
-// step executes one instruction, charges cycles and energy, and returns
-// the next PC.
-func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
-	pl := ref.Placed
-	in := &pl.Block.Instrs[ref.Index]
-	fetchMem := power.Flash
-	if pl.InRAM {
-		fetchMem = power.RAM
-	}
-	seqNext := pc + uint32(pl.InstrSize(ref.Index))
+// chargeState carries the per-step attribution inputs the charge path
+// needs beyond the slot: the PC, the contention stall and the
+// taken-branch flag. It lives on the step frame — no per-step allocation.
+type chargeState struct {
+	s     *slot
+	pc    uint32
+	stall uint64
+	taken bool
+}
 
-	// stall and taken are set before charging so the observer event can
-	// attribute contention stalls and pipeline-refill penalties.
-	stall, taken := 0, false
-	charge := func(cycles int, dataMem power.Memory) {
-		cl := isa.ClassOf(in.Op)
-		m.stats.Instructions++
-		m.stats.Cycles += uint64(cycles)
-		m.stats.CyclesByMem[fetchMem][cl] += uint64(cycles)
-		mw := m.Profile.InstrPower(fetchMem, cl, dataMem)
-		e := float64(cycles) * m.Profile.EnergyPerCycle(mw)
-		m.stats.EnergyNJ += e
-		if m.obs != nil {
-			m.ev = Event{
-				Block: pl, Index: ref.Index, PC: pc,
-				Class: cl, FetchMem: fetchMem, DataMem: dataMem,
-				Cycles: uint64(cycles), Stall: uint64(stall),
-				EnergyNJ: e, Taken: taken, BlockEntry: ref.Index == 0,
-			}
-			m.obs.Event(&m.ev)
+// charge accounts one instruction: cycles, per-memory/class split, energy
+// (from the slot's precomputed per-cycle table) and the observer event.
+func (m *Machine) charge(cs *chargeState, cycles int, dataMem power.Memory) {
+	s := cs.s
+	m.stats.Instructions++
+	m.stats.Cycles += uint64(cycles)
+	m.stats.CyclesByMem[s.fetchMem][s.class] += uint64(cycles)
+	e := float64(cycles) * s.epc[dataMem]
+	m.stats.EnergyNJ += e
+	if m.obs != nil {
+		m.ev = Event{
+			Block: s.pl, Index: int(s.index), PC: cs.pc,
+			Class: s.class, FetchMem: s.fetchMem, DataMem: dataMem,
+			Cycles: uint64(cycles), Stall: cs.stall,
+			EnergyNJ: e, Taken: cs.taken, BlockEntry: s.index == 0,
 		}
+		m.obs.Event(&m.ev)
 	}
+}
+
+// chargeLoad adds the RAM-contention stall when both the fetch and the
+// data access hit RAM (single RAM port; paper §4, Eq. 6).
+func (m *Machine) chargeLoad(cs *chargeState, dataMem power.Memory, baseCycles int) {
+	cyc := baseCycles
+	if cs.s.fetchMem == power.RAM && dataMem == power.RAM {
+		cyc += isa.RAMContentionStall
+		cs.stall = isa.RAMContentionStall
+		m.stats.ContentionStalls++
+	}
+	m.charge(cs, cyc, dataMem)
+}
+
+// step executes one predecoded instruction, charges cycles and energy,
+// and returns the next PC.
+func (m *Machine) step(s *slot, pc uint32) (uint32, error) {
+	in := s.in
+	seqNext := s.seqNext
+	cs := chargeState{s: s, pc: pc}
 
 	// Predication: a failed condition costs one issue cycle, no effects.
 	// (Conditional branches handle their own taken/not-taken charging.)
-	if in.Cond != isa.AL && in.Op != isa.B {
+	if in.Cond != isa.AL && s.op != isa.B {
 		if !in.Cond.Holds(m.n, m.z, m.c, m.v) {
-			charge(isa.CyclesNotTaken(in), power.None)
+			m.charge(&cs, int(s.cyclesNT), power.None)
 			return seqNext, nil
 		}
 	}
 
-	// chargeLoad adds the RAM-contention stall when both the fetch and
-	// the data access hit RAM (single RAM port; paper §4, Eq. 6).
-	chargeLoad := func(dataMem power.Memory, baseCycles int) {
-		cyc := baseCycles
-		if fetchMem == power.RAM && dataMem == power.RAM {
-			cyc += isa.RAMContentionStall
-			stall = isa.RAMContentionStall
-			m.stats.ContentionStalls++
-		}
-		charge(cyc, dataMem)
-	}
-
-	switch in.Op {
+	switch s.op {
 	case isa.NOP, isa.IT:
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
 	case isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ:
 		src := m.operand2(in)
 		var v uint32
-		switch in.Op {
+		switch s.op {
 		case isa.MOV:
 			v = src
 		case isa.MVN:
@@ -445,7 +522,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 		if in.SetFlags {
 			m.setNZ(v)
 		}
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
 	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.MUL, isa.MLA,
@@ -454,7 +531,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 		a := m.regs[in.Rn]
 		b := m.operand2(in)
 		var v uint32
-		switch in.Op {
+		switch s.op {
 		case isa.ADD:
 			v = a + b
 			if in.SetFlags {
@@ -522,84 +599,67 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 		}
 		m.regs[in.Rd] = v
 		if in.SetFlags {
-			switch in.Op {
+			switch s.op {
 			case isa.ADD, isa.ADC, isa.SUB, isa.RSB:
 				// full flags already set above (including C and V)
 			default:
 				m.setNZ(v)
 			}
 		}
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
 	case isa.CMP:
 		m.setSubFlags(m.regs[in.Rn], m.operand2(in))
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 	case isa.CMN:
 		m.setAddFlags(m.regs[in.Rn], m.operand2(in), 0)
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 	case isa.TST:
 		m.setNZ(m.regs[in.Rn] & m.operand2(in))
-		charge(isa.Cycles(in), power.None)
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
 	case isa.LDR, isa.LDRB, isa.LDRH, isa.LDRSB, isa.LDRSH:
 		addr := m.effAddr(in)
-		size, signed := memWidth(in.Op)
-		v, dataMem, err := m.load(addr, size, signed)
+		v, dataMem, err := m.load(addr, int(s.memSize), s.memSign)
 		if err != nil {
 			return 0, &Fault{PC: pc, Reason: err.Error()}
 		}
 		m.regs[in.Rd] = v
-		chargeLoad(dataMem, isa.Cycles(in))
+		m.chargeLoad(&cs, dataMem, int(s.cycles))
 		return seqNext, nil
 
 	case isa.STR, isa.STRB, isa.STRH:
 		addr := m.effAddr(in)
-		size, _ := memWidth(in.Op)
-		dataMem, err := m.store(addr, m.regs[in.Rd], size)
+		dataMem, err := m.store(addr, m.regs[in.Rd], int(s.memSize))
 		if err != nil {
 			return 0, &Fault{PC: pc, Reason: err.Error()}
 		}
-		charge(isa.Cycles(in), dataMem)
+		m.charge(&cs, int(s.cycles), dataMem)
 		return seqNext, nil
 
 	case isa.LDRLIT:
-		litAddr := pl.LitAddrs[ref.Index]
-		dataMem := fetchMem // the pool travels with its block
-		if litAddr != 0 {
-			if mm, ok := m.Img.MemoryOf(litAddr); ok {
-				dataMem = mm
-			}
-		}
-		var v uint32
-		if in.Sym != "" {
-			sv, ok := m.Img.Symbols[in.Sym]
-			if !ok {
-				return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unresolved literal %q", in.Sym)}
-			}
-			v = sv
-		} else {
-			v = uint32(in.Imm)
+		if !s.targetOK {
+			return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unresolved literal %q", in.Sym)}
 		}
 		if in.Rd == isa.PC {
-			taken = true
-			chargeLoad(dataMem, isa.Cycles(in))
-			return v, nil
+			cs.taken = true
+			m.chargeLoad(&cs, s.litMem, int(s.cycles))
+			return s.target, nil
 		}
-		m.regs[in.Rd] = v
-		chargeLoad(dataMem, isa.Cycles(in))
+		m.regs[in.Rd] = s.target
+		m.chargeLoad(&cs, s.litMem, int(s.cycles))
 		return seqNext, nil
 
 	case isa.ADR:
-		sv, ok := m.Img.Symbols[in.Sym]
-		if !ok {
+		if !s.targetOK {
 			return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unresolved adr %q", in.Sym)}
 		}
-		m.regs[in.Rd] = sv
-		charge(isa.Cycles(in), power.None)
+		m.regs[in.Rd] = s.target
+		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
 	case isa.PUSH:
@@ -615,7 +675,7 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 			}
 		}
 		m.regs[isa.SP] = sp
-		charge(isa.Cycles(in), power.RAM)
+		m.charge(&cs, int(s.cycles), power.RAM)
 		return seqNext, nil
 
 	case isa.POP:
@@ -638,8 +698,8 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 			}
 		}
 		m.regs[isa.SP] = a
-		taken = gotPC
-		chargeLoad(power.RAM, isa.Cycles(in))
+		cs.taken = gotPC
+		m.chargeLoad(&cs, power.RAM, int(s.cycles))
 		if gotPC {
 			return newPC, nil
 		}
@@ -647,48 +707,49 @@ func (m *Machine) step(ref layout.InstrRef, pc uint32) (uint32, error) {
 
 	case isa.B:
 		if in.Cond == isa.AL || in.Cond.Holds(m.n, m.z, m.c, m.v) {
-			taken = true
-			charge(isa.Cycles(in), power.None)
-			return m.labelAddr(pc, in.Sym)
+			cs.taken = true
+			m.charge(&cs, int(s.cycles), power.None)
+			return m.branchTarget(s, pc)
 		}
-		charge(isa.CyclesNotTaken(in), power.None)
+		m.charge(&cs, int(s.cyclesNT), power.None)
 		return seqNext, nil
 
 	case isa.CBZ, isa.CBNZ:
-		if (m.regs[in.Rn] == 0) == (in.Op == isa.CBZ) {
-			taken = true
-			charge(isa.Cycles(in), power.None)
-			return m.labelAddr(pc, in.Sym)
+		if (m.regs[in.Rn] == 0) == (s.op == isa.CBZ) {
+			cs.taken = true
+			m.charge(&cs, int(s.cycles), power.None)
+			return m.branchTarget(s, pc)
 		}
-		charge(isa.CyclesNotTaken(in), power.None)
+		m.charge(&cs, int(s.cyclesNT), power.None)
 		return seqNext, nil
 
 	case isa.BL:
 		m.regs[isa.LR] = seqNext
-		taken = true
-		charge(isa.Cycles(in), power.None)
-		return m.labelAddr(pc, in.Sym)
+		cs.taken = true
+		m.charge(&cs, int(s.cycles), power.None)
+		return m.branchTarget(s, pc)
 
 	case isa.BLX:
 		m.regs[isa.LR] = seqNext
-		taken = true
-		charge(isa.Cycles(in), power.None)
+		cs.taken = true
+		m.charge(&cs, int(s.cycles), power.None)
 		return m.regs[in.Rm] &^ 1, nil
 
 	case isa.BX:
-		taken = true
-		charge(isa.Cycles(in), power.None)
+		cs.taken = true
+		m.charge(&cs, int(s.cycles), power.None)
 		return m.regs[in.Rm] &^ 1, nil
 	}
-	return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unimplemented op %v", in.Op)}
+	return 0, &Fault{PC: pc, Reason: fmt.Sprintf("unimplemented op %v", s.op)}
 }
 
-func (m *Machine) labelAddr(pc uint32, sym string) (uint32, error) {
-	a, ok := m.Img.Symbols[sym]
-	if !ok {
-		return 0, &Fault{PC: pc, Reason: fmt.Sprintf("branch to unresolved %q", sym)}
+// branchTarget returns the slot's predecode-resolved target. Unresolved
+// symbols fault on execution, as the interpret-on-fetch loop did.
+func (m *Machine) branchTarget(s *slot, pc uint32) (uint32, error) {
+	if !s.targetOK {
+		return 0, &Fault{PC: pc, Reason: fmt.Sprintf("branch to unresolved %q", s.in.Sym)}
 	}
-	return a, nil
+	return s.target, nil
 }
 
 // operand2 evaluates the flexible second operand (register or immediate,

@@ -420,6 +420,153 @@ func TestResetReproducibility(t *testing.T) {
 	}
 }
 
+// straddleProg builds a program performing one word access at addr.
+func straddleProg(addr uint32, store bool) *ir.Program {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("entry")
+	bb := ir.Build(b).LdrConst(isa.R1, int32(addr))
+	if store {
+		bb.MovImm(isa.R0, 1).Str(isa.R0, isa.R1, 0)
+	} else {
+		bb.Ldr(isa.R0, isa.R1, 0)
+	}
+	bb.Ret()
+	p.Reindex()
+	return p
+}
+
+func TestAccessStraddleFaults(t *testing.T) {
+	c := layout.DefaultConfig()
+	cases := []struct {
+		name  string
+		addr  uint32
+		store bool
+		want  string
+	}{
+		{"load across flash end", c.FlashBase + uint32(c.FlashSize) - 2, false,
+			"4-byte load at 0x800fffe straddles the flash boundary"},
+		{"load across ram end", c.RAMBase + uint32(c.RAMSize) - 2, false,
+			"4-byte load at 0x20001ffe straddles the ram boundary"},
+		{"store across ram end", c.RAMBase + uint32(c.RAMSize) - 2, true,
+			"4-byte store at 0x20001ffe straddles the ram boundary"},
+		{"load fully outside", 0x40000000, false, "load outside memory at 0x40000000"},
+		{"store fully outside", 0x40000000, true, "store outside memory at 0x40000000"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(mustImage(t, straddleProg(tc.addr, tc.store), nil), power.STM32F100())
+			_, err := m.Run()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStraddleAdjacentMemories(t *testing.T) {
+	// With RAM mapped directly after flash, a word load across the seam
+	// touches both memories. The pre-predecode simulator silently charged
+	// the access to whichever memory held the last byte; now it faults, as
+	// no single power domain can be attributed.
+	c := layout.DefaultConfig()
+	c.RAMBase = c.FlashBase + uint32(c.FlashSize)
+	addr := c.RAMBase - 2
+	img, err := layout.New(straddleProg(addr, false), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img, power.STM32F100())
+	if _, err := m.Run(); err == nil ||
+		!strings.Contains(err.Error(), "straddles the flash boundary") {
+		t.Fatalf("err = %v, want flash-boundary straddle fault", err)
+	}
+}
+
+// recordingObserver copies out every event for later comparison.
+type recordingObserver struct{ events []Event }
+
+func (r *recordingObserver) Event(e *Event) { r.events = append(r.events, *e) }
+
+func TestSetImageReuseMatchesFresh(t *testing.T) {
+	// One machine retargeted across images via SetImage must produce
+	// exactly the stats and event stream of a machine built fresh for each
+	// image — this is the contract core.Session's machine pool relies on.
+	progs := []struct {
+		p     *ir.Program
+		inRAM map[string]bool
+	}{
+		{ir.Figure2Program(), nil},
+		{func() *ir.Program { p, _ := optimizedFigure2(); return p }(),
+			map[string]bool{"fn_loop": true, "fn_if": true}},
+		{ir.Figure2Program(), nil}, // distinct image: retarget back to all-flash
+	}
+	reused := &Machine{Profile: power.STM32F100()}
+	for i, tc := range progs {
+		img := mustImage(t, tc.p, tc.inRAM)
+
+		fresh := New(img, power.STM32F100())
+		fObs := &recordingObserver{}
+		fresh.Attach(fObs)
+		fSt, err := fresh.Run()
+		if err != nil {
+			t.Fatalf("prog %d fresh: %v", i, err)
+		}
+
+		reused.SetImage(img)
+		rObs := &recordingObserver{}
+		reused.Attach(rObs)
+		rSt, err := reused.Run()
+		if err != nil {
+			t.Fatalf("prog %d reused: %v", i, err)
+		}
+
+		if fSt.Instructions != rSt.Instructions || fSt.Cycles != rSt.Cycles ||
+			fSt.EnergyNJ != rSt.EnergyNJ || fSt.ContentionStalls != rSt.ContentionStalls ||
+			fSt.CyclesByMem != rSt.CyclesByMem {
+			t.Errorf("prog %d: reused stats %+v != fresh %+v", i, rSt, fSt)
+		}
+		if len(fSt.BlockCounts) != len(rSt.BlockCounts) {
+			t.Errorf("prog %d: block count maps differ", i)
+		}
+		for k, v := range fSt.BlockCounts {
+			if rSt.BlockCounts[k] != v {
+				t.Errorf("prog %d: BlockCounts[%s] = %d, want %d", i, k, rSt.BlockCounts[k], v)
+			}
+		}
+		if len(fObs.events) != len(rObs.events) {
+			t.Fatalf("prog %d: %d events reused vs %d fresh", i, len(rObs.events), len(fObs.events))
+		}
+		for j := range fObs.events {
+			if fObs.events[j] != rObs.events[j] {
+				t.Fatalf("prog %d event %d: reused %+v != fresh %+v",
+					i, j, rObs.events[j], fObs.events[j])
+			}
+		}
+	}
+}
+
+func TestSetImageSameImageSkipsRebuild(t *testing.T) {
+	img := mustImage(t, ir.Figure2Program(), nil)
+	m := New(img, power.STM32F100())
+	st1, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &m.eng.flash[0]
+	m.SetImage(img) // same image: tables must be kept, state reset
+	if &m.eng.flash[0] != tbl {
+		t.Error("SetImage with unchanged image rebuilt the predecode table")
+	}
+	st2, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cycles != st2.Cycles || st1.EnergyNJ != st2.EnergyNJ {
+		t.Errorf("stats differ after same-image SetImage: %+v vs %+v", st1, st2)
+	}
+}
+
 func TestPredicationCostsOneCycle(t *testing.T) {
 	// mov(1) + cmp(1) + it(1) + failing addeq(1) + passing addne(1) + bx(3)
 	p := ir.NewProgram()

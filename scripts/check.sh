@@ -31,6 +31,17 @@ if [ -n "$globals" ]; then
     exit 1
 fi
 
+# The simulator must dispatch through its predecoded tables, never
+# through the layout map. InstrAt/byAddr reappearing in internal/sim
+# means someone reintroduced a per-instruction map lookup on the hot
+# path (see DESIGN.md "Simulator execution engine").
+mapuse=$(grep -n 'InstrAt\|byAddr' internal/sim/*.go || true)
+if [ -n "$mapuse" ]; then
+    echo "internal/sim uses the layout instruction map (predecode instead):" >&2
+    echo "$mapuse" >&2
+    exit 1
+fi
+
 go build -o /tmp/flashram.check ./cmd/flashram
 trap 'rm -f /tmp/flashram.check' EXIT
 
