@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
+	"repro/internal/cliutil"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
 )
@@ -45,6 +47,13 @@ type document struct {
 	SessionStats evaluation.SweepStats          `json:"session_stats"`
 	WallMS       float64                        `json:"wall_ms"`
 	Workers      int                            `json:"workers"`
+
+	// Status is "incomplete" when any selected section was cut short —
+	// by -timeout, an interrupt, or a failing cell — in which case
+	// Errors lists what went wrong and the affected section rows carry
+	// incomplete markers. Absent on a clean run.
+	Status string   `json:"status,omitempty"`
+	Errors []string `json:"errors,omitempty"`
 }
 
 func main() {
@@ -58,6 +67,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "benchmark sweep worker goroutines")
 		top       = flag.Int("top", 3, "blocks per run in the -savers report")
 		asJSON    = flag.Bool("json", false, "emit the selected sections as one JSON document")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry — or SIGINT — the sweep stops and the partial document is still emitted")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to `file`")
 		memProf   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
@@ -78,27 +88,40 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	sw := evaluation.NewSweep(*workers)
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	start := time.Now()
 	var doc document
 	doc.Workers = *workers
+	// Each selected section runs to whatever extent the context allows;
+	// a failed or interrupted section contributes its partial rows and
+	// an entry in doc.Errors rather than aborting the document.
+	step := func(name string, f func() error) {
+		if err := f(); err != nil {
+			doc.Errors = append(doc.Errors, fmt.Sprintf("%s: %v", name, err))
+		}
+	}
 	if *fig5 || *all {
-		runFig5(sw, *asJSON, &doc)
+		step("fig5", func() error { return runFig5(ctx, sw, *asJSON, &doc) })
 	}
 	if *aggregate || *all {
-		runAggregate(sw, *asJSON, &doc)
+		step("aggregate", func() error { return runAggregate(ctx, sw, *asJSON, &doc) })
 	}
 	if *savers || *all {
-		runSavers(sw, *asJSON, *top, &doc)
+		step("savers", func() error { return runSavers(ctx, sw, *asJSON, *top, &doc) })
 	}
 	if *study || *all {
-		runCaseStudy(sw, *asJSON, &doc)
+		step("casestudy", func() error { return runCaseStudy(ctx, sw, *asJSON, &doc) })
 	}
 	if *fig9 || *all {
-		runFig9(sw, *asJSON, &doc)
+		step("fig9", func() error { return runFig9(ctx, sw, *asJSON, &doc) })
 	}
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 	doc.SessionStats = sw.Stats()
+	if len(doc.Errors) > 0 {
+		doc.Status = "incomplete"
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -123,41 +146,53 @@ func main() {
 		}
 		f.Close()
 	}
+
+	if len(doc.Errors) > 0 {
+		for _, e := range doc.Errors {
+			fmt.Fprintln(os.Stderr, "beebsbench:", e)
+		}
+		os.Exit(1)
+	}
 }
 
-func runFig5(sw *evaluation.Sweep, asJSON bool, doc *document) {
-	rows, err := sw.Figure5([]mcc.OptLevel{mcc.O2, mcc.Os})
-	if err != nil {
-		fatal(err)
-	}
+func runFig5(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
+	rows, err := sw.Figure5(ctx, []mcc.OptLevel{mcc.O2, mcc.Os})
 	if asJSON {
 		doc.Fig5 = evaluation.NewFigure5JSON(rows)
-		return
+		return err
 	}
 	fmt.Println("== Figure 5: % change per benchmark (energy, time), O2 and Os ==")
 	fmt.Println("   dots: the same run with actual (profiled) block frequencies")
 	fmt.Printf("%-15s %-4s %9s %9s %9s | %9s %9s\n",
 		"benchmark", "lvl", "energy%", "time%", "power%", "E%(freq)", "T%(freq)")
 	for _, r := range rows {
+		if r.Incomplete {
+			fmt.Printf("%-15s %-4v (incomplete)\n", r.Bench, r.Level)
+			continue
+		}
 		fmt.Printf("%-15s %-4v %+8.1f%% %+8.1f%% %+8.1f%% | %+8.1f%% %+8.1f%%\n",
 			r.Bench, r.Level, 100*r.EnergyChange, 100*r.TimeChange, 100*r.PowerChange,
 			100*r.ProfEnergyChange, 100*r.ProfTimeChange)
 	}
 	fmt.Println()
+	return err
 }
 
-func runAggregate(sw *evaluation.Sweep, asJSON bool, doc *document) {
-	agg, err := sw.RunAggregate([]mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
-	if err != nil {
-		fatal(err)
+func runAggregate(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
+	agg, err := sw.RunAggregate(ctx, []mcc.OptLevel{mcc.O0, mcc.O1, mcc.O2, mcc.O3, mcc.Os})
+	if agg == nil {
+		return err
 	}
 	if asJSON {
 		j := evaluation.NewAggregateJSON(agg)
 		doc.Aggregate = &j
-		return
+		return err
 	}
 	fmt.Println("== §6 aggregate over O0, O1, O2, O3, Os ==")
 	fmt.Printf("runs: %d (10 benchmarks x 5 levels)\n", len(agg.Runs))
+	if agg.IncompleteRuns > 0 {
+		fmt.Printf("incomplete: %d cells failed or were cut off; means cover the completed runs only\n", agg.IncompleteRuns)
+	}
 	fmt.Printf("mean energy change: %+.1f%%   (paper: -7.7%%)\n", 100*agg.MeanEnergyChange)
 	fmt.Printf("mean power  change: %+.1f%%   (paper: -21.9%%)\n", 100*agg.MeanPowerChange)
 	fmt.Printf("mean time   change: %+.1f%%   (paper: +19.5%%)\n", 100*agg.MeanTimeChange)
@@ -166,19 +201,21 @@ func runAggregate(sw *evaluation.Sweep, asJSON bool, doc *document) {
 	fmt.Printf("max power  saving : %.1f%% on %s  (paper: 41%% on fdct O2)\n",
 		100*agg.MaxPowerSaving, agg.MaxPowerBench)
 	fmt.Println()
+	return err
 }
 
-func runSavers(sw *evaluation.Sweep, asJSON bool, top int, doc *document) {
-	rows, err := sw.TopSavers([]mcc.OptLevel{mcc.O2, mcc.Os}, top)
-	if err != nil {
-		fatal(err)
-	}
+func runSavers(ctx context.Context, sw *evaluation.Sweep, asJSON bool, top int, doc *document) error {
+	rows, err := sw.TopSavers(ctx, []mcc.OptLevel{mcc.O2, mcc.Os}, top)
 	if asJSON {
 		doc.Savers = evaluation.NewSaversJSON(rows)
-		return
+		return err
 	}
 	fmt.Println("== blocks behind each benchmark's energy saving (attribution diff) ==")
 	for _, r := range rows {
+		if r.Incomplete {
+			fmt.Printf("%-15s %-4v (incomplete)\n", r.Bench, r.Level)
+			continue
+		}
 		fmt.Printf("%-15s %-4v total %+0.1f%%:", r.Bench, r.Level, 100*r.Report.EnergyChange)
 		for _, s := range r.Savers {
 			fmt.Printf("  %s %+0.2fuJ", s.Label, s.SavedNJ/1e3)
@@ -186,18 +223,19 @@ func runSavers(sw *evaluation.Sweep, asJSON bool, top int, doc *document) {
 		fmt.Println()
 	}
 	fmt.Println()
+	return err
 }
 
-func runCaseStudy(sw *evaluation.Sweep, asJSON bool, doc *document) {
-	r, err := sw.RunBenchmark(beebs.Get("fdct"), mcc.O2, evaluation.Options{})
+func runCaseStudy(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
+	r, err := sw.RunBenchmark(ctx, beebs.Get("fdct"), mcc.O2, evaluation.Options{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sc := evaluation.Scenario(r)
 	if asJSON {
 		j := evaluation.NewScenarioJSON(sc)
 		doc.CaseStudy = &j
-		return
+		return nil
 	}
 	fmt.Println("== §7 case study: periodic sensing with the fdct active region ==")
 	fmt.Printf("measured: E0 = %.4f mJ, TA = %.4f ms, ke = %.3f, kt = %.3f, PS = %.1f mW\n",
@@ -218,17 +256,15 @@ func runCaseStudy(sw *evaluation.Sweep, asJSON bool, doc *document) {
 	u, o := casestudy.Figure8()
 	fmt.Printf("Figure 8 illustration: %.0f uJ -> %.0f uJ (paper: 60 -> 55)\n", u, o)
 	fmt.Println()
+	return nil
 }
 
-func runFig9(sw *evaluation.Sweep, asJSON bool, doc *document) {
+func runFig9(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
 	mult := []float64{1, 2, 3, 4, 6, 8, 12, 16}
-	series, err := sw.Figure9(mcc.O2, mult)
-	if err != nil {
-		fatal(err)
-	}
+	series, err := sw.Figure9(ctx, mcc.O2, mult)
 	if asJSON {
 		doc.Fig9 = evaluation.NewFigure9JSON(series)
-		return
+		return err
 	}
 	fmt.Println("== Figure 9: energy consumption (%) vs period T ==")
 	fmt.Printf("%-8s", "T/TA")
@@ -244,6 +280,7 @@ func runFig9(sw *evaluation.Sweep, asJSON bool, doc *document) {
 		fmt.Println()
 	}
 	fmt.Println()
+	return err
 }
 
 func fatal(err error) {

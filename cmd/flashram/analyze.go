@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/beebs"
 	"repro/internal/cfg"
+	"repro/internal/cliutil"
 	"repro/internal/freq"
 	"repro/internal/ir"
 	"repro/internal/layout"
@@ -34,6 +36,7 @@ func runAnalyze(args []string) {
 		linktime  = fs.Bool("linktime", false, "link-time mode: library code becomes placeable")
 		baseline  = fs.Bool("baseline", false, "lint the untransformed program instead")
 		verbose   = fs.Bool("v", false, "print a per-pass summary even when clean")
+		timeout   = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); SIGINT also cancels")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: flashram analyze [-bench name | -src file | -all] [flags]
@@ -75,9 +78,12 @@ and exits 1 if any error-severity diagnostic is found.`)
 		os.Exit(2)
 	}
 
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+
 	failed := 0
 	for _, t := range targets {
-		res, err := analyzeOne(t.source, optLevel, *solver, *xlimit, *rspare, *linktime, *baseline)
+		res, err := analyzeOne(ctx, t.source, optLevel, *solver, *xlimit, *rspare, *linktime, *baseline)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", t.name, err))
 		}
@@ -101,7 +107,7 @@ and exits 1 if any error-severity diagnostic is found.`)
 
 // analyzeOne runs compile → model → placement → transform → analysis for
 // one source, mirroring core.Optimize without the simulations.
-func analyzeOne(source string, level mcc.OptLevel, solver string, xlimit, rspare float64, linktime, baseline bool) (*analysis.Result, error) {
+func analyzeOne(ctx context.Context, source string, level mcc.OptLevel, solver string, xlimit, rspare float64, linktime, baseline bool) (*analysis.Result, error) {
 	prog, err := mcc.Compile(source, level)
 	if err != nil {
 		return nil, err
@@ -137,7 +143,7 @@ func analyzeOne(source string, level mcc.OptLevel, solver string, xlimit, rspare
 	var res *placement.Result
 	switch solver {
 	case "ilp":
-		res, err = placement.SolveILP(mdl)
+		res, err = placement.SolveILP(ctx, mdl, placement.Budget{})
 	case "greedy":
 		res = placement.SolveGreedy(mdl)
 	case "function":

@@ -20,10 +20,12 @@ import (
 	"os"
 
 	"repro/internal/beebs"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/encode"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
+	"repro/internal/placement"
 )
 
 func main() {
@@ -50,6 +52,9 @@ func main() {
 		disasm    = flag.Bool("disasm", false, "disassemble the optimized image (encoded bytes + assembly)")
 		fig1      = flag.Bool("fig1", false, "print the Figure 1 instruction-power table and exit")
 		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); SIGINT also cancels")
+		snodes    = flag.Int("solvenodes", 0, "branch-and-bound node budget (0 = solver default); on exhaustion the degradation ladder keeps the best answer it has")
+		stimeout  = flag.Duration("solvetimeout", 0, "ILP solve wall-clock budget (0 = none); on expiry the ladder degrades instead of failing")
 	)
 	flag.Parse()
 
@@ -63,8 +68,11 @@ func main() {
 		}
 		return
 	}
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+
 	if *fig1 {
-		rows, err := evaluation.Figure1()
+		rows, err := evaluation.NewSweep(1).Figure1(ctx)
 		if err != nil {
 			fatal(err)
 		}
@@ -110,13 +118,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := sess.Optimize(core.Options{
-		Solver:     core.Solver(*solver),
-		Xlimit:     *xlimit,
-		Rspare:     *rspare,
-		UseProfile: *profile,
-		LinkTime:   *linktime,
-		MaxInstrs:  *maxinstr,
+	rep, err := sess.Optimize(ctx, core.Options{
+		Solver:        core.Solver(*solver),
+		Xlimit:        *xlimit,
+		Rspare:        *rspare,
+		UseProfile:    *profile,
+		LinkTime:      *linktime,
+		MaxInstrs:     *maxinstr,
+		SolveMaxNodes: *snodes,
+		SolveTimeout:  *stimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -131,6 +141,9 @@ func main() {
 		100*rep.EnergyChange, 100*rep.TimeChange, 100*rep.PowerChange)
 	fmt.Printf("  placement: %d blocks (%d bytes RAM code), solver nodes %d, proven %v\n",
 		len(rep.MovedLabels()), rep.Optimized.RAMCodeBytes, rep.Placement.Nodes, rep.Placement.Proven)
+	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal {
+		fmt.Printf("  strategy : %s (%s)\n", rep.Strategy, rep.StrategyReason)
+	}
 	fmt.Printf("  moved    : %v\n", rep.MovedLabels())
 	if *dump {
 		fmt.Println("---- optimized program ----")

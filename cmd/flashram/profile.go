@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"repro/internal/beebs"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/evaluation"
 	"repro/internal/isa"
@@ -50,6 +51,7 @@ func runProfile(args []string) {
 		outlier   = fs.Float64("outlier", 0.5, "relative model-vs-measured disagreement that flags a block")
 		maxinstr  = fs.Uint64("maxinstr", 0, "per-run instruction limit (0 = simulator default)")
 		asJSON    = fs.Bool("json", false, "emit one machine-readable JSON document")
+		timeout   = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); SIGINT also cancels")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, `usage: flashram profile [-bench name | -src file] [flags]
@@ -96,7 +98,9 @@ ILP cost model disagrees with the measured attribution.`)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := sess.Optimize(core.Options{
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+	rep, err := sess.Optimize(ctx, core.Options{
 		Solver:     core.Solver(*solver),
 		Xlimit:     *xlimit,
 		Rspare:     *rspare,

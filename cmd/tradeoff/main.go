@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
 )
@@ -25,6 +26,7 @@ func main() {
 		k         = flag.Int("k", 8, "number of hottest blocks to enumerate (2^k placements)")
 		points    = flag.Bool("points", false, "dump every cloud point (mask energy cycles ram)")
 		asJSON    = flag.Bool("json", false, "emit the Figure 6 dataset as JSON (cloud points included with -points)")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry — or SIGINT — the completed path points are still emitted")
 	)
 	flag.Parse()
 
@@ -32,23 +34,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 	ramSweep := []float64{0, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096}
 	xSweep := []float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0}
 	// One Sweep → one session for the benchmark: the CFG, frequency
 	// estimate and repeated constraint corners are shared across all 24
 	// solve points instead of being rebuilt per point.
-	data, err := evaluation.NewSweep(1).Figure6(*benchName, optLevel, *k, ramSweep, xSweep)
-	if err != nil {
+	data, err := evaluation.NewSweep(1).Figure6(ctx, *benchName, optLevel, *k, ramSweep, xSweep)
+	if data == nil {
 		fatal(err)
+	}
+	exitCode := 0
+	if err != nil {
+		// The cloud (and any completed path points) still stand; emit
+		// them as an explicitly incomplete document and exit non-zero.
+		exitCode = 1
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(evaluation.NewFigure6JSON(data, optLevel.String(), *points)); err != nil {
+		j := evaluation.NewFigure6JSON(data, optLevel.String(), *points)
+		if err != nil {
+			j.Status = "incomplete"
+		}
+		if err := enc.Encode(j); err != nil {
 			fatal(err)
 		}
-		return
+		os.Exit(exitCode)
 	}
 
 	fmt.Printf("Figure 6 for %s at %v: 2^%d placements over blocks %v\n",
@@ -94,6 +109,7 @@ func main() {
 		fmt.Printf("  %6.2fx -> %9.2f uJ  %9.0f cy  %6.0f B\n",
 			p.Constraint, p.EnergyNJ/1e3, p.Cycles, p.RAMBytes)
 	}
+	os.Exit(exitCode)
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ilpRes, err := placement.SolveILP(m)
+		ilpRes, err := placement.SolveILP(context.Background(), m, placement.Budget{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func main() {
 	m, _ := model.Build(prog, graphs, est, model.Params{
 		EFlash: ef, ERAM: er, Rspare: 2048, Xlimit: 1.5,
 	})
-	res, err := placement.SolveILP(m)
+	res, err := placement.SolveILP(context.Background(), m, placement.Budget{})
 	if err != nil {
 		log.Fatal(err)
 	}

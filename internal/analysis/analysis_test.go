@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/beebs"
@@ -41,7 +42,7 @@ func optimizedProgram(t *testing.T, bench string, level mcc.OptLevel) (*ir.Progr
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := placement.SolveILP(mdl)
+	res, err := placement.SolveILP(context.Background(), mdl, placement.Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}

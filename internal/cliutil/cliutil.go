@@ -1,0 +1,31 @@
+// Package cliutil holds the small amount of plumbing shared by the
+// command-line drivers: a root context honouring -timeout and SIGINT, so
+// every CLI shuts down the same way — the context is cancelled, the
+// sweeps and solves unwind at their next poll point, and the driver
+// flushes whatever it has as a valid (partial) document before exiting.
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Context returns the driver's root context: cancelled on SIGINT or
+// SIGTERM, and by the deadline when timeout > 0. Call the returned stop
+// function once the run is over; it releases the signal handler, so a
+// second interrupt after shutdown has begun kills the process the
+// default way instead of being swallowed.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

@@ -10,9 +10,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -68,6 +70,18 @@ type Options struct {
 	// MaxInstrs bounds each simulated run (0 = simulator default); runs
 	// exceeding it fault with the current block and function named.
 	MaxInstrs uint64
+
+	// SolveMaxNodes caps branch-and-bound nodes in the ILP solve
+	// (0 = the solver default). When the cap trips, the degradation
+	// ladder keeps the best incumbent instead of failing; the Report's
+	// Strategy records which rung produced the placement.
+	SolveMaxNodes int
+	// SolveMaxLPIter caps simplex pivots per LP relaxation (0 = none).
+	SolveMaxLPIter int
+	// SolveTimeout bounds the ILP solve's wall time (0 = none). Unlike
+	// the count budgets it is non-deterministic by nature; the ladder
+	// records a deterministic reason string, never the elapsed time.
+	SolveTimeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -116,6 +130,14 @@ type Report struct {
 	BaselineTrace  *trace.Profile
 	OptimizedTrace *trace.Profile
 
+	// Strategy names the degradation-ladder rung that produced the
+	// placement ("ilp-optimal" when nothing degraded; see the
+	// placement.Strategy* constants). StrategyReason is the deterministic
+	// explanation of why a degraded rung was taken ("" for the exact
+	// solve).
+	Strategy       string
+	StrategyReason string
+
 	// EnergyChange, TimeChange and PowerChange are fractional changes
 	// (optimized/baseline − 1); negative is an improvement for energy
 	// and power.
@@ -141,12 +163,20 @@ type Report struct {
 // baseline simulation, CFG, frequency and model stages are shared across
 // configurations.
 func Optimize(p *ir.Program, opts Options) (*Report, error) {
+	return OptimizeContext(context.Background(), p, opts)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: ctx reaches
+// the solver's branch-and-bound loop and both simulated runs, so a
+// cancelled or deadline-expired context stops the pipeline within their
+// poll windows with an error matching the context error.
+func OptimizeContext(ctx context.Context, p *ir.Program, opts Options) (*Report, error) {
 	opts.fill()
 	s, err := NewSession(p, SessionConfig{Profile: opts.Profile, Layout: opts.Layout})
 	if err != nil {
 		return nil, err
 	}
-	return s.Optimize(opts)
+	return s.Optimize(ctx, opts)
 }
 
 // startupCopyCost estimates the boot-time copy of .data and .ramcode: a

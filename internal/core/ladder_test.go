@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/beebs"
+	"repro/internal/core"
+	"repro/internal/mcc"
+	"repro/internal/placement"
+)
+
+// ladderLevels is the Figure 5 pair the acceptance criteria sweep.
+var ladderLevels = []mcc.OptLevel{mcc.O2, mcc.Os}
+
+// TestLadderTinyBudgetAllBenchmarks starves the solver (a one-node
+// branch-and-bound budget) on every BEEBS benchmark at O2 and Os and
+// asserts the degradation ladder holds its contract everywhere:
+//
+//   - every cell still produces a complete, validated Report (the
+//     pipeline's simulate-and-verify stages run on whatever placement the
+//     rung produced);
+//   - Report.Strategy names the rung and a degraded rung carries a
+//     deterministic reason;
+//   - running the identical cell again from a fresh session is
+//     byte-identical — same rung, same placement, same numbers.
+func TestLadderTinyBudgetAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-budget ladder sweep is 40 pipeline runs")
+	}
+	known := map[string]bool{
+		placement.StrategyILPOptimal:   true,
+		placement.StrategyILPIncumbent: true,
+		placement.StrategyLPRounding:   true,
+		placement.StrategyGreedy:       true,
+		placement.StrategyIdentity:     true,
+	}
+	opts := core.Options{SolveMaxNodes: 1}
+	for _, level := range ladderLevels {
+		for _, b := range beebs.All() {
+			t.Run(b.Name+"/"+level.String(), func(t *testing.T) {
+				run := func() *core.Report {
+					rep, err := sessionForTest(t, b.Name, level).Optimize(context.Background(), opts)
+					if err != nil {
+						t.Fatalf("tiny budget must degrade, not fail: %v", err)
+					}
+					return rep
+				}
+				rep := run()
+				if !known[rep.Strategy] {
+					t.Fatalf("Strategy = %q, want a ladder rung", rep.Strategy)
+				}
+				if rep.Strategy != placement.StrategyILPOptimal && rep.StrategyReason == "" {
+					t.Errorf("degraded rung %q has no reason", rep.Strategy)
+				}
+				if rep.Optimized.Instructions == 0 || rep.Baseline.Instructions == 0 {
+					t.Error("degraded Report was not simulated")
+				}
+				if rep.Analysis == nil || len(rep.Analysis.Errors()) > 0 {
+					t.Errorf("degraded placement failed static verification: %v", rep.Analysis)
+				}
+
+				again := run()
+				if again.Strategy != rep.Strategy || again.StrategyReason != rep.StrategyReason {
+					t.Fatalf("rung not deterministic: %q (%q) then %q (%q)",
+						rep.Strategy, rep.StrategyReason, again.Strategy, again.StrategyReason)
+				}
+				a := fingerprintJSON(t, b.Name, level, rep)
+				c := fingerprintJSON(t, b.Name, level, again)
+				if !bytes.Equal(a, c) {
+					t.Errorf("same budget, same rung, different result:\n first %s\nsecond %s", a, c)
+				}
+			})
+		}
+	}
+}
+
+// TestLadderRungProgression pins the rung classification on one cell as
+// the budget tightens: an unconstrained solve proves optimality, a
+// one-node budget falls to the rounded root relaxation, a slightly larger
+// (still insufficient) budget keeps the best incumbent, and an
+// already-expired solve deadline yields the identity placement — while a
+// cancelled parent context propagates instead of degrading.
+func TestLadderRungProgression(t *testing.T) {
+	// sha at O2 with a 320-byte RAM budget makes the root relaxation
+	// fractional: the exact solve needs well over a dozen branch-and-bound
+	// nodes, leaving room for every rung between "proven" and "root only".
+	const bench = "sha"
+	level := mcc.O2
+	base := core.Options{Rspare: 320}
+	solve := func(opts core.Options) *core.Report {
+		t.Helper()
+		opts.Rspare = base.Rspare
+		rep, err := sessionForTest(t, bench, level).Optimize(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	exact := solve(core.Options{})
+	if exact.Strategy != placement.StrategyILPOptimal || exact.StrategyReason != "" {
+		t.Fatalf("unconstrained solve: strategy %q (%q), want proven %q",
+			exact.Strategy, exact.StrategyReason, placement.StrategyILPOptimal)
+	}
+	if exact.Placement.Nodes <= 2 {
+		t.Fatalf("exact solve finished in %d nodes; the cell no longer exercises the ladder", exact.Placement.Nodes)
+	}
+
+	rounded := solve(core.Options{SolveMaxNodes: 1})
+	if rounded.Strategy != placement.StrategyLPRounding {
+		t.Errorf("one-node budget: strategy %q, want %q", rounded.Strategy, placement.StrategyLPRounding)
+	}
+
+	incumbent := solve(core.Options{SolveMaxNodes: exact.Placement.Nodes - 1})
+	if incumbent.Strategy != placement.StrategyILPIncumbent {
+		t.Errorf("starved budget: strategy %q, want %q", incumbent.Strategy, placement.StrategyILPIncumbent)
+	}
+	// The incumbent can never beat the proven optimum, and keeping it
+	// must never be worse than the root rounding (PR-pinned solver
+	// contract: the incumbent survives a budget trip).
+	if incumbent.Placement.Outcome.EnergyNJ < exact.Placement.Outcome.EnergyNJ {
+		t.Errorf("incumbent energy %f beats proven optimum %f",
+			incumbent.Placement.Outcome.EnergyNJ, exact.Placement.Outcome.EnergyNJ)
+	}
+	if incumbent.Placement.Outcome.EnergyNJ > rounded.Placement.Outcome.EnergyNJ {
+		t.Errorf("incumbent energy %f worse than root rounding %f",
+			incumbent.Placement.Outcome.EnergyNJ, rounded.Placement.Outcome.EnergyNJ)
+	}
+
+	// A solve deadline that is already unpayable before the first pivot:
+	// the ladder bottoms out at the identity placement rather than erring.
+	identity := solve(core.Options{SolveTimeout: time.Nanosecond})
+	if identity.Strategy != placement.StrategyIdentity {
+		t.Errorf("expired solve deadline: strategy %q, want %q", identity.Strategy, placement.StrategyIdentity)
+	}
+	if len(identity.MovedLabels()) != 0 {
+		t.Errorf("identity placement moved %v", identity.MovedLabels())
+	}
+	if identity.EnergyChange != 0 || identity.TimeChange != 0 {
+		t.Errorf("identity placement changed the program: energy %+f time %+f",
+			identity.EnergyChange, identity.TimeChange)
+	}
+
+	// Parent cancellation is not a budget: it must propagate as an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sessionForTest(t, bench, level).Optimize(ctx, core.Options{}); err == nil {
+		t.Error("cancelled parent context degraded instead of failing")
+	}
+}

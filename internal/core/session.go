@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cfg"
+	"repro/internal/errs"
 	"repro/internal/freq"
 	"repro/internal/ir"
 	"repro/internal/layout"
@@ -85,7 +87,7 @@ func NewSession(p *ir.Program, cfg SessionConfig) (*Session, error) {
 		cfg.Layout = layout.DefaultConfig()
 	}
 	if err := ir.Verify(p); err != nil {
-		return nil, fmt.Errorf("core: input program: %w", err)
+		return nil, errs.Wrap(errs.StageVerify, err)
 	}
 	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout}, nil
 }
@@ -157,11 +159,14 @@ type modelKey struct {
 	linkTime      bool
 }
 
-// solveKey is a modelKey plus the solver choice.
+// solveKey is a modelKey plus the solver choice and its resource budget.
+// The budget is part of the key: a budget-degraded placement must never
+// be served to a caller that asked for the exact solve, and vice versa.
 type solveKey struct {
 	model       modelKey
 	solver      Solver
 	exhaustiveK int
+	budget      placement.Budget
 }
 
 // reportKey identifies a full Optimize outcome: the solve plus the
@@ -239,6 +244,11 @@ func (s *Session) resolve(opts Options) (reportKey, error) {
 			},
 			solver:      opts.Solver,
 			exhaustiveK: opts.ExhaustiveK,
+			budget: placement.Budget{
+				MaxNodes:  opts.SolveMaxNodes,
+				MaxLPIter: opts.SolveMaxLPIter,
+				Timeout:   opts.SolveTimeout,
+			},
 		},
 		traced:    opts.Trace,
 		maxInstrs: opts.MaxInstrs,
@@ -262,7 +272,7 @@ func (s *Session) Graphs() (map[string]*cfg.Graph, error) {
 	return s.graphs.do(&s.counters.cfg, struct{}{}, func() (map[string]*cfg.Graph, error) {
 		g, err := cfg.BuildAll(s.prog)
 		if err != nil {
-			return nil, fmt.Errorf("core: cfg: %w", err)
+			return nil, errs.Wrap(errs.StageCFG, err)
 		}
 		return g, nil
 	})
@@ -296,8 +306,10 @@ type Measurement struct {
 // A nil placement is the all-in-flash baseline. An untraced request is
 // satisfied by an already-completed traced run of the same
 // configuration: the observer is passive, so the statistics and final
-// memory state are identical.
-func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) (*Measurement, error) {
+// memory state are identical. Cancelling ctx stops the simulation within
+// its poll window; a cancelled computation is evicted from the memo so a
+// later caller with a live context can retry.
+func (s *Session) Measure(ctx context.Context, inRAM map[string]bool, traced bool, maxInstrs uint64) (*Measurement, error) {
 	key := measureKey{placement: canonicalPlacement(inRAM), maxInstrs: maxInstrs, traced: traced}
 	if !traced {
 		tk := key
@@ -310,7 +322,7 @@ func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) 
 	return s.measures.do(&s.counters.baseline, key, func() (*Measurement, error) {
 		img, err := layout.New(s.prog, s.layout, inRAM)
 		if err != nil {
-			return nil, fmt.Errorf("core: baseline layout: %w", err)
+			return nil, errs.Wrap(errs.StageLayout, err)
 		}
 		machine := s.acquireMachine(img)
 		defer s.releaseMachine(machine)
@@ -320,9 +332,9 @@ func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) 
 			col = trace.NewCollector()
 			machine.Attach(col)
 		}
-		stats, err := machine.Run()
+		stats, err := machine.RunContext(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("core: baseline run: %w", err)
+			return nil, errs.Wrap(errs.StageBaseline, err)
 		}
 		s.counters.simRuns.Add(1)
 		s.counters.cyclesSimulated.Add(stats.Cycles)
@@ -341,17 +353,19 @@ func (s *Session) Measure(inRAM map[string]bool, traced bool, maxInstrs uint64) 
 
 // Baseline is the all-in-flash Measure with the default instruction
 // limit — the shared denominator of every configuration.
-func (s *Session) Baseline() (*Measurement, error) { return s.Measure(nil, false, 0) }
+func (s *Session) Baseline(ctx context.Context) (*Measurement, error) {
+	return s.Measure(ctx, nil, false, 0)
+}
 
 // Frequencies returns the Fb estimate: the static loop-depth estimate,
 // or the measured block counts of the baseline run.
-func (s *Session) Frequencies(useProfile bool, maxInstrs uint64) (freq.Estimate, error) {
+func (s *Session) Frequencies(ctx context.Context, useProfile bool, maxInstrs uint64) (freq.Estimate, error) {
 	key := freqKey{profiled: useProfile, maxInstrs: profiledMaxInstrs(useProfile, maxInstrs)}
 	return s.freqs.do(&s.counters.freq, key, func() (freq.Estimate, error) {
 		if useProfile {
-			base, err := s.Measure(nil, false, maxInstrs)
+			base, err := s.Measure(ctx, nil, false, maxInstrs)
 			if err != nil {
-				return nil, err
+				return nil, errs.Wrap(errs.StageFreq, err)
 			}
 			return freq.FromProfile(base.Stats), nil
 		}
@@ -396,17 +410,17 @@ func (s *Session) resolveModel(spec ModelSpec) modelKey {
 }
 
 // Model assembles (or reuses) the Eq. 1–9 cost model for the spec.
-func (s *Session) Model(spec ModelSpec) (*model.Model, error) {
-	return s.model(s.resolveModel(spec))
+func (s *Session) Model(ctx context.Context, spec ModelSpec) (*model.Model, error) {
+	return s.model(ctx, s.resolveModel(spec))
 }
 
-func (s *Session) model(key modelKey) (*model.Model, error) {
+func (s *Session) model(ctx context.Context, key modelKey) (*model.Model, error) {
 	return s.models.do(&s.counters.model, key, func() (*model.Model, error) {
 		graphs, err := s.Graphs()
 		if err != nil {
 			return nil, err
 		}
-		est, err := s.Frequencies(key.freq.profiled, key.freq.maxInstrs)
+		est, err := s.Frequencies(ctx, key.freq.profiled, key.freq.maxInstrs)
 		if err != nil {
 			return nil, err
 		}
@@ -418,7 +432,7 @@ func (s *Session) model(key modelKey) (*model.Model, error) {
 			IncludeLibrary: key.linkTime,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: model: %w", err)
+			return nil, errs.Wrap(errs.StageModel, err)
 		}
 		return mdl, nil
 	})
@@ -430,29 +444,42 @@ type SolveSpec struct {
 	Solver Solver
 	// ExhaustiveK bounds the exhaustive solver's block set (0 = 12).
 	ExhaustiveK int
+	// Budget bounds the ILP solve; when any of its limits trips, the
+	// degradation ladder (placement.SolveLadder) steps down and the
+	// result's Strategy records the rung. The zero budget is the exact
+	// solve.
+	Budget placement.Budget
 }
 
 // Solve runs (or reuses) the placement solver on the spec's model.
-func (s *Session) Solve(spec SolveSpec) (*placement.Result, error) {
+func (s *Session) Solve(ctx context.Context, spec SolveSpec) (*placement.Result, error) {
 	if spec.Solver == "" {
 		spec.Solver = SolverILP
 	}
 	if spec.ExhaustiveK == 0 {
 		spec.ExhaustiveK = 12
 	}
-	return s.solve(solveKey{model: s.resolveModel(spec.ModelSpec), solver: spec.Solver, exhaustiveK: spec.ExhaustiveK})
+	return s.solve(ctx, solveKey{
+		model:       s.resolveModel(spec.ModelSpec),
+		solver:      spec.Solver,
+		exhaustiveK: spec.ExhaustiveK,
+		budget:      spec.Budget,
+	})
 }
 
-func (s *Session) solve(key solveKey) (*placement.Result, error) {
+func (s *Session) solve(ctx context.Context, key solveKey) (*placement.Result, error) {
 	return s.solves.do(&s.counters.solve, key, func() (*placement.Result, error) {
-		mdl, err := s.model(key.model)
+		mdl, err := s.model(ctx, key.model)
 		if err != nil {
 			return nil, err
 		}
 		var res *placement.Result
 		switch key.solver {
 		case SolverILP:
-			res, err = placement.SolveILP(mdl)
+			// The ladder degrades through incumbent → rounding → greedy →
+			// identity when the budget trips; with the zero budget and a
+			// live context it is exactly the exact ILP solve.
+			res, err = placement.SolveLadder(ctx, mdl, key.budget)
 		case SolverGreedy:
 			res = placement.SolveGreedy(mdl)
 		case SolverFunction:
@@ -463,7 +490,7 @@ func (s *Session) solve(key solveKey) (*placement.Result, error) {
 			return nil, fmt.Errorf("core: unknown solver %q", key.solver)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: placement: %w", err)
+			return nil, errs.Wrap(errs.StageSolve, err)
 		}
 		return res, nil
 	})
@@ -493,11 +520,11 @@ func (s *Session) transformFor(key transformKey, inRAM map[string]bool) (*transf
 		}
 		trep, err := applyFn(opt, inRAM)
 		if err != nil {
-			return nil, fmt.Errorf("core: transform: %w", err)
+			return nil, errs.Wrap(errs.StageTransform, err)
 		}
 		optImg, err := layout.New(opt, s.layout, inRAM)
 		if err != nil {
-			return nil, fmt.Errorf("core: optimized layout: %w", err)
+			return nil, errs.Wrap(errs.StageLayout, err)
 		}
 
 		// Static verification of the transformed artifact: every branch in
@@ -509,10 +536,10 @@ func (s *Session) transformFor(key transformKey, inRAM map[string]bool) (*transf
 			Config: s.layout, Image: optImg, Rspare: key.rspare,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: analysis: %w", err)
+			return nil, errs.Wrap(errs.StageAnalysis, err)
 		}
 		if n := len(ares.Errors()); n > 0 {
-			return nil, fmt.Errorf("core: analysis found %d error(s):\n%s", n, ares)
+			return nil, errs.Wrap(errs.StageAnalysis, fmt.Errorf("found %d error(s):\n%s", n, ares))
 		}
 		return &transformed{prog: opt, trep: trep, img: optImg, ares: ares}, nil
 	})
@@ -522,7 +549,7 @@ func (s *Session) transformFor(key transformKey, inRAM map[string]bool) (*transf
 // tracing, instruction limit) — so the static and profiled variants of a
 // configuration that land on the same placement simulate it once. As
 // with Measure, a completed traced run satisfies untraced requests.
-func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
+func (s *Session) optRun(ctx context.Context, key optRunKey, tf *transformed) (*Measurement, error) {
 	if !key.traced {
 		tk := key
 		tk.traced = true
@@ -540,9 +567,9 @@ func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
 			col = trace.NewCollector()
 			machine.Attach(col)
 		}
-		stats, err := machine.Run()
+		stats, err := machine.RunContext(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("core: optimized run: %w", err)
+			return nil, errs.Wrap(errs.StageOptRun, err)
 		}
 		s.counters.simRuns.Add(1)
 		s.counters.cyclesSimulated.Add(stats.Cycles)
@@ -558,7 +585,7 @@ func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
 			// to miss: every nanojoule the simulator charged must have
 			// landed in exactly one block.
 			if err := m.Trace.CheckConservation(stats); err != nil {
-				return nil, fmt.Errorf("core: optimized %w", err)
+				return nil, errs.Wrap(errs.StageOptRun, err)
 			}
 		}
 		return m, nil
@@ -567,30 +594,33 @@ func (s *Session) optRun(key optRunKey, tf *transformed) (*Measurement, error) {
 
 // Optimize runs the full pipeline for one configuration, reusing every
 // stage the session has already materialized. Identical configurations
-// return the same (immutable) Report.
-func (s *Session) Optimize(opts Options) (*Report, error) {
+// return the same (immutable) Report. Cancelling ctx aborts the run at
+// the next stage boundary or simulator/solver poll; a stage computation
+// that failed with a cancellation is evicted from its memo, so a retry
+// with a live context recomputes instead of replaying the cancellation.
+func (s *Session) Optimize(ctx context.Context, opts Options) (*Report, error) {
 	key, err := s.resolve(opts)
 	if err != nil {
 		return nil, err
 	}
 	return s.reports.do(&s.counters.optimize, key, func() (*Report, error) {
-		return s.optimize(key)
+		return s.optimize(ctx, key)
 	})
 }
 
 // optimize assembles one Report from the staged artifacts plus the
 // per-configuration tail (transform, optimized run, semantic check) —
 // each of which is itself memoized on the placement the solve chose.
-func (s *Session) optimize(key reportKey) (*Report, error) {
-	base, err := s.Measure(nil, key.traced, key.maxInstrs)
+func (s *Session) optimize(ctx context.Context, key reportKey) (*Report, error) {
+	base, err := s.Measure(ctx, nil, key.traced, key.maxInstrs)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.solve(key.solve)
+	res, err := s.solve(ctx, key.solve)
 	if err != nil {
 		return nil, err
 	}
-	mdl, err := s.model(key.solve.model)
+	mdl, err := s.model(ctx, key.solve.model)
 	if err != nil {
 		return nil, err
 	}
@@ -604,7 +634,7 @@ func (s *Session) optimize(key reportKey) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	orun, err := s.optRun(optRunKey{transform: tkey, traced: key.traced, maxInstrs: key.maxInstrs}, tf)
+	orun, err := s.optRun(ctx, optRunKey{transform: tkey, traced: key.traced, maxInstrs: key.maxInstrs}, tf)
 	if err != nil {
 		return nil, err
 	}
@@ -612,18 +642,21 @@ func (s *Session) optimize(key reportKey) (*Report, error) {
 	// Semantic validation: every writable global must hold identical
 	// bytes after both runs.
 	if err := compareGlobals(s.prog, base.globals, orun.globals); err != nil {
-		return nil, fmt.Errorf("core: transformation changed program behaviour: %w", err)
+		return nil, errs.Wrap(errs.StageValidate,
+			fmt.Errorf("transformation changed program behaviour: %w", err))
 	}
 
 	rep := &Report{
-		Baseline:   base.Metrics,
-		Optimized:  orun.Metrics,
-		Placement:  res,
-		Model:      mdl,
-		Transform:  tf.trep,
-		Optimized0: tf.prog,
-		Image:      tf.img,
-		Analysis:   tf.ares,
+		Baseline:       base.Metrics,
+		Optimized:      orun.Metrics,
+		Placement:      res,
+		Model:          mdl,
+		Transform:      tf.trep,
+		Optimized0:     tf.prog,
+		Image:          tf.img,
+		Analysis:       tf.ares,
+		Strategy:       res.Strategy,
+		StrategyReason: res.StrategyReason,
 	}
 	if key.traced {
 		rep.BaselineTrace = base.Trace
@@ -631,7 +664,7 @@ func (s *Session) optimize(key reportKey) (*Report, error) {
 		// Baseline conservation is checked here (the optimized run checks
 		// its own when it is simulated).
 		if err := rep.BaselineTrace.CheckConservation(base.Stats); err != nil {
-			return nil, fmt.Errorf("core: baseline %w", err)
+			return nil, errs.Wrap(errs.StageBaseline, err)
 		}
 	}
 	if rep.Baseline.EnergyMJ > 0 {
@@ -807,6 +840,16 @@ func (c *memo[K, V]) do(st *stageCounter, k K, fn func() (V, error)) (V, error) 
 		e.val, e.err = fn()
 		e.done.Store(true)
 	})
+	// A computation that died of cancellation says nothing about the
+	// artifact — evict it so a later caller with a live context retries
+	// instead of replaying the stale cancellation forever.
+	if e.err != nil && errs.IsCancellation(e.err) {
+		c.mu.Lock()
+		if c.m[k] == e {
+			delete(c.m, k)
+		}
+		c.mu.Unlock()
+	}
 	return e.val, e.err
 }
 

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"sync"
@@ -58,7 +59,7 @@ func TestSessionConcurrentSolves(t *testing.T) {
 	// Serial references, one pristine session each.
 	want := make([][]byte, len(sessionConfigs))
 	for i, opts := range sessionConfigs {
-		rep, err := sessionForTest(t, bench, level).Optimize(opts)
+		rep, err := sessionForTest(t, bench, level).Optimize(context.Background(), opts)
 		if err != nil {
 			t.Fatalf("config %d: %v", i, err)
 		}
@@ -73,7 +74,7 @@ func TestSessionConcurrentSolves(t *testing.T) {
 			wg.Add(1)
 			go func(slot, cfg int) {
 				defer wg.Done()
-				rep, err := s.Optimize(sessionConfigs[cfg])
+				rep, err := s.Optimize(context.Background(), sessionConfigs[cfg])
 				if err != nil {
 					t.Errorf("config %d: %v", cfg, err)
 					return
@@ -127,7 +128,7 @@ func fingerprintJSON(t testing.TB, bench string, level mcc.OptLevel, rep *core.R
 // reused, the frequency estimate and model are not.
 func TestSessionStageSharing(t *testing.T) {
 	s := sessionForTest(t, "crc32", mcc.O2)
-	if _, err := s.Optimize(core.Options{}); err != nil {
+	if _, err := s.Optimize(context.Background(), core.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -136,7 +137,7 @@ func TestSessionStageSharing(t *testing.T) {
 			st.Baseline.Misses, st.Freq.Misses, st.Model.Misses)
 	}
 
-	if _, err := s.Optimize(core.Options{UseProfile: true}); err != nil {
+	if _, err := s.Optimize(context.Background(), core.Options{UseProfile: true}); err != nil {
 		t.Fatal(err)
 	}
 	st = s.Stats()
@@ -169,10 +170,10 @@ func TestSessionStageSharing(t *testing.T) {
 // then no-Trace costs one baseline simulation, not two.
 func TestSessionTracedBaselineServesUntraced(t *testing.T) {
 	s := sessionForTest(t, "crc32", mcc.O2)
-	if _, err := s.Optimize(core.Options{Trace: true}); err != nil {
+	if _, err := s.Optimize(context.Background(), core.Options{Trace: true}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Optimize(core.Options{})
+	rep, err := s.Optimize(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +194,11 @@ func TestSessionMachineReuseMatchesFresh(t *testing.T) {
 	s := sessionForTest(t, "crc32", mcc.O2)
 	// Optimize runs the baseline and the optimized simulation in
 	// sequence; the second acquires the machine the first parked.
-	rep, err := s.Optimize(core.Options{})
+	rep, err := s.Optimize(context.Background(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := s.Measure(nil, false, 0)
+	base, err := s.Measure(context.Background(), nil, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestSessionMachineReuseMatchesFresh(t *testing.T) {
 func TestSessionProfileMismatch(t *testing.T) {
 	s := sessionForTest(t, "crc32", mcc.O2)
 	other := *s.Profile()
-	if _, err := s.Optimize(core.Options{Profile: &other}); err == nil {
+	if _, err := s.Optimize(context.Background(), core.Options{Profile: &other}); err == nil {
 		t.Fatal("mismatched profile accepted")
 	}
 }

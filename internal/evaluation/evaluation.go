@@ -12,11 +12,14 @@
 package evaluation
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/mcc"
 	"repro/internal/placement"
 	"repro/internal/power"
@@ -48,39 +51,50 @@ type Options struct {
 	Trace bool
 	// MaxInstrs bounds each simulated run (0 = simulator default).
 	MaxInstrs uint64
+
+	// SolveMaxNodes, SolveMaxLPIter and SolveTimeout bound the ILP solve
+	// (0 = unlimited); tripped budgets degrade down the placement ladder
+	// instead of failing, and each Report's Strategy names the rung.
+	SolveMaxNodes  int
+	SolveMaxLPIter int
+	SolveTimeout   time.Duration
 }
 
 func (o Options) core() core.Options {
 	return core.Options{
-		UseProfile: o.UseProfile,
-		Solver:     o.Solver,
-		Xlimit:     o.Xlimit,
-		Rspare:     o.Rspare,
-		LinkTime:   o.LinkTime,
-		Trace:      o.Trace,
-		MaxInstrs:  o.MaxInstrs,
+		UseProfile:     o.UseProfile,
+		Solver:         o.Solver,
+		Xlimit:         o.Xlimit,
+		Rspare:         o.Rspare,
+		LinkTime:       o.LinkTime,
+		Trace:          o.Trace,
+		MaxInstrs:      o.MaxInstrs,
+		SolveMaxNodes:  o.SolveMaxNodes,
+		SolveMaxLPIter: o.SolveMaxLPIter,
+		SolveTimeout:   o.SolveTimeout,
 	}
 }
 
 // RunBenchmark executes the full pipeline for one benchmark at one level,
 // reusing the sweep's session for the cell (compile, baseline run, CFG,
 // frequency and model stages are shared with every other configuration of
-// the same cell).
-func (sw *Sweep) RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
+// the same cell). Errors carry the benchmark × level attribution
+// (errs.Error) on top of the failing stage's own.
+func (sw *Sweep) RunBenchmark(ctx context.Context, b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
 	sess, err := sw.Session(b, level)
 	if err != nil {
-		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
+		return nil, errs.AtBench(b.Name, level.String(), errs.Wrap(errs.StageCompile, err))
 	}
-	rep, err := sess.Optimize(opts.core())
+	rep, err := sess.Optimize(ctx, opts.core())
 	if err != nil {
-		return nil, fmt.Errorf("evaluation: %s at %v: %w", b.Name, level, err)
+		return nil, errs.AtBench(b.Name, level.String(), err)
 	}
 	return &Run{Bench: b.Name, Level: level, Report: rep}, nil
 }
 
 // RunBenchmark executes the full pipeline for one benchmark at one level.
 func RunBenchmark(b *beebs.Benchmark, level mcc.OptLevel, opts Options) (*Run, error) {
-	return NewSweep(1).RunBenchmark(b, level, opts)
+	return NewSweep(1).RunBenchmark(context.Background(), b, level, opts)
 }
 
 // Figure5Row is one pair of bars (plus the frequency dots) of Figure 5.
@@ -91,6 +105,10 @@ type Figure5Row struct {
 	EnergyChange, TimeChange, PowerChange float64
 	// Profiled-frequency results (the dots).
 	ProfEnergyChange, ProfTimeChange float64
+	// Incomplete marks a cell whose pipeline run failed or was never
+	// dispatched (cancelled sweep, panicked worker); its numbers are
+	// zero and the sweep's error says why.
+	Incomplete bool
 }
 
 // Figure5 reproduces the Figure 5 sweep: every benchmark at the given
@@ -99,16 +117,23 @@ type Figure5Row struct {
 // session, so each benchmark compiles and baseline-simulates once. The
 // benchmark × level jobs run across the sweep's worker pool; row order is
 // benchmark-major regardless of parallelism.
-func (sw *Sweep) Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
+// On failure the returned rows are still complete in shape: every cell
+// is present in order, failed or undispatched cells are marked
+// Incomplete, and the error (an *errs.SweepError unless setup failed)
+// says which items failed and why.
+func (sw *Sweep) Figure5(ctx context.Context, levels []mcc.OptLevel) ([]Figure5Row, error) {
 	jobs := sweepJobs(levels)
 	rows := make([]Figure5Row, len(jobs))
-	err := sw.forEach(len(jobs), func(i int) error {
+	for i, j := range jobs {
+		rows[i] = Figure5Row{Bench: j.bench.Name, Level: j.level, Incomplete: true}
+	}
+	err := sw.forEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
-		static, err := sw.RunBenchmark(j.bench, j.level, Options{})
+		static, err := sw.RunBenchmark(ctx, j.bench, j.level, Options{})
 		if err != nil {
 			return err
 		}
-		prof, err := sw.RunBenchmark(j.bench, j.level, Options{UseProfile: true})
+		prof, err := sw.RunBenchmark(ctx, j.bench, j.level, Options{UseProfile: true})
 		if err != nil {
 			return err
 		}
@@ -123,15 +148,16 @@ func (sw *Sweep) Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return rows, err
 }
 
 // Figure5 runs the Figure 5 sweep serially on a fresh Sweep.
 func Figure5(levels []mcc.OptLevel) ([]Figure5Row, error) {
-	return NewSweep(1).Figure5(levels)
+	rows, err := NewSweep(1).Figure5(context.Background(), levels)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // sweepJob is one benchmark × level cell of an evaluation sweep.
@@ -164,28 +190,34 @@ type Aggregate struct {
 	MaxPowerBench    string
 	Runs             []Run
 	FailedPlacement  int // runs where nothing could be placed
+	// IncompleteRuns counts cells that failed or were never dispatched;
+	// the means cover only the completed cells.
+	IncompleteRuns int
 }
 
 // RunAggregate evaluates all benchmarks across the given levels. The
 // benchmark × level runs execute across the sweep's worker pool; the
 // aggregation itself is serial over the deterministically ordered
 // results, so the reported means are bit-identical at any worker count.
-func (sw *Sweep) RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
+// On failure the aggregate still comes back, covering the cells that
+// completed, with IncompleteRuns counting the ones that did not.
+func (sw *Sweep) RunAggregate(ctx context.Context, levels []mcc.OptLevel) (*Aggregate, error) {
 	agg := &Aggregate{Levels: levels}
 	jobs := sweepJobs(levels)
 	runs := make([]*Run, len(jobs))
-	err := sw.forEach(len(jobs), func(i int) error {
-		r, err := sw.RunBenchmark(jobs[i].bench, jobs[i].level, Options{})
+	err := sw.forEach(ctx, len(jobs), func(i int) error {
+		r, err := sw.RunBenchmark(ctx, jobs[i].bench, jobs[i].level, Options{})
 		if err != nil {
 			return err
 		}
 		runs[i] = r
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	for _, r := range runs {
+		if r == nil {
+			agg.IncompleteRuns++
+			continue
+		}
 		agg.Runs = append(agg.Runs, *r)
 		rep := r.Report
 		agg.MeanEnergyChange += rep.EnergyChange
@@ -203,17 +235,21 @@ func (sw *Sweep) RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
 			agg.FailedPlacement++
 		}
 	}
-	if n := len(runs); n > 0 {
+	if n := len(agg.Runs); n > 0 {
 		agg.MeanEnergyChange /= float64(n)
 		agg.MeanPowerChange /= float64(n)
 		agg.MeanTimeChange /= float64(n)
 	}
-	return agg, nil
+	return agg, err
 }
 
 // RunAggregate evaluates all benchmarks serially on a fresh Sweep.
 func RunAggregate(levels []mcc.OptLevel) (*Aggregate, error) {
-	return NewSweep(1).RunAggregate(levels)
+	agg, err := NewSweep(1).RunAggregate(context.Background(), levels)
+	if err != nil {
+		return nil, err
+	}
+	return agg, nil
 }
 
 // SaversRow names the blocks behind one benchmark's measured energy
@@ -225,16 +261,22 @@ type SaversRow struct {
 	// Savers are the top blocks by absolute contribution to the energy
 	// change (positive SavedNJ = saving).
 	Savers []core.BlockSaving
+	// Incomplete marks a cell whose run failed or was never dispatched.
+	Incomplete bool
 }
 
 // TopSavers runs every benchmark at the given levels with tracing enabled
 // and reports, per run, which blocks produced the energy saving. Jobs run
-// across the sweep's worker pool with deterministic output order.
-func (sw *Sweep) TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
+// across the sweep's worker pool with deterministic output order. On
+// failure every cell is still present, failed ones marked Incomplete.
+func (sw *Sweep) TopSavers(ctx context.Context, levels []mcc.OptLevel, n int) ([]SaversRow, error) {
 	jobs := sweepJobs(levels)
 	rows := make([]SaversRow, len(jobs))
-	err := sw.forEach(len(jobs), func(i int) error {
-		r, err := sw.RunBenchmark(jobs[i].bench, jobs[i].level, Options{Trace: true})
+	for i, j := range jobs {
+		rows[i] = SaversRow{Bench: j.bench.Name, Level: j.level, Incomplete: true}
+	}
+	err := sw.forEach(ctx, len(jobs), func(i int) error {
+		r, err := sw.RunBenchmark(ctx, jobs[i].bench, jobs[i].level, Options{Trace: true})
 		if err != nil {
 			return err
 		}
@@ -246,15 +288,16 @@ func (sw *Sweep) TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return rows, err
 }
 
 // TopSavers runs the attribution sweep serially on a fresh Sweep.
 func TopSavers(levels []mcc.OptLevel, n int) ([]SaversRow, error) {
-	return NewSweep(1).TopSavers(levels, n)
+	rows, err := NewSweep(1).TopSavers(context.Background(), levels, n)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // Figure6Data carries the trade-off cloud and solver paths for one
@@ -284,7 +327,7 @@ type PathPoint struct {
 // Every model along both constraint sweeps comes out of the cell's
 // session, so the CFG and frequency estimate are built once and repeated
 // constraint points (e.g. the unconstrained corner) reuse one model.
-func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
+func (sw *Sweep) Figure6(ctx context.Context, benchName string, level mcc.OptLevel, k int,
 	ramSweep []float64, xlimitSweep []float64) (*Figure6Data, error) {
 	b := beebs.Get(benchName)
 	if b == nil {
@@ -292,11 +335,11 @@ func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 	}
 	sess, err := sw.Session(b, level)
 	if err != nil {
-		return nil, err
+		return nil, errs.AtBench(benchName, level.String(), errs.Wrap(errs.StageCompile, err))
 	}
 	spare, err := sess.SpareRAM()
 	if err != nil {
-		return nil, err
+		return nil, errs.AtBench(benchName, level.String(), err)
 	}
 
 	// Restrict the model to the same k hottest blocks the cloud
@@ -307,7 +350,7 @@ func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 	}
 
 	// The cloud: no RAM or time constraint (within physical spare RAM).
-	mFree, err := sess.Model(spec(spare, 1e9))
+	mFree, err := sess.Model(ctx, spec(spare, 1e9))
 	if err != nil {
 		return nil, err
 	}
@@ -326,9 +369,10 @@ func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 	}
 
 	for _, rs := range ramSweep {
-		res, err := sess.Solve(core.SolveSpec{ModelSpec: spec(rs, 1e9), Solver: core.SolverILP})
+		res, err := sess.Solve(ctx, core.SolveSpec{ModelSpec: spec(rs, 1e9), Solver: core.SolverILP})
 		if err != nil {
-			return nil, err
+			// The cloud and the completed path points still stand.
+			return data, errs.AtBench(benchName, level.String(), err)
 		}
 		data.RAMPath = append(data.RAMPath, PathPoint{
 			Constraint: rs,
@@ -338,9 +382,9 @@ func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 		})
 	}
 	for _, xl := range xlimitSweep {
-		res, err := sess.Solve(core.SolveSpec{ModelSpec: spec(spare, xl), Solver: core.SolverILP})
+		res, err := sess.Solve(ctx, core.SolveSpec{ModelSpec: spec(spare, xl), Solver: core.SolverILP})
 		if err != nil {
-			return nil, err
+			return data, errs.AtBench(benchName, level.String(), err)
 		}
 		data.TimePath = append(data.TimePath, PathPoint{
 			Constraint: xl,
@@ -355,7 +399,7 @@ func (sw *Sweep) Figure6(benchName string, level mcc.OptLevel, k int,
 // Figure6 runs the trade-off sweep on a fresh serial Sweep.
 func Figure6(benchName string, level mcc.OptLevel, k int,
 	ramSweep []float64, xlimitSweep []float64) (*Figure6Data, error) {
-	return NewSweep(1).Figure6(benchName, level, k, ramSweep, xlimitSweep)
+	return NewSweep(1).Figure6(context.Background(), benchName, level, k, ramSweep, xlimitSweep)
 }
 
 // Scenario builds the §7 case-study scenario from a measured pipeline run.
@@ -381,12 +425,14 @@ type Figure9Series struct {
 // benchmarks (fdct, int_matmult, 2dfir) using measured ke/kt. The runs
 // reuse the sweep's sessions, so a Figure 5 or aggregate sweep on the
 // same Sweep has already paid for these cells.
-func (sw *Sweep) Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
+func (sw *Sweep) Figure9(ctx context.Context, level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
 	var out []Figure9Series
 	for _, name := range []string{"fdct", "int_matmult", "2dfir"} {
-		r, err := sw.RunBenchmark(beebs.Get(name), level, Options{})
+		r, err := sw.RunBenchmark(ctx, beebs.Get(name), level, Options{})
 		if err != nil {
-			return nil, err
+			// The completed series still stand; the error names the
+			// benchmark that broke the sweep.
+			return out, err
 		}
 		sc := Scenario(r)
 		out = append(out, Figure9Series{
@@ -400,5 +446,9 @@ func (sw *Sweep) Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Seri
 
 // Figure9 runs the periodic-sensing sweep on a fresh serial Sweep.
 func Figure9(level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
-	return NewSweep(1).Figure9(level, multiples)
+	series, err := NewSweep(1).Figure9(context.Background(), level, multiples)
+	if err != nil {
+		return nil, err
+	}
+	return series, nil
 }

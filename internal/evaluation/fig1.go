@@ -1,6 +1,7 @@
 package evaluation
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -136,9 +137,9 @@ var figure1Bars = []struct {
 // board — regenerating Figure 1 of the paper. Each micro-program is a
 // one-measurement core.Session; the bars run across the sweep's worker
 // pool in fixed plot order.
-func (sw *Sweep) Figure1() ([]Figure1Row, error) {
+func (sw *Sweep) Figure1(ctx context.Context) ([]Figure1Row, error) {
 	rows := make([]Figure1Row, len(figure1Bars))
-	err := sw.forEach(len(figure1Bars), func(i int) error {
+	err := sw.forEach(ctx, len(figure1Bars), func(i int) error {
 		bar := figure1Bars[i]
 		p, placement, err := figure1Program(bar.kind, bar.inRAM)
 		if err != nil {
@@ -148,7 +149,7 @@ func (sw *Sweep) Figure1() ([]Figure1Row, error) {
 		if err != nil {
 			return fmt.Errorf("figure1 %s: %w", bar.label, err)
 		}
-		m, err := sess.Measure(placement, false, 0)
+		m, err := sess.Measure(ctx, placement, false, 0)
 		if err != nil {
 			return fmt.Errorf("figure1 %s: %w", bar.label, err)
 		}
@@ -167,5 +168,5 @@ func (sw *Sweep) Figure1() ([]Figure1Row, error) {
 
 // Figure1 runs the micro-benchmark bars serially on a fresh Sweep.
 func Figure1() ([]Figure1Row, error) {
-	return NewSweep(1).Figure1()
+	return NewSweep(1).Figure1(context.Background())
 }

@@ -3,6 +3,7 @@ package evaluation
 import (
 	"repro/internal/casestudy"
 	"repro/internal/core"
+	"repro/internal/placement"
 )
 
 // The types below are the machine-readable schema shared by the CLIs:
@@ -45,12 +46,19 @@ type RunJSON struct {
 	PowerChange  float64     `json:"power_change"`
 	BlocksInRAM  int         `json:"blocks_in_ram"`
 	MovedBlocks  []string    `json:"moved_blocks"`
+
+	// Strategy and StrategyReason are emitted only when the solver's
+	// degradation ladder produced the placement from a rung below the
+	// exact solve; the common ilp-optimal case stays out of the document
+	// so pre-ladder outputs remain byte-identical.
+	Strategy       string `json:"strategy,omitempty"`
+	StrategyReason string `json:"strategy_reason,omitempty"`
 }
 
 // NewRunJSON converts a Run.
 func NewRunJSON(r *Run) RunJSON {
 	rep := r.Report
-	return RunJSON{
+	out := RunJSON{
 		Bench:        r.Bench,
 		Level:        r.Level.String(),
 		Baseline:     NewMetricsJSON(rep.Baseline),
@@ -61,6 +69,11 @@ func NewRunJSON(r *Run) RunJSON {
 		BlocksInRAM:  len(rep.MovedLabels()),
 		MovedBlocks:  rep.MovedLabels(),
 	}
+	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal {
+		out.Strategy = rep.Strategy
+		out.StrategyReason = rep.StrategyReason
+	}
+	return out
 }
 
 // Figure5RowJSON is one Figure 5 row (bars + frequency dots).
@@ -72,6 +85,9 @@ type Figure5RowJSON struct {
 	PowerChange      float64 `json:"power_change"`
 	ProfEnergyChange float64 `json:"prof_energy_change"`
 	ProfTimeChange   float64 `json:"prof_time_change"`
+	// Incomplete marks a cell whose run failed or was cut off before it
+	// ran (cancellation, timeout); its numbers are zero, not measured.
+	Incomplete bool `json:"incomplete,omitempty"`
 }
 
 // NewFigure5JSON converts a Figure5 result.
@@ -86,6 +102,7 @@ func NewFigure5JSON(rows []Figure5Row) []Figure5RowJSON {
 			PowerChange:      r.PowerChange,
 			ProfEnergyChange: r.ProfEnergyChange,
 			ProfTimeChange:   r.ProfTimeChange,
+			Incomplete:       r.Incomplete,
 		}
 	}
 	return out
@@ -102,6 +119,9 @@ type AggregateJSON struct {
 	MaxPowerSaving   float64   `json:"max_power_saving"`
 	MaxPowerBench    string    `json:"max_power_bench"`
 	FailedPlacement  int       `json:"failed_placement"`
+	// IncompleteRuns counts cells missing from Runs because their
+	// pipeline failed or was cut off; 0 (omitted) means a full sweep.
+	IncompleteRuns int `json:"incomplete_runs,omitempty"`
 }
 
 // NewAggregateJSON converts an Aggregate.
@@ -115,6 +135,7 @@ func NewAggregateJSON(agg *Aggregate) AggregateJSON {
 		MaxPowerSaving:   agg.MaxPowerSaving,
 		MaxPowerBench:    agg.MaxPowerBench,
 		FailedPlacement:  agg.FailedPlacement,
+		IncompleteRuns:   agg.IncompleteRuns,
 	}
 	for i := range agg.Runs {
 		out.Runs = append(out.Runs, NewRunJSON(&agg.Runs[i]))
@@ -153,13 +174,15 @@ type SaversRowJSON struct {
 	Bench  string      `json:"bench"`
 	Level  string      `json:"level"`
 	Savers []SaverJSON `json:"savers"`
+	// Incomplete marks a cell whose run failed or was cut off.
+	Incomplete bool `json:"incomplete,omitempty"`
 }
 
 // NewSaversJSON converts a TopSavers result.
 func NewSaversJSON(rows []SaversRow) []SaversRowJSON {
 	out := make([]SaversRowJSON, len(rows))
 	for i, r := range rows {
-		out[i] = SaversRowJSON{Bench: r.Bench, Level: r.Level.String()}
+		out[i] = SaversRowJSON{Bench: r.Bench, Level: r.Level.String(), Incomplete: r.Incomplete}
 		for _, s := range r.Savers {
 			out[i].Savers = append(out[i].Savers, NewSaverJSON(s))
 		}
@@ -246,6 +269,10 @@ type Figure6JSON struct {
 	Points       []PointJSON     `json:"points,omitempty"`
 	RAMPath      []PathPointJSON `json:"ram_path"`
 	TimePath     []PathPointJSON `json:"time_path"`
+	// Status is "incomplete" when the constraint sweeps were cut off
+	// (timeout, interrupt): the cloud and the path points present are
+	// valid, later points are simply missing. Absent on a clean run.
+	Status string `json:"status,omitempty"`
 }
 
 // NewFigure6JSON converts a Figure6Data (points included only when

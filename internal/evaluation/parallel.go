@@ -1,11 +1,16 @@
 package evaluation
 
 import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/beebs"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/mcc"
 )
 
@@ -108,32 +113,68 @@ func (sw *Sweep) Stats() SweepStats {
 	return out
 }
 
-// forEach runs fn(0..n-1) across a pool of at most sw.Workers goroutines
-// and returns the error of the lowest-indexed failing job. After a
-// failure, unstarted jobs above the lowest failing index are neither
-// dispatched nor run (in-flight ones finish); jobs below it still run,
-// so the lowest-indexed failure is always the one reported, regardless
-// of which job happened to fail first.
-func (sw *Sweep) forEach(n int, fn func(i int) error) error {
+// runIsolated runs one job with panic isolation: a panicking job is
+// converted into an *errs.PanicError carrying the worker's stack, so one
+// broken cell cannot take down the whole sweep (or the process).
+func runIsolated(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &errs.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// forEach runs fn(0..n-1) across a pool of at most sw.Workers goroutines.
+// Failures are aggregated into an *errs.SweepError in index order, so
+// errors.Is/As reach every per-item error and the same failures report
+// identically at any worker count.
+//
+// Two failure modes are deliberately distinct:
+//
+//   - An ordinary error stops dispatch: unstarted jobs above the lowest
+//     failing index are neither dispatched nor run (in-flight ones
+//     finish); jobs below it still run, so the lowest-indexed failure is
+//     always the leading one reported.
+//   - A panic is isolated: it becomes an *errs.PanicError for that item
+//     and every other item still runs — a single pathological cell
+//     forfeits only its own result.
+//
+// Cancelling ctx stops dispatch at the next boundary; undispatched items
+// simply never run, and the cancellation is reported for the first item
+// that was skipped.
+func (sw *Sweep) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	w := sw.Workers
 	if w > n {
 		w = n
 	}
+	itemErrs := make([]error, n)
+	skippedAt := n // first index never dispatched due to cancellation
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if err := ctx.Err(); err != nil {
+				skippedAt = i
+				break
+			}
+			err := runIsolated(fn, i)
+			if err == nil {
+				continue
+			}
+			itemErrs[i] = err
+			var pe *errs.PanicError
+			if !errors.As(err, &pe) {
+				break
 			}
 		}
-		return nil
+		return collectSweepError(n, itemErrs, skippedAt, ctx)
 	}
 
-	// firstFail is the lowest failing index seen so far (n = none).
-	// Only jobs above it are skippable: any lower job could still fail
-	// with a lower index and must get its chance to run.
+	// firstFail is the lowest ordinarily-failing index seen so far
+	// (n = none). Only jobs above it are skippable: any lower job could
+	// still fail with a lower index and must get its chance to run.
+	// Panics do not advance it — they stop nothing.
 	var firstFail atomic.Int64
 	firstFail.Store(int64(n))
-	errs := make([]error, n)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
@@ -144,13 +185,19 @@ func (sw *Sweep) forEach(n int, fn func(i int) error) error {
 				if int64(i) > firstFail.Load() {
 					continue
 				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					for {
-						cur := firstFail.Load()
-						if int64(i) >= cur || firstFail.CompareAndSwap(cur, int64(i)) {
-							break
-						}
+				err := runIsolated(fn, i)
+				if err == nil {
+					continue
+				}
+				itemErrs[i] = err
+				var pe *errs.PanicError
+				if errors.As(err, &pe) {
+					continue
+				}
+				for {
+					cur := firstFail.Load()
+					if int64(i) >= cur || firstFail.CompareAndSwap(cur, int64(i)) {
+						break
 					}
 				}
 			}
@@ -162,14 +209,33 @@ func (sw *Sweep) forEach(n int, fn func(i int) error) error {
 		if int64(i) > firstFail.Load() {
 			break
 		}
+		if ctx.Err() != nil {
+			skippedAt = i
+			break
+		}
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	for _, err := range errs {
+	return collectSweepError(n, itemErrs, skippedAt, ctx)
+}
+
+// collectSweepError folds per-item errors (plus a possible cancellation
+// cut-off) into one *errs.SweepError in index order, or nil if every
+// item succeeded.
+func collectSweepError(n int, itemErrs []error, skippedAt int, ctx context.Context) error {
+	var items []errs.ItemError
+	for i, err := range itemErrs {
 		if err != nil {
-			return err
+			items = append(items, errs.ItemError{Index: i, Err: err})
 		}
 	}
-	return nil
+	if skippedAt < n && itemErrs[skippedAt] == nil {
+		items = append(items, errs.ItemError{Index: skippedAt, Err: ctx.Err()})
+		sort.Slice(items, func(a, b int) bool { return items[a].Index < items[b].Index })
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	return &errs.SweepError{Total: n, Items: items}
 }

@@ -1,6 +1,7 @@
 package evaluation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,7 +29,7 @@ func TestForEachSerialStopsAtFailure(t *testing.T) {
 	sw := NewSweep(1)
 	boom := errors.New("boom")
 	var ran []int
-	err := sw.forEach(8, func(i int) error {
+	err := sw.forEach(context.Background(), 8, func(i int) error {
 		ran = append(ran, i)
 		if i == 3 {
 			return boom
@@ -55,7 +56,7 @@ func TestForEachLowestIndexError(t *testing.T) {
 			errLow := errors.New("low (index 2)")
 			errHigh := errors.New("high (index 6)")
 			highFailed := make(chan struct{})
-			err := sw.forEach(8, func(i int) error {
+			err := sw.forEach(context.Background(), 8, func(i int) error {
 				switch i {
 				case 2:
 					<-highFailed // job 6 has already failed
@@ -84,7 +85,7 @@ func TestForEachStopsDispatchAfterFailure(t *testing.T) {
 	var ran atomic.Int64
 	var maxIdx atomic.Int64
 	zeroGate := make(chan struct{})
-	err := sw.forEach(n, func(i int) error {
+	err := sw.forEach(context.Background(), n, func(i int) error {
 		ran.Add(1)
 		for {
 			cur := maxIdx.Load()
@@ -123,7 +124,7 @@ func TestForEachRunsAllOnSuccess(t *testing.T) {
 		sw := NewSweep(workers)
 		const n = 23
 		counts := make([]atomic.Int64, n)
-		if err := sw.forEach(n, func(i int) error {
+		if err := sw.forEach(context.Background(), n, func(i int) error {
 			counts[i].Add(1)
 			return nil
 		}); err != nil {
@@ -160,10 +161,10 @@ func TestSweepSessionCache(t *testing.T) {
 	}
 
 	// A static and a profiled run of the cell must share the baseline.
-	if _, err := sw.RunBenchmark(b, testLevel, Options{}); err != nil {
+	if _, err := sw.RunBenchmark(context.Background(), b, testLevel, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sw.RunBenchmark(b, testLevel, Options{UseProfile: true}); err != nil {
+	if _, err := sw.RunBenchmark(context.Background(), b, testLevel, Options{UseProfile: true}); err != nil {
 		t.Fatal(err)
 	}
 	st = sw.Stats()

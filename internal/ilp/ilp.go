@@ -12,9 +12,11 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/errs"
 	"repro/internal/lp"
 )
 
@@ -25,8 +27,9 @@ type Status int
 const (
 	// Optimal: the incumbent is proven optimal.
 	Optimal Status = iota
-	// Feasible: an incumbent was found but the node limit stopped the
-	// proof of optimality.
+	// Feasible: an incumbent was found but a budget (nodes, simplex
+	// iterations or the deadline) stopped the proof of optimality;
+	// Result.Stop says which.
 	Feasible
 	// Infeasible: no integer solution exists.
 	Infeasible
@@ -39,7 +42,7 @@ func (s Status) String() string {
 	case Optimal:
 		return "optimal"
 	case Feasible:
-		return "feasible (node limit)"
+		return "feasible (budget)"
 	case Infeasible:
 		return "infeasible"
 	case Unbounded:
@@ -69,6 +72,11 @@ type Result struct {
 	X      []float64
 	Obj    float64
 	Nodes  int // LP relaxations solved
+	// Stop is the budget error that halted the search when Status is
+	// Feasible (errors.Is(Stop, errs.ErrBudget) always holds; a
+	// deadline-caused stop also matches the context error). Nil when the
+	// search ran to completion.
+	Stop error
 }
 
 const intTol = 1e-6
@@ -98,7 +106,14 @@ func (h *nodeHeap) Pop() interface{} {
 }
 
 // Solve runs branch and bound and returns the best integer solution.
-func (s *Solver) Solve() (*Result, error) {
+// When a budget trips — the node limit, the base LP's iteration limit,
+// or ctx's deadline — the best incumbent found so far comes back with
+// Status Feasible and the tripping error in Result.Stop (Optimal when
+// the remaining open bounds prove it could not be improved). The solve
+// fails outright only when the budget ran out before any incumbent
+// existed; that error matches errs.ErrBudget, and a deadline-caused one
+// also matches the context error.
+func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 	maxNodes := s.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 100000
@@ -120,7 +135,7 @@ func (s *Solver) Solve() (*Result, error) {
 			p.AddRow(map[int]float64{f.j: 1}, lp.EQ, f.val)
 		}
 		nodes++
-		return p.Solve()
+		return p.Solve(ctx)
 	}
 
 	tryIncumbent := func(x []float64) {
@@ -144,7 +159,7 @@ func (s *Solver) Solve() (*Result, error) {
 	// Root node.
 	rootSol, err := solveNode(nil)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ilp: root relaxation: %w", err)
 	}
 	switch rootSol.Status {
 	case lp.Infeasible:
@@ -152,7 +167,17 @@ func (s *Solver) Solve() (*Result, error) {
 	case lp.Unbounded:
 		return &Result{Status: Unbounded, Nodes: nodes}, nil
 	case lp.IterLimit:
-		return nil, fmt.Errorf("ilp: root relaxation hit the simplex iteration limit")
+		// The pivot budget ran out at the root. A phase-2 trip still
+		// carries a feasible point — round it into an incumbent rather
+		// than abandoning the solve.
+		if rootSol.X != nil {
+			tryIncumbent(rootSol.X)
+		}
+		stop := &errs.BudgetError{Resource: "simplex iteration", Limit: s.Base.MaxIter}
+		if incumbent == nil {
+			return nil, fmt.Errorf("ilp: %w with no incumbent", error(stop))
+		}
+		return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}, nil
 	}
 	tryIncumbent(rootSol.X)
 	if s.integral(rootSol.X) {
@@ -161,15 +186,57 @@ func (s *Solver) Solve() (*Result, error) {
 
 	open := &nodeHeap{{bound: rootSol.Obj}}
 	heap.Init(open)
+	done := ctx.Done()
 
-	for open.Len() > 0 && nodes < maxNodes {
+	// stopResult ends the search on a tripped budget: the incumbent is
+	// never discarded. If the surviving open bounds prove it optimal the
+	// status says so; otherwise it is Feasible with the trip recorded.
+	stopResult := func(stop error) (*Result, error) {
+		if incumbent == nil {
+			return nil, fmt.Errorf("ilp: %w with no incumbent", stop)
+		}
+		best := math.Inf(1)
+		for _, nd := range *open {
+			if nd.bound < best {
+				best = nd.bound
+			}
+		}
+		if best >= incumbentObj-1e-9 {
+			return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+		}
+		return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}, nil
+	}
+
+	for open.Len() > 0 {
+		if nodes >= maxNodes {
+			return stopResult(&errs.BudgetError{Resource: "node", Limit: maxNodes})
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return stopResult(&errs.BudgetError{Resource: "deadline", Cause: ctx.Err()})
+			default:
+			}
+		}
 		nd := heap.Pop(open).(*node)
 		if nd.bound >= incumbentObj-1e-9 {
 			continue // pruned by bound
 		}
 		sol, err := solveNode(nd.fixes)
 		if err != nil {
+			if ctx.Err() != nil {
+				return stopResult(&errs.BudgetError{Resource: "deadline", Cause: ctx.Err()})
+			}
 			return nil, err
+		}
+		if sol.Status == lp.IterLimit {
+			// The node's LP ran out of pivots: its point may still round
+			// into an incumbent, but without an optimal bound the branch
+			// cannot be explored further.
+			if sol.X != nil {
+				tryIncumbent(sol.X)
+			}
+			continue
 		}
 		if sol.Status != lp.Optimal {
 			continue // infeasible or numerically stuck branch
@@ -191,22 +258,8 @@ func (s *Solver) Solve() (*Result, error) {
 		}
 	}
 
-	switch {
-	case incumbent == nil && open.Len() == 0:
+	if incumbent == nil {
 		return &Result{Status: Infeasible, Nodes: nodes}, nil
-	case incumbent == nil:
-		return nil, fmt.Errorf("ilp: node limit %d reached with no incumbent", maxNodes)
-	case open.Len() > 0:
-		// Check whether remaining nodes could improve on the incumbent.
-		best := math.Inf(1)
-		for _, nd := range *open {
-			if nd.bound < best {
-				best = nd.bound
-			}
-		}
-		if best < incumbentObj-1e-9 {
-			return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
-		}
 	}
 	return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
 }
@@ -243,8 +296,10 @@ func (s *Solver) mostFractional(x []float64) int {
 
 // SolveExhaustive enumerates every assignment of the binaries (2^k) and
 // returns the true optimum. Only usable for small k; serves as the oracle
-// in tests and as the Figure 6 point-cloud generator's core.
-func (s *Solver) SolveExhaustive() (*Result, error) {
+// in tests and as the Figure 6 point-cloud generator's core. Cancelling
+// ctx aborts the enumeration with the context error wrapped — a partial
+// enumeration proves nothing, so no incumbent is returned.
+func (s *Solver) SolveExhaustive(ctx context.Context) (*Result, error) {
 	k := len(s.Binaries)
 	if k > 24 {
 		return nil, fmt.Errorf("ilp: exhaustive enumeration over %d binaries refused", k)
@@ -262,9 +317,9 @@ func (s *Solver) SolveExhaustive() (*Result, error) {
 			p.AddRow(map[int]float64{j: 1}, lp.EQ, v)
 		}
 		nodes++
-		sol, err := p.Solve()
+		sol, err := p.Solve(ctx)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("ilp: exhaustive enumeration: %w", err)
 		}
 		if sol.Status != lp.Optimal {
 			continue

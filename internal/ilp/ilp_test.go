@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -27,7 +28,7 @@ func knapsack(values, weights []float64, capacity float64) *Solver {
 func TestKnapsackSmall(t *testing.T) {
 	// Classic: values 60,100,120 weights 10,20,30 cap 50 → take 2+3 = 220.
 	s := knapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestInfeasibleILP(t *testing.T) {
 	p.AddRow(map[int]float64{0: 1}, lp.LE, 1)
 	p.AddRow(map[int]float64{1: 1}, lp.LE, 1)
 	s := &Solver{Base: p, Binaries: []int{0, 1}}
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestIntegralRootShortCircuits(t *testing.T) {
 	p.SetObj(0, -1)
 	p.AddRow(map[int]float64{0: 1}, lp.LE, 1)
 	s := &Solver{Base: p, Binaries: []int{0}}
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestUnboundedILP(t *testing.T) {
 	p.SetObj(1, -1)
 	p.AddRow(map[int]float64{0: 1}, lp.LE, 1)
 	s := &Solver{Base: p, Binaries: []int{0}}
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
 			}
 			s.Base.AddRow(row, lp.LE, float64(3+rng.Intn(12)))
 		}
-		got, err := s.Solve()
+		got, err := s.Solve(context.Background())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		want, err := s.SolveExhaustive()
+		want, err := s.SolveExhaustive(context.Background())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -139,7 +140,7 @@ func TestRounderSeedsIncumbent(t *testing.T) {
 		}
 		return rx, true
 	}
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestNodeLimitReturnsFeasible(t *testing.T) {
 		}
 		return rx, true
 	}
-	r, err := s.Solve()
+	r, err := s.Solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestExhaustiveRefusesLargeK(t *testing.T) {
 		p.AddRow(map[int]float64{j: 1}, lp.LE, 1)
 	}
 	s := &Solver{Base: p, Binaries: bins}
-	if _, err := s.SolveExhaustive(); err == nil {
+	if _, err := s.SolveExhaustive(context.Background()); err == nil {
 		t.Fatal("expected refusal for k=30")
 	}
 }

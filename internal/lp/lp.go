@@ -18,6 +18,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -205,10 +206,17 @@ const eps = 1e-9
 // ErrBadProblem reports a structurally invalid problem.
 var ErrBadProblem = errors.New("lp: invalid problem")
 
-// Solve runs two-phase simplex and returns the solution. Status Infeasible
-// and Unbounded are reported in Solution.Status with a nil error; only
-// structural problems return an error.
-func (p *Problem) Solve() (*Solution, error) {
+// Solve runs two-phase simplex and returns the solution. Status
+// Infeasible and Unbounded are reported in Solution.Status with a nil
+// error. A phase-2 iteration-limit trip reports Status IterLimit with
+// the current basic feasible point in X — primal simplex never leaves
+// the feasible region once phase 1 finds it, so the point in hand is a
+// valid (merely unproven) answer and discarding it would throw away the
+// whole budget's work. A phase-1 trip has no feasible point and reports
+// IterLimit with a nil X. Errors are reserved for cancellation: when
+// ctx is cancelled or its deadline expires, Solve stops within a few
+// pivots and returns the context error wrapped.
+func (p *Problem) Solve(ctx context.Context) (*Solution, error) {
 	m := len(p.rowRel)
 	n := p.n
 
@@ -294,6 +302,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 	}
 	iters := 0
+	done := ctx.Done()
 
 	// Phase 1: minimize sum of artificials.
 	if nArt > 0 {
@@ -301,8 +310,12 @@ func (p *Problem) Solve() (*Solution, error) {
 		for j := n + nSlack; j < total; j++ {
 			cost[j] = 1
 		}
-		st := simplex(t, basis, cost, total, maxIter, &iters)
+		st := simplex(t, basis, cost, total, maxIter, &iters, done)
+		if st == stCanceled {
+			return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
+		}
 		if st == IterLimit {
+			// No feasible basis yet: nothing worth returning.
 			return &Solution{Status: IterLimit}, nil
 		}
 		// Compute phase-1 objective value.
@@ -355,14 +368,26 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j := n + nSlack; j < total; j++ {
 		cost[j] = math.Inf(1)
 	}
-	st := simplex(t, basis, cost, total, maxIter, &iters)
+	st := simplex(t, basis, cost, total, maxIter, &iters, done)
 	switch st {
+	case stCanceled:
+		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
 	case Unbounded:
 		return &Solution{Status: Unbounded}, nil
 	case IterLimit:
-		return &Solution{Status: IterLimit}, nil
+		// The basis is feasible (phase 1 finished): hand back the point
+		// in hand instead of discarding the budget's work.
+		x, obj := p.extract(t, basis, m, n, total)
+		return &Solution{Status: IterLimit, X: x, Obj: obj}, nil
 	}
 
+	x, obj := p.extract(t, basis, m, n, total)
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+// extract reads the structural variable values and objective off the
+// tableau's current basis.
+func (p *Problem) extract(t [][]float64, basis []int, m, n, total int) ([]float64, float64) {
 	x := make([]float64, n)
 	for i := 0; i < m; i++ {
 		if basis[i] < n {
@@ -373,12 +398,22 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j := 0; j < n; j++ {
 		obj += p.obj[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+	return x, obj
 }
 
+// stCanceled is simplex's internal "the context died" outcome; Solve
+// converts it to a wrapped context error and never lets it escape.
+const stCanceled Status = -1
+
+// cancelCheckStride is how many pivots run between context polls. A
+// pivot over the placement tableaus costs tens of microseconds, so the
+// solver reacts to cancellation within a few milliseconds while the
+// no-deadline path pays one nil-channel comparison per pivot.
+const cancelCheckStride = 64
+
 // simplex optimizes the tableau in place for the given cost vector.
-// Returns Optimal, Unbounded or IterLimit.
-func simplex(t [][]float64, basis []int, cost []float64, total, maxIter int, iters *int) Status {
+// Returns Optimal, Unbounded, IterLimit or stCanceled.
+func simplex(t [][]float64, basis []int, cost []float64, total, maxIter int, iters *int, done <-chan struct{}) Status {
 	m := len(t)
 	reduced := make([]float64, total)
 	blandAfter := maxIter / 2
@@ -386,6 +421,13 @@ func simplex(t [][]float64, basis []int, cost []float64, total, maxIter int, ite
 	for {
 		if *iters >= maxIter {
 			return IterLimit
+		}
+		if done != nil && *iters%cancelCheckStride == 0 {
+			select {
+			case <-done:
+				return stCanceled
+			default:
+			}
 		}
 		*iters++
 

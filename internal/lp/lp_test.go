@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func solve(t *testing.T, p *Problem) *Solution {
 	t.Helper()
-	s, err := p.Solve()
+	s, err := p.Solve(context.Background())
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
@@ -232,7 +233,7 @@ func TestRelaxationLowerBounds(t *testing.T) {
 		for r := 0; r < m; r++ {
 			p.AddDenseRow(rows[r], rels[r], rhs[r])
 		}
-		s, err := p.Solve()
+		s, err := p.Solve(context.Background())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

@@ -12,12 +12,40 @@
 package placement
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/errs"
 	"repro/internal/ilp"
 	"repro/internal/ir"
 	"repro/internal/model"
+)
+
+// Strategy names for Result.Strategy: the five rungs of the degradation
+// ladder plus the explicitly chosen baselines.
+const (
+	// StrategyILPOptimal: the exact branch-and-bound solve finished
+	// within budget and proved its placement optimal.
+	StrategyILPOptimal = "ilp-optimal"
+	// StrategyILPIncumbent: a budget tripped mid-search; the best
+	// branch-and-bound incumbent was kept.
+	StrategyILPIncumbent = "ilp-incumbent"
+	// StrategyLPRounding: only the root LP relaxation was affordable;
+	// the placement is its rounded solution.
+	StrategyLPRounding = "lp-rounding"
+	// StrategyGreedy: the LP itself was out of budget; the density
+	// heuristic (SolveGreedy) answered.
+	StrategyGreedy = "greedy"
+	// StrategyIdentity: no solver could run (the solve deadline had
+	// already expired); nothing is moved to RAM.
+	StrategyIdentity = "identity"
+	// StrategyFunction is SolveFunctionLevel chosen explicitly.
+	StrategyFunction = "function"
+	// StrategyExhaustive is SolveExhaustive chosen explicitly.
+	StrategyExhaustive = "exhaustive"
 )
 
 // Result is a chosen placement and its model-predicted outcome.
@@ -29,11 +57,44 @@ type Result struct {
 	Nodes int
 	// Proven is true when the solver proved optimality.
 	Proven bool
+	// Strategy names the ladder rung (or explicit solver) that produced
+	// this placement; one of the Strategy* constants.
+	Strategy string
+	// StrategyReason explains a degradation (e.g. "node budget 4
+	// exhausted"); empty when the top rung answered. The text is
+	// deterministic — no wall-clock numbers — so identical budgets
+	// produce byte-identical results.
+	StrategyReason string
 }
 
-// SolveILP runs the paper's formulation through branch and bound.
-func SolveILP(m *model.Model) (*Result, error) {
+// Budget bounds a placement solve. The zero value means no bound beyond
+// the solver defaults — the exact solve the paper runs.
+type Budget struct {
+	// MaxNodes bounds branch-and-bound LP relaxations (0 = solver
+	// default).
+	MaxNodes int
+	// MaxLPIter bounds simplex pivots per LP relaxation (0 = solver
+	// default).
+	MaxLPIter int
+	// Timeout bounds the wall-clock time of the whole solve; when it
+	// expires the ladder degrades instead of failing (0 = none).
+	Timeout time.Duration
+}
+
+// IsZero reports whether the budget imposes no caller bound.
+func (b Budget) IsZero() bool { return b == Budget{} }
+
+// SolveILP runs the paper's formulation through branch and bound under
+// the given budget. A tripped budget degrades the result rather than
+// failing it: the Strategy field records whether the placement is the
+// proven optimum, the best incumbent, or the rounded root relaxation.
+// An error is returned only when the budget ran out before any feasible
+// placement existed (matching errs.ErrBudget) or ctx was cancelled.
+func SolveILP(ctx context.Context, m *model.Model, budget Budget) (*Result, error) {
 	prob, vars := m.BuildILP()
+	if budget.MaxLPIter > 0 {
+		prob.MaxIter = budget.MaxLPIter
+	}
 	binaries := make([]int, 0, len(vars.R))
 	for _, j := range vars.R {
 		binaries = append(binaries, j)
@@ -42,9 +103,10 @@ func SolveILP(m *model.Model) (*Result, error) {
 	solver := &ilp.Solver{
 		Base:     prob,
 		Binaries: binaries,
+		MaxNodes: budget.MaxNodes,
 		Rounder:  m.Rounder(vars),
 	}
-	res, err := solver.Solve()
+	res, err := solver.Solve(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("placement: ilp solve: %w", err)
 	}
@@ -53,18 +115,91 @@ func SolveILP(m *model.Model) (*Result, error) {
 		// Rspare/Xlimit leave no room: the all-flash placement is the
 		// answer (it is always feasible for Xlimit ≥ 1).
 		empty := map[string]bool{}
-		return &Result{Method: "ilp", InRAM: empty, Outcome: m.Evaluate(empty), Proven: true}, nil
+		return &Result{Method: "ilp", InRAM: empty, Outcome: m.Evaluate(empty),
+			Proven: true, Strategy: StrategyILPOptimal}, nil
 	case ilp.Unbounded:
 		return nil, fmt.Errorf("placement: ilp relaxation unbounded (model bug)")
 	}
 	inRAM := m.PlacementFromX(vars, res.X)
-	return &Result{
+	r := &Result{
 		Method:  "ilp",
 		InRAM:   inRAM,
 		Outcome: m.Evaluate(inRAM),
 		Nodes:   res.Nodes,
 		Proven:  res.Status == ilp.Optimal,
-	}, nil
+	}
+	switch {
+	case r.Proven:
+		r.Strategy = StrategyILPOptimal
+	case res.Nodes <= 1:
+		// Only the root relaxation was affordable: the incumbent is its
+		// rounded solution, nothing was branched.
+		r.Strategy = StrategyLPRounding
+		r.StrategyReason = degradeReason(res.Stop)
+	default:
+		r.Strategy = StrategyILPIncumbent
+		r.StrategyReason = degradeReason(res.Stop)
+	}
+	return r, nil
+}
+
+// degradeReason renders the budget error that forced a rung change. The
+// text is deterministic for a given budget configuration.
+func degradeReason(err error) string {
+	if err == nil {
+		return "solver budget exhausted"
+	}
+	var be *errs.BudgetError
+	if errors.As(err, &be) {
+		return be.Error()
+	}
+	if errs.IsCancellation(err) {
+		return "solve cancelled"
+	}
+	return err.Error()
+}
+
+// SolveLadder is the solver watchdog: it runs the exact ILP under the
+// budget and degrades deterministically when the budget cannot carry the
+// solve — exact ILP → best branch-and-bound incumbent → rounded LP
+// relaxation (the three outcomes SolveILP classifies) → the greedy
+// density heuristic → the identity placement. Every rung yields a valid
+// placement; the only errors are a cancelled parent context or a broken
+// model. The LP-relaxation rung is realized inside the branch and bound
+// (the Rounder seeds the incumbent from the root relaxation), so no
+// relaxation is ever solved twice.
+func SolveLadder(ctx context.Context, m *model.Model, budget Budget) (*Result, error) {
+	solveCtx := ctx
+	if budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, budget.Timeout)
+		defer cancel()
+	}
+	res, err := SolveILP(solveCtx, m, budget)
+	if err == nil {
+		return res, nil
+	}
+	if ctx.Err() != nil {
+		// The caller itself is going away: propagate, never degrade.
+		return nil, err
+	}
+	if !errors.Is(err, errs.ErrBudget) && !errs.IsCancellation(err) {
+		return nil, err // a broken model, not an exhausted budget
+	}
+	reason := degradeReason(err)
+	if solveCtx.Err() == nil {
+		// The pivot/node budget is gone but time remains: the greedy
+		// heuristic needs neither.
+		r := SolveGreedy(m)
+		r.Strategy = StrategyGreedy
+		r.StrategyReason = reason
+		return r, nil
+	}
+	// The solve deadline itself expired: even the heuristic is out of
+	// time. Nothing moves — the baseline program is always valid.
+	empty := map[string]bool{}
+	return &Result{Method: "identity", InRAM: empty, Outcome: m.Evaluate(empty),
+		Strategy: StrategyIdentity, StrategyReason: reason}, nil
 }
 
 // SolveGreedy picks blocks by saving density F·C·(EFlash−ERAM)/S until
@@ -102,7 +237,8 @@ func SolveGreedy(m *model.Model) *Result {
 		}
 		best = out
 	}
-	return &Result{Method: "greedy", InRAM: inRAM, Outcome: best, Proven: false}
+	return &Result{Method: "greedy", InRAM: inRAM, Outcome: best, Proven: false,
+		Strategy: StrategyGreedy}
 }
 
 // SolveFunctionLevel moves whole functions, greedily by density — the
@@ -159,7 +295,8 @@ func SolveFunctionLevel(m *model.Model, p *ir.Program) *Result {
 		}
 		best = out
 	}
-	return &Result{Method: "function", InRAM: inRAM, Outcome: best, Proven: false}
+	return &Result{Method: "function", InRAM: inRAM, Outcome: best, Proven: false,
+		Strategy: StrategyFunction}
 }
 
 // TopBlocks returns the k hottest movable blocks by F·C.
@@ -237,7 +374,8 @@ func SolveExhaustive(m *model.Model, k int) (*Result, error) {
 	}
 	if bestIdx < 0 {
 		empty := map[string]bool{}
-		return &Result{Method: "exhaustive", InRAM: empty, Outcome: m.Evaluate(empty), Proven: true}, nil
+		return &Result{Method: "exhaustive", InRAM: empty, Outcome: m.Evaluate(empty),
+			Proven: true, Strategy: StrategyExhaustive}, nil
 	}
 	inRAM := map[string]bool{}
 	for i, bd := range blocks {
@@ -245,5 +383,6 @@ func SolveExhaustive(m *model.Model, k int) (*Result, error) {
 			inRAM[bd.Block.Label] = true
 		}
 	}
-	return &Result{Method: "exhaustive", InRAM: inRAM, Outcome: m.Evaluate(inRAM), Proven: true}, nil
+	return &Result{Method: "exhaustive", InRAM: inRAM, Outcome: m.Evaluate(inRAM),
+		Proven: true, Strategy: StrategyExhaustive}, nil
 }

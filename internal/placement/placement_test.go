@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -36,7 +37,7 @@ func TestILPPicksClusteredPlacement(t *testing.T) {
 	// never the loop alone.
 	p := ir.Figure2Program()
 	m := buildModel(t, p, 2048, 2.0)
-	res, err := SolveILP(m)
+	res, err := SolveILP(context.Background(), m, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestILPMatchesExhaustiveFigure2(t *testing.T) {
 		{2048, 2.0}, {2048, 1.05}, {24, 2.0}, {0, 2.0}, {60, 1.2},
 	} {
 		m := buildModel(t, p, cfgCase.rspare, cfgCase.xlimit)
-		got, err := SolveILP(m)
+		got, err := SolveILP(context.Background(), m, Budget{})
 		if err != nil {
 			t.Fatalf("rspare=%v xlimit=%v: %v", cfgCase.rspare, cfgCase.xlimit, err)
 		}
@@ -141,7 +142,7 @@ func TestILPMatchesExhaustiveRandom(t *testing.T) {
 		rspare := float64(rng.Intn(120))
 		xlimit := 1.0 + rng.Float64()
 		m := buildModel(t, p, rspare, xlimit)
-		got, err := SolveILP(m)
+		got, err := SolveILP(context.Background(), m, Budget{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -162,7 +163,7 @@ func TestGreedyNeverBeatsILP(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		p := randomProgram(rng, 3+rng.Intn(6))
 		m := buildModel(t, p, float64(20+rng.Intn(150)), 1.0+rng.Float64())
-		ilpRes, err := SolveILP(m)
+		ilpRes, err := SolveILP(context.Background(), m, Budget{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestFunctionLevelCoarserThanILP(t *testing.T) {
 	// placement must strand the saving.
 	m := buildModel(t, p, 20, 2.0)
 	fl := SolveFunctionLevel(m, p)
-	il, err := SolveILP(m)
+	il, err := SolveILP(context.Background(), m, Budget{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestZeroBudgetYieldsAllFlash(t *testing.T) {
 	p := ir.Figure2Program()
 	m := buildModel(t, p, 0, 2.0)
 	for _, solve := range []func() (*Result, error){
-		func() (*Result, error) { return SolveILP(m) },
+		func() (*Result, error) { return SolveILP(context.Background(), m, Budget{}) },
 		func() (*Result, error) { return SolveGreedy(m), nil },
 		func() (*Result, error) { return SolveFunctionLevel(m, p), nil },
 		func() (*Result, error) { return SolveExhaustive(m, 6) },

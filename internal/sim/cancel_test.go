@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/power"
+)
+
+// spinProgram busy-loops forever: the only way out is MaxInstrs or a
+// cancelled context.
+func spinProgram() *ir.Program {
+	p := ir.NewProgram()
+	f := p.AddFunc(&ir.Function{Name: "main"})
+	b := f.AddBlock("spin")
+	ir.Build(b).B("spin")
+	p.Reindex()
+	return p
+}
+
+// cancelAfter is an observer that cancels the run's context after n
+// charged instructions — a deterministic mid-run cancellation trigger.
+type cancelAfter struct {
+	n      uint64
+	seen   uint64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Event(*Event) {
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	m := New(mustImage(t, spinProgram(), nil), power.STM32F100())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.RunContext(ctx)
+	if err == nil {
+		t.Fatal("pre-cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not match context.Canceled", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %T, want *Fault", err)
+	}
+	// The poll fires at instruction 0, before anything executes, and the
+	// fault names the entry instruction it landed on.
+	if f.Block != "spin" || f.Func != "main" {
+		t.Fatalf("fault located at block %q func %q, want spin/main", f.Block, f.Func)
+	}
+	if m.stats.Instructions != 0 {
+		t.Fatalf("%d instructions executed under a pre-cancelled context", m.stats.Instructions)
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	m := New(mustImage(t, spinProgram(), nil), power.STM32F100())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const after = 5000
+	m.Attach(&cancelAfter{n: after, cancel: cancel})
+	_, err := m.RunContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not match context.Canceled", err)
+	}
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %T, want *Fault", err)
+	}
+	if f.Block != "spin" || f.Func != "main" {
+		t.Fatalf("fault located at block %q func %q, want spin/main", f.Block, f.Func)
+	}
+	if !strings.Contains(f.Error(), "run cancelled") {
+		t.Fatalf("fault message %q does not say the run was cancelled", f.Error())
+	}
+	// The poll runs once every cancelCheckMask+1 instructions, so the run
+	// must stop within one check window of the cancellation point.
+	got := m.stats.Instructions
+	if got < after {
+		t.Fatalf("stopped after %d instructions, before the cancellation at %d", got, after)
+	}
+	if got > after+cancelCheckMask+1 {
+		t.Fatalf("stopped after %d instructions; cancellation at %d should stop within %d",
+			got, after, cancelCheckMask+1)
+	}
+}
+
+// TestRunContextBackgroundIdentical: threading a background context must
+// not change any statistic relative to Run.
+func TestRunContextBackgroundIdentical(t *testing.T) {
+	img := mustImage(t, ir.Figure2Program(), nil)
+	m := New(img, power.STM32F100())
+	plain, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	viaCtx, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Instructions != viaCtx.Instructions || plain.Cycles != viaCtx.Cycles ||
+		plain.EnergyNJ != viaCtx.EnergyNJ || plain.ContentionStalls != viaCtx.ContentionStalls {
+		t.Fatalf("RunContext(Background) diverged from Run: %+v vs %+v", viaCtx, plain)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as a fault matching
+// context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	m := New(mustImage(t, spinProgram(), nil), power.STM32F100())
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	_, err := m.RunContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, does not match context.DeadlineExceeded", err)
+	}
+}

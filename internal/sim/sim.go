@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -116,15 +117,21 @@ func (s *Stats) timeSeconds(clockHz float64) float64 {
 // EnergyMJ returns total energy in millijoules.
 func (s *Stats) EnergyMJ() float64 { return s.EnergyNJ * 1e-6 }
 
-// Fault is a simulated hardware fault (bad memory access, bad jump, ...).
-// Block and Func locate the faulting instruction in the program ("" when
-// the PC resolves to no block, e.g. a wild jump).
+// Fault is a simulated hardware fault (bad memory access, bad jump, ...)
+// or an externally forced stop. Block and Func locate the faulting
+// instruction in the program ("" when the PC resolves to no block, e.g. a
+// wild jump). Cause, when set, is the underlying error — a cancelled run
+// carries its context error here, so errors.Is(f, context.Canceled) works.
 type Fault struct {
 	PC     uint32
 	Block  string
 	Func   string
 	Reason string
+	Cause  error
 }
+
+// Unwrap exposes the underlying cause (nil for plain hardware faults).
+func (f *Fault) Unwrap() error { return f.Cause }
 
 func (f *Fault) Error() string {
 	if f.Block != "" {
@@ -368,11 +375,26 @@ func (m *Machine) Reset() { m.reset() }
 // returns the collected statistics. The machine must be freshly created or
 // Reset; register values planted with SetReg are preserved.
 func (m *Machine) Run() (*Stats, error) {
+	return m.RunContext(context.Background())
+}
+
+// cancelCheckMask gates the run loop's cancellation poll: the context is
+// checked once every 4096 dispatched instructions, so the fast path pays a
+// nil test and mask per instruction and a cancelled run stops within at
+// most 4096 further instructions.
+const cancelCheckMask = 4095
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// or its deadline expires, the run stops within cancelCheckMask+1 further
+// instructions and returns a *Fault whose Cause is the context error
+// (errors.Is against context.Canceled / DeadlineExceeded both work) and
+// whose Block/Func name the instruction the stop landed on.
+func (m *Machine) RunContext(ctx context.Context) (*Stats, error) {
 	entry, ok := m.Img.Symbols[m.Img.Prog.Entry]
 	if !ok {
 		return nil, fmt.Errorf("sim: no entry symbol %q", m.Img.Prog.Entry)
 	}
-	if err := m.runFrom(entry); err != nil {
+	if err := m.runFrom(ctx, entry); err != nil {
 		return nil, err
 	}
 	st := m.stats
@@ -396,11 +418,12 @@ func (m *Machine) blockCountsMap() map[string]uint64 {
 // TimeSeconds converts collected cycles to seconds at this profile's clock.
 func (m *Machine) TimeSeconds(s *Stats) float64 { return s.timeSeconds(m.Profile.ClockHz) }
 
-func (m *Machine) runFrom(entry uint32) error {
+func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 	maxInstrs := m.MaxInstrs
 	if maxInstrs == 0 {
 		maxInstrs = 500_000_000
 	}
+	done := ctx.Done() // nil for context.Background: poll compiles out
 	counts := m.eng.blockCounts
 	pc := entry
 	var last *slot // previous instruction, for wild-jump faults
@@ -420,6 +443,16 @@ func (m *Machine) runFrom(entry uint32) error {
 			f := &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
 			f.locate(s.ref())
 			return f
+		}
+		if done != nil && m.stats.Instructions&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				cause := context.Cause(ctx)
+				f := &Fault{PC: pc, Reason: "run cancelled: " + cause.Error(), Cause: cause}
+				f.locate(s.ref())
+				return f
+			default:
+			}
 		}
 		if s.index == 0 {
 			counts[s.blockID]++

@@ -31,6 +31,19 @@ if [ -n "$globals" ]; then
     exit 1
 fi
 
+# The pipeline promises panic isolation (DESIGN.md §6g): a pathological
+# cell forfeits only its own result. A naked panic() in the pipeline
+# packages defeats that by design — misuse and broken invariants must
+# surface as typed errors (internal/errs) so sweeps degrade instead of
+# dying. Tests may panic freely; they run under the testing harness.
+panics=$(grep -n 'panic(' internal/core/*.go internal/evaluation/*.go internal/sim/*.go \
+    | grep -v '_test.go:' || true)
+if [ -n "$panics" ]; then
+    echo "pipeline packages call panic() (return a typed internal/errs error instead):" >&2
+    echo "$panics" >&2
+    exit 1
+fi
+
 # The simulator must dispatch through its predecoded tables, never
 # through the layout map. InstrAt/byAddr reappearing in internal/sim
 # means someone reintroduced a per-instruction map lookup on the hot
