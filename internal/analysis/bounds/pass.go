@@ -1,0 +1,101 @@
+package bounds
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/power"
+)
+
+// Pass is the energy-bounds lint: it runs the whole-program bracket
+// analysis over the context's image and reports where — and why — the
+// static bounds lose precision.
+//
+//	EB001 (warning)  a natural loop whose trip count could not be inferred
+//	EB002 (warning)  the whole-program upper bound is unbounded (⊤)
+//	EB003 (error)    a computed bracket is inverted (lower > upper) —
+//	                 an internal inconsistency that must never happen
+//
+// The pass is NOT part of analysis.DefaultPasses(): the default suite is
+// the correctness gate every pipeline run executes, while EB diagnostics
+// grade analysis precision. Register it explicitly, e.g.
+// analysis.Run(ctx, append(analysis.DefaultPasses(), bounds.Pass{})...).
+type Pass struct{}
+
+// Name implements analysis.Pass.
+func (Pass) Name() string { return "energy-bounds" }
+
+// Run implements analysis.Pass. Structure comes from ctx.Original (the
+// pristine program — a transformed program's CFG has no loops to bound);
+// for a baseline lint with no Original, ctx.Prog itself is the pristine
+// structure. Costs come from ctx.Image.
+func (Pass) Run(ctx *analysis.Context) ([]analysis.Diagnostic, error) {
+	structure := ctx.Original
+	if structure == nil {
+		structure = ctx.Prog
+	}
+	graphs, err := cfg.BuildAll(structure)
+	if err != nil {
+		return nil, err
+	}
+	prof := ctx.Profile
+	if prof == nil {
+		prof = power.STM32F100()
+	}
+	res, err := Compute(structure, graphs, ctx.Image, prof)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []analysis.Diagnostic
+	for _, name := range sortedFuncs(res) {
+		fb := res.Funcs[name]
+		for _, lb := range fb.Loops {
+			if lb.Trips.Bounded {
+				continue
+			}
+			diags = append(diags, analysis.Diagnostic{
+				Pass: "energy-bounds", Code: "EB001", Severity: analysis.Warning,
+				Func: name, Block: lb.Header, Instr: -1,
+				Message: fmt.Sprintf("loop trip count not inferred (depth %d): %s", lb.Depth, lb.Trips.Reason),
+			})
+		}
+		if fb.LoCycles > fb.HiCycles && fb.Bounded {
+			diags = append(diags, analysis.Diagnostic{
+				Pass: "energy-bounds", Code: "EB003", Severity: analysis.Error,
+				Func: name, Instr: -1,
+				Message: fmt.Sprintf("inverted bracket: lower %.0f > upper %.0f cycles", fb.LoCycles, fb.HiCycles),
+			})
+		}
+	}
+	if !res.Whole.Bounded {
+		diags = append(diags, analysis.Diagnostic{
+			Pass: "energy-bounds", Code: "EB002", Severity: analysis.Warning,
+			Instr: -1,
+			Message: fmt.Sprintf("whole-program upper bound is unbounded: %s (loops inferred: %d/%d)",
+				res.Whole.Reason, res.LoopsInferred, res.LoopsTotal),
+		})
+	} else if res.Whole.LoCycles > res.Whole.HiCycles ||
+		res.Whole.LoEnergyNJ > res.Whole.HiEnergyNJ {
+		diags = append(diags, analysis.Diagnostic{
+			Pass: "energy-bounds", Code: "EB003", Severity: analysis.Error,
+			Instr: -1,
+			Message: fmt.Sprintf("inverted whole-program bracket: cycles [%.0f, %.0f], energy [%.0f, %.0f] nJ",
+				res.Whole.LoCycles, res.Whole.HiCycles, res.Whole.LoEnergyNJ, res.Whole.HiEnergyNJ),
+		})
+	}
+	return diags, nil
+}
+
+// sortedFuncs lists the analyzed (entry-reachable) functions in stable
+// name order, so diagnostics do not depend on map iteration.
+func sortedFuncs(res *Result) []string {
+	names := make([]string, 0, len(res.Funcs))
+	for name := range res.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,63 @@
+package analysis
+
+// DiagnosticJSON is the machine-readable form of one Diagnostic,
+// following the shared CLI schema convention (lower snake case, explicit
+// units). `flashram analyze -json` emits a ResultJSON per analyzed
+// program.
+type DiagnosticJSON struct {
+	Pass     string `json:"pass"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Func     string `json:"func,omitempty"`
+	Block    string `json:"block,omitempty"`
+	Instr    int    `json:"instr,omitempty"`
+	Addr     uint32 `json:"addr,omitempty"`
+	Message  string `json:"message"`
+}
+
+// NewDiagnosticJSON converts a Diagnostic. The -1 "whole block"
+// instruction index maps to the omitted zero value: JSON consumers key
+// on block granularity, not the sentinel.
+func NewDiagnosticJSON(d Diagnostic) DiagnosticJSON {
+	j := DiagnosticJSON{
+		Pass:     d.Pass,
+		Code:     d.Code,
+		Severity: d.Severity.String(),
+		Func:     d.Func,
+		Block:    d.Block,
+		Addr:     d.Addr,
+		Message:  d.Message,
+	}
+	if d.Instr >= 0 {
+		j.Instr = d.Instr
+	}
+	return j
+}
+
+// ResultJSON is one program's suite outcome.
+type ResultJSON struct {
+	Program     string           `json:"program"`
+	Level       string           `json:"level"`
+	Passes      []string         `json:"passes"`
+	Errors      int              `json:"errors"`
+	Warnings    int              `json:"warnings"`
+	Diagnostics []DiagnosticJSON `json:"diagnostics"`
+}
+
+// NewResultJSON converts a Result for one named program.
+func NewResultJSON(program, level string, r *Result) ResultJSON {
+	j := ResultJSON{
+		Program:     program,
+		Level:       level,
+		Passes:      r.Passes,
+		Errors:      len(r.Errors()),
+		Diagnostics: []DiagnosticJSON{},
+	}
+	for _, d := range r.Diags {
+		if d.Severity == Warning {
+			j.Warnings++
+		}
+		j.Diagnostics = append(j.Diagnostics, NewDiagnosticJSON(d))
+	}
+	return j
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/beebs"
@@ -447,6 +448,78 @@ func TestMutationStackDepth(t *testing.T) {
 		ir.MustVerify(p)
 		ctx := &Context{Prog: p, Config: layout.DefaultConfig()}
 		runPass(t, ctx, StackDepthPass{}, "SD001")
+	})
+
+	t.Run("SD001 mutual recursion", func(t *testing.T) {
+		// main → ping → pong → ping: the cycle involves no self-call, so
+		// only a correct in-progress state in the call-graph walk (not a
+		// caller==callee shortcut) can detect it.
+		p := ir.NewProgram()
+		m := p.AddFunc(&ir.Function{Name: "main"})
+		ir.Build(m.AddBlock("m0")).Push(isa.LR).Bl("ping").Pop(isa.PC)
+		ping := p.AddFunc(&ir.Function{Name: "ping"})
+		ir.Build(ping.AddBlock("ping0")).Push(isa.LR).Bl("pong").Pop(isa.PC)
+		pong := p.AddFunc(&ir.Function{Name: "pong"})
+		ir.Build(pong.AddBlock("pong0")).Push(isa.LR).Bl("ping").Pop(isa.PC)
+		p.Reindex()
+		ir.MustVerify(p)
+		ctx := &Context{Prog: p, Config: layout.DefaultConfig()}
+		res := runPass(t, ctx, StackDepthPass{}, "SD001")
+		if d := res.ByCode("SD001")[0]; !strings.Contains(d.Message, "recursion") {
+			t.Errorf("SD001 message %q does not name recursion", d.Message)
+		}
+	})
+
+	t.Run("SD001 unresolved indirect call", func(t *testing.T) {
+		// blx through a register that was never loaded with `ldr rX,=f`:
+		// the target could be anything, so the stack is unboundable.
+		p := ir.NewProgram()
+		m := p.AddFunc(&ir.Function{Name: "main"})
+		ir.Build(m.AddBlock("m0")).Push(isa.LR).Mov(isa.R4, isa.R0).Blx(isa.R4).Pop(isa.PC)
+		p.Reindex()
+		ir.MustVerify(p)
+		ctx := &Context{Prog: p, Config: layout.DefaultConfig()}
+		res := runPass(t, ctx, StackDepthPass{}, "SD001")
+		if d := res.ByCode("SD001")[0]; !strings.Contains(d.Message, "indirect") {
+			t.Errorf("SD001 message %q does not name the indirect call", d.Message)
+		}
+	})
+
+	t.Run("SD001 clobbered literal resolution", func(t *testing.T) {
+		// The ldr rX,=f resolution dies when rX is rewritten before the
+		// blx; treating the stale symbol as the target would silently
+		// underestimate the stack.
+		p := ir.NewProgram()
+		leaf := p.AddFunc(&ir.Function{Name: "leaf"})
+		ir.Build(leaf.AddBlock("leaf0")).Nop().Ret()
+		m := p.AddFunc(&ir.Function{Name: "main"})
+		ir.Build(m.AddBlock("m0")).Push(isa.LR).
+			LdrLit(isa.R4, "leaf").Mov(isa.R4, isa.R0).Blx(isa.R4).Pop(isa.PC)
+		p.Reindex()
+		ir.MustVerify(p)
+		ctx := &Context{Prog: p, Config: layout.DefaultConfig()}
+		runPass(t, ctx, StackDepthPass{}, "SD001")
+	})
+
+	t.Run("resolved indirect call stays clean", func(t *testing.T) {
+		// The exact shape our own instrumentation emits must resolve:
+		// `ldr rX,=f; blx rX` is a call to f, not an SD001.
+		p := ir.NewProgram()
+		leaf := p.AddFunc(&ir.Function{Name: "leaf"})
+		ir.Build(leaf.AddBlock("leaf0")).Nop().Ret()
+		m := p.AddFunc(&ir.Function{Name: "main"})
+		ir.Build(m.AddBlock("m0")).Push(isa.LR).
+			LdrLit(isa.R4, "leaf").Blx(isa.R4).Pop(isa.PC)
+		p.Reindex()
+		ir.MustVerify(p)
+		ctx := &Context{Prog: p, Config: layout.DefaultConfig()}
+		res, err := Run(ctx, StackDepthPass{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Diags) != 0 {
+			t.Fatalf("resolved indirect call produced diagnostics:\n%s", res)
+		}
 	})
 
 	t.Run("SD002 stack collides with RAM contents", func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/bounds"
 	"repro/internal/cfg"
 	"repro/internal/errs"
 	"repro/internal/freq"
@@ -66,6 +67,9 @@ type Session struct {
 	transforms memo[transformKey, *transformed]
 	optRuns    memo[optRunKey, *Measurement]
 	reports    memo[reportKey, *Report]
+	// brackets memoizes the static energy/cycle bounds per placed image;
+	// the zero key is the all-in-flash baseline image.
+	brackets memo[transformKey, *bounds.Result]
 }
 
 // SessionConfig fixes the per-session invariants. Zero values mean the
@@ -592,6 +596,85 @@ func (s *Session) optRun(ctx context.Context, key optRunKey, tf *transformed) (*
 	})
 }
 
+// boundsFor brackets (once per placement) the placed image's energy and
+// cycles without simulating it. The zero key is the all-in-flash
+// baseline; any other key reuses — or builds — the placement's
+// transformed image. Structure (CFG, loops, calls) always comes from the
+// pristine session program; costs from the placed blocks.
+func (s *Session) boundsFor(key transformKey, inRAM map[string]bool) (*bounds.Result, error) {
+	return s.brackets.do(&s.counters.bounds, key, func() (*bounds.Result, error) {
+		graphs, err := s.Graphs()
+		if err != nil {
+			return nil, err
+		}
+		var img *layout.Image
+		if key == (transformKey{}) {
+			img, err = layout.New(s.prog, s.layout, nil)
+			if err != nil {
+				return nil, errs.Wrap(errs.StageLayout, err)
+			}
+		} else {
+			tf, err := s.transformFor(key, inRAM)
+			if err != nil {
+				return nil, err
+			}
+			img = tf.img
+		}
+		br, err := bounds.Compute(s.prog, graphs, img, s.profile)
+		if err != nil {
+			return nil, errs.Wrap(errs.StageAnalysis, err)
+		}
+		return br, nil
+	})
+}
+
+// BaselineBounds brackets the all-in-flash baseline image statically —
+// no simulation runs.
+func (s *Session) BaselineBounds() (*bounds.Result, error) {
+	return s.boundsFor(transformKey{}, nil)
+}
+
+// StaticBounds runs the static half of the pipeline for one
+// configuration — solve, transform, layout, verification, but no
+// simulation — and brackets the resulting image. This is the sweep
+// pruning primitive: an O(blocks) estimate of a cell that a simulated
+// run can never undercut.
+func (s *Session) StaticBounds(ctx context.Context, opts Options) (*bounds.Result, error) {
+	key, err := s.resolve(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.solve(ctx, key.solve)
+	if err != nil {
+		return nil, err
+	}
+	tkey := transformKey{
+		placement: canonicalPlacement(res.InRAM),
+		linkTime:  key.solve.model.linkTime,
+		rspare:    key.solve.model.rspare,
+	}
+	return s.boundsFor(tkey, res.InRAM)
+}
+
+// PruneAgainst decides admissible pruning for one configuration: true
+// when its static lower energy bound already exceeds incumbentNJ (the
+// simulated optimized energy, in nanojoules, of the best configuration
+// seen so far), so simulating the cell provably cannot produce a new
+// winner. Every decision lands in the session ledger
+// (SessionStats.PruneChecked / PruneSkipped).
+func (s *Session) PruneAgainst(ctx context.Context, opts Options, incumbentNJ float64) (bool, error) {
+	br, err := s.StaticBounds(ctx, opts)
+	if err != nil {
+		return false, err
+	}
+	s.counters.pruneChecked.Add(1)
+	if br.Whole.LoEnergyNJ > incumbentNJ {
+		s.counters.pruneSkipped.Add(1)
+		return true, nil
+	}
+	return false, nil
+}
+
 // Optimize runs the full pipeline for one configuration, reusing every
 // stage the session has already materialized. Identical configurations
 // return the same (immutable) Report. Cancelling ctx aborts the run at
@@ -737,10 +820,16 @@ type SessionStats struct {
 	Transform StageStats `json:"transform"`
 	OptRun    StageStats `json:"opt_run"`
 	Optimize  StageStats `json:"optimize"`
+	Bounds    StageStats `json:"bounds"`
 	// SimRuns and CyclesSimulated count actual simulator executions
 	// (baseline + optimized, deduplicated by the memo).
 	SimRuns         uint64 `json:"sim_runs"`
 	CyclesSimulated uint64 `json:"cycles_simulated"`
+	// PruneChecked/PruneSkipped ledger the admissible static-bound
+	// pruning decisions: how many cells were tested against an incumbent
+	// and how many of those skipped simulation outright.
+	PruneChecked uint64 `json:"prune_checked"`
+	PruneSkipped uint64 `json:"prune_skipped"`
 }
 
 // Reuses totals the stage hits: how many artifact computations the
@@ -748,7 +837,7 @@ type SessionStats struct {
 func (st SessionStats) Reuses() uint64 {
 	return st.Baseline.Hits + st.CFG.Hits + st.Freq.Hits +
 		st.Model.Hits + st.Solve.Hits + st.Transform.Hits +
-		st.OptRun.Hits + st.Optimize.Hits
+		st.OptRun.Hits + st.Optimize.Hits + st.Bounds.Hits
 }
 
 // Add accumulates another snapshot (for aggregating across sessions).
@@ -769,8 +858,12 @@ func (st *SessionStats) Add(o SessionStats) {
 	st.OptRun.Misses += o.OptRun.Misses
 	st.Optimize.Hits += o.Optimize.Hits
 	st.Optimize.Misses += o.Optimize.Misses
+	st.Bounds.Hits += o.Bounds.Hits
+	st.Bounds.Misses += o.Bounds.Misses
 	st.SimRuns += o.SimRuns
 	st.CyclesSimulated += o.CyclesSimulated
+	st.PruneChecked += o.PruneChecked
+	st.PruneSkipped += o.PruneSkipped
 }
 
 type stageCounter struct {
@@ -786,8 +879,10 @@ func (c *stageCounter) snapshot() StageStats {
 
 type sessionCounters struct {
 	baseline, cfg, freq, model, solve, transform, optrun, optimize stageCounter
+	bounds                                                         stageCounter
 
-	simRuns, cyclesSimulated atomic.Uint64
+	simRuns, cyclesSimulated   atomic.Uint64
+	pruneChecked, pruneSkipped atomic.Uint64
 }
 
 // Stats snapshots the session's stage hit/miss counters.
@@ -801,8 +896,11 @@ func (s *Session) Stats() SessionStats {
 		Transform:       s.counters.transform.snapshot(),
 		OptRun:          s.counters.optrun.snapshot(),
 		Optimize:        s.counters.optimize.snapshot(),
+		Bounds:          s.counters.bounds.snapshot(),
 		SimRuns:         s.counters.simRuns.Load(),
 		CyclesSimulated: s.counters.cyclesSimulated.Load(),
+		PruneChecked:    s.counters.pruneChecked.Load(),
+		PruneSkipped:    s.counters.pruneSkipped.Load(),
 	}
 }
 

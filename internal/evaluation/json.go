@@ -312,3 +312,44 @@ func NewFigure6JSON(d *Figure6Data, level string, withPoints bool) Figure6JSON {
 	out.TimePath = conv(d.TimePath)
 	return out
 }
+
+// SelectionRowJSON is one candidate's outcome in a BestConfig selection.
+type SelectionRowJSON struct {
+	Name string `json:"name"`
+	// Pruned candidates were skipped by the admissible static bound:
+	// lower_bound_nj exceeded the incumbent's simulated energy, so no
+	// simulation ran and energy_nj is absent.
+	Pruned       bool    `json:"pruned,omitempty"`
+	LowerBoundNJ float64 `json:"lower_bound_nj,omitempty"`
+	EnergyNJ     float64 `json:"energy_nj,omitempty"`
+}
+
+// BestJSON is one benchmark × level winner-selection outcome.
+type BestJSON struct {
+	Bench        string             `json:"bench"`
+	Level        string             `json:"level"`
+	Winner       string             `json:"winner"`
+	EnergyNJ     float64            `json:"energy_nj"`
+	EnergyChange float64            `json:"energy_change"`
+	Candidates   []SelectionRowJSON `json:"candidates"`
+}
+
+// NewBestJSON converts a Best.
+func NewBestJSON(b *Best) BestJSON {
+	out := BestJSON{
+		Bench:        b.Bench,
+		Level:        b.Level.String(),
+		Winner:       b.Winner,
+		EnergyNJ:     b.Report.Optimized.Stats.EnergyNJ,
+		EnergyChange: b.Report.EnergyChange,
+	}
+	for _, r := range b.Rows {
+		out.Candidates = append(out.Candidates, SelectionRowJSON{
+			Name:         r.Name,
+			Pruned:       r.Pruned,
+			LowerBoundNJ: r.LowerBoundNJ,
+			EnergyNJ:     r.EnergyNJ,
+		})
+	}
+	return out
+}

@@ -32,6 +32,13 @@ type Sweep struct {
 	// worker count.
 	Workers int
 
+	// Prune lets BestConfig skip simulating candidates whose static
+	// lower energy bound already exceeds the incumbent's simulated
+	// energy. Off by default; the bound is admissible, so enabling it
+	// never changes which configuration wins — only how many cells are
+	// simulated (see SessionStats.PruneChecked/PruneSkipped).
+	Prune bool
+
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
 

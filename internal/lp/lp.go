@@ -72,6 +72,12 @@ type Problem struct {
 	// MaxIter bounds total simplex pivots (both phases). Zero means the
 	// default (50 per row+column, at least 10000).
 	MaxIter int
+
+	// err records the first construction mistake (negative variable
+	// count, out-of-range variable, dense-row length mismatch). Builders
+	// stay chainable — the error sticks and Solve reports it at entry,
+	// wrapped around ErrBadProblem, instead of panicking mid-build.
+	err error
 }
 
 // Solution is the result of a successful solve.
@@ -85,7 +91,7 @@ type Solution struct {
 // all constrained to x ≥ 0, with zero objective coefficients.
 func NewProblem(n int) *Problem {
 	if n < 0 {
-		panic("lp: negative variable count")
+		return &Problem{err: fmt.Errorf("%w: negative variable count %d", ErrBadProblem, n)}
 	}
 	return &Problem{n: n, obj: make([]float64, n)}
 }
@@ -102,12 +108,16 @@ func (p *Problem) SetObj(j int, c float64) {
 }
 
 // AddRow adds the constraint Σ coeffs[j]·x_j rel rhs. Variables absent
-// from coeffs have coefficient zero.
+// from coeffs have coefficient zero. An out-of-range variable records a
+// sticky ErrBadProblem (reported by Solve) and drops the row.
 func (p *Problem) AddRow(coeffs map[int]float64, rel Rel, rhs float64) {
 	row := make([]float64, p.n)
 	for j, c := range coeffs {
 		if j < 0 || j >= p.n {
-			panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", j, p.n))
+			if p.err == nil {
+				p.err = fmt.Errorf("%w: variable %d out of range [0,%d)", ErrBadProblem, j, p.n)
+			}
+			return
 		}
 		row[j] = c
 	}
@@ -117,10 +127,14 @@ func (p *Problem) AddRow(coeffs map[int]float64, rel Rel, rhs float64) {
 }
 
 // AddDenseRow adds a constraint from a dense coefficient slice (length
-// must equal NumVars).
+// must equal NumVars; a mismatch records a sticky ErrBadProblem and
+// drops the row).
 func (p *Problem) AddDenseRow(coeffs []float64, rel Rel, rhs float64) {
 	if len(coeffs) != p.n {
-		panic("lp: dense row length mismatch")
+		if p.err == nil {
+			p.err = fmt.Errorf("%w: dense row length %d, want %d", ErrBadProblem, len(coeffs), p.n)
+		}
+		return
 	}
 	p.rowCoef = append(p.rowCoef, append([]float64(nil), coeffs...))
 	p.rowRel = append(p.rowRel, rel)
@@ -144,6 +158,7 @@ func (p *Problem) Clone() *Problem {
 		rowRel:  append([]Rel(nil), p.rowRel...),
 		rowRHS:  append([]float64(nil), p.rowRHS...),
 		MaxIter: p.MaxIter,
+		err:     p.err,
 	}
 	q.rowCoef = make([][]float64, len(p.rowCoef))
 	for i, r := range p.rowCoef {
@@ -213,10 +228,15 @@ var ErrBadProblem = errors.New("lp: invalid problem")
 // the feasible region once phase 1 finds it, so the point in hand is a
 // valid (merely unproven) answer and discarding it would throw away the
 // whole budget's work. A phase-1 trip has no feasible point and reports
-// IterLimit with a nil X. Errors are reserved for cancellation: when
-// ctx is cancelled or its deadline expires, Solve stops within a few
-// pivots and returns the context error wrapped.
+// IterLimit with a nil X. Errors report either a construction mistake —
+// the first one recorded by NewProblem/AddRow/AddDenseRow, wrapping
+// ErrBadProblem — or cancellation: when ctx is cancelled or its deadline
+// expires, Solve stops within a few pivots and returns the context error
+// wrapped.
 func (p *Problem) Solve(ctx context.Context) (*Solution, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
 	m := len(p.rowRel)
 	n := p.n
 

@@ -2,6 +2,7 @@ package lp
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -145,14 +146,33 @@ func TestDenseRow(t *testing.T) {
 	}
 }
 
-func TestAddRowPanicsOutOfRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range variable")
+func TestBadProblemSurfacedBySolve(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		{"negative variable count", NewProblem(-1)},
+		{"out-of-range variable", func() *Problem {
+			p := NewProblem(1)
+			p.AddRow(map[int]float64{5: 1}, LE, 1)
+			return p
+		}()},
+		{"dense row length mismatch", func() *Problem {
+			p := NewProblem(2)
+			p.AddDenseRow([]float64{1}, LE, 1)
+			return p
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := tc.p.Solve(context.Background()); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("%s: Solve error = %v, want ErrBadProblem", tc.name, err)
 		}
-	}()
-	p := NewProblem(1)
-	p.AddRow(map[int]float64{5: 1}, LE, 1)
+		// The error is part of the problem's state: a branch-and-bound
+		// clone must refuse to solve too.
+		if _, err := tc.p.Clone().Solve(context.Background()); !errors.Is(err, ErrBadProblem) {
+			t.Errorf("%s: Clone().Solve error = %v, want ErrBadProblem", tc.name, err)
+		}
+	}
 }
 
 // bruteForceBinary finds the optimal 0/1 assignment of a problem whose

@@ -6,6 +6,9 @@
 #   flashram analyze    static analysis suite clean on every BEEBS
 #                       benchmark and on the examples/kernels sources,
 #                       at both paper levels (O2, Os)
+#   flashram bounds     static energy brackets validated against the
+#                       simulator (lower <= simulated <= upper) on the
+#                       full benchmark matrix, >= 15/20 cells finite
 #
 # Exits non-zero on the first failure.
 set -e
@@ -34,9 +37,11 @@ fi
 # The pipeline promises panic isolation (DESIGN.md §6g): a pathological
 # cell forfeits only its own result. A naked panic() in the pipeline
 # packages defeats that by design — misuse and broken invariants must
-# surface as typed errors (internal/errs) so sweeps degrade instead of
-# dying. Tests may panic freely; they run under the testing harness.
+# surface as typed errors (internal/errs, or lp.ErrBadProblem at the
+# solver layer) so sweeps degrade instead of dying. Tests may panic
+# freely; they run under the testing harness.
 panics=$(grep -n 'panic(' internal/core/*.go internal/evaluation/*.go internal/sim/*.go \
+    internal/placement/*.go internal/lp/*.go internal/ilp/*.go internal/trace/*.go \
     | grep -v '_test.go:' || true)
 if [ -n "$panics" ]; then
     echo "pipeline packages call panic() (return a typed internal/errs error instead):" >&2
@@ -64,5 +69,12 @@ for level in O2 Os; do
         /tmp/flashram.check analyze -src "$src" -O "$level"
     done
 done
+
+# The static energy-bounds analysis must bracket the simulator on every
+# benchmark at both paper levels (lower <= simulated <= upper, checked
+# for baseline and optimized images), with finite brackets on at least
+# 15 of the 20 cells (DESIGN.md §6h). Default levels are O2 and Os, so
+# one invocation covers the full matrix.
+/tmp/flashram.check bounds -all -minfinite 15 > /dev/null
 
 echo "check.sh: all clean"
