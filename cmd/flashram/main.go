@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ func main() {
 		dump      = flag.Bool("dump", false, "dump the optimized assembly")
 		emit      = flag.String("emit", "", "write the encoded machine-code image to <prefix>.flash.bin and <prefix>.ram.bin")
 		disasm    = flag.Bool("disasm", false, "disassemble the optimized image (encoded bytes + assembly)")
+		asJSON    = flag.Bool("json", false, "emit the run as one JSON document (the schema shared with beebsbench/tradeoff and the flashramd service)")
 		fig1      = flag.Bool("fig1", false, "print the Figure 1 instruction-power table and exit")
 		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); SIGINT also cancels")
@@ -136,6 +138,19 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *asJSON {
+		// Exactly the document — and exactly the encoding — the flashramd
+		// service returns for the same request, so `flashram -json` and a
+		// /v1/optimize response are byte-comparable.
+		doc := evaluation.NewRunJSON(&evaluation.Run{Bench: name, Level: optLevel, Report: rep})
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("%s at %v (%s solver)\n", name, optLevel, *solver)

@@ -1,8 +1,9 @@
 // Package cliutil holds the small amount of plumbing shared by the
-// command-line drivers: a root context honouring -timeout and SIGINT, so
-// every CLI shuts down the same way — the context is cancelled, the
-// sweeps and solves unwind at their next poll point, and the driver
-// flushes whatever it has as a valid (partial) document before exiting.
+// command-line drivers and the daemon: one root-context constructor, so
+// every entry point shuts down the same way — the context is cancelled,
+// the sweeps and solves unwind at their next poll point, and the driver
+// flushes whatever it has (a partial document, or the daemon's drained
+// responses) before exiting.
 package cliutil
 
 import (
@@ -13,13 +14,16 @@ import (
 	"time"
 )
 
-// Context returns the driver's root context: cancelled on SIGINT or
-// SIGTERM, and by the deadline when timeout > 0. Call the returned stop
-// function once the run is over; it releases the signal handler, so a
-// second interrupt after shutdown has begun kills the process the
-// default way instead of being swallowed.
-func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+// SignalContext returns a root context cancelled when any of the given
+// signals arrives, and by the deadline when timeout > 0. It is the one
+// constructor behind every entry point: the CLIs use it via Context; the
+// daemon calls it directly and treats cancellation as the start of its
+// graceful drain (stop admitting, finish in-flight requests) rather
+// than as an abort. Call the returned stop function once shutdown has
+// begun; it releases the signal handler, so a second signal kills the
+// process the default way instead of being swallowed.
+func SignalContext(parent context.Context, timeout time.Duration, signals ...os.Signal) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, signals...)
 	if timeout <= 0 {
 		return ctx, stop
 	}
@@ -28,4 +32,11 @@ func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
 		cancel()
 		stop()
 	}
+}
+
+// Context is the CLI flavour of SignalContext: cancelled on SIGINT or
+// SIGTERM (so both an interactive ^C and a supervisor's termination
+// unwind identically), bounded by -timeout when timeout > 0.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	return SignalContext(context.Background(), timeout, os.Interrupt, syscall.SIGTERM)
 }

@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSignalContextTimeout(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), 10*time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+func TestSignalContextNoTimeout(t *testing.T) {
+	ctx, stop := SignalContext(context.Background(), 0)
+	if _, has := ctx.Deadline(); has {
+		t.Fatal("timeout 0 must not set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+		t.Fatalf("context done before stop: %v", ctx.Err())
+	default:
+	}
+	// stop releases the signal registration and must not cancel work
+	// derived from the parent... but the returned ctx itself is done,
+	// matching signal.NotifyContext's contract.
+	stop()
+}
+
+func TestSignalContextParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := SignalContext(parent, time.Hour)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", ctx.Err())
+	}
+}

@@ -1,0 +1,70 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// ErrBadInput is the sentinel for request-shaped failures: the caller
+// asked for something the pipeline can never do — an unknown benchmark,
+// an unparsable optimization level, source that does not compile. The
+// daemon maps it to 400; the CLIs print it and exit 2-style rather than
+// retrying. Wrap with BadInput (or fmt.Errorf + %w) so errors.Is
+// classifies it.
+var ErrBadInput = errors.New("bad input")
+
+// BadInput marks err as a request-shaped failure (nil stays nil). An
+// error already matching ErrBadInput is returned unchanged.
+func BadInput(err error) error {
+	if err == nil || errors.Is(err, ErrBadInput) {
+		return err
+	}
+	return &badInputError{err: err}
+}
+
+type badInputError struct{ err error }
+
+func (e *badInputError) Error() string { return e.err.Error() }
+
+func (e *badInputError) Unwrap() []error { return []error{ErrBadInput, e.err} }
+
+// StatusClientClosedRequest is nginx's conventional status for "the
+// client went away before the response was ready" — net/http has no
+// constant for it, but it is the accurate record of a cancelled request:
+// not the server's failure, not a success.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps the pipeline's error taxonomy onto HTTP statuses, so
+// the daemon and any other transport classify failures exactly the way
+// the CLIs' exit paths do:
+//
+//	nil                       → 200 (the handler already wrote a body)
+//	ErrBadInput               → 400 bad request
+//	ErrBudget                 → 504 gateway timeout (a resource budget
+//	                            tripped and the ladder could not absorb it)
+//	context.DeadlineExceeded  → 504 gateway timeout (the request's
+//	                            deadline expired server-side)
+//	context.Canceled          → 499 client closed request
+//	anything else (including  → 500 internal server error
+//	*PanicError)
+//
+// Budget and deadline are checked before bare cancellation: a
+// BudgetError whose cause is a deadline matches both, and 504 is the
+// truthful one — the server ran out of time, the client did not hang up.
+// errors.Is reaches through SweepError/ItemError wrappers, so a sweep
+// whose first failure is a bad cell classifies like the cell itself.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrBudget), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,62 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestHTTPStatus(t *testing.T) {
+	plain := errors.New("plain failure")
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"bad input sentinel", ErrBadInput, http.StatusBadRequest},
+		{"wrapped bad input", BadInput(errors.New("unknown benchmark")), http.StatusBadRequest},
+		{"fmt-wrapped bad input", fmt.Errorf("cell 3: %w", BadInput(plain)), http.StatusBadRequest},
+		{"budget sentinel", ErrBudget, http.StatusGatewayTimeout},
+		{"node budget", &BudgetError{Resource: "nodes", Limit: 100}, http.StatusGatewayTimeout},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"deadline-caused budget", &BudgetError{Resource: "deadline", Cause: context.DeadlineExceeded}, http.StatusGatewayTimeout},
+		// A budget tripped by cancellation still reports 504 — the budget
+		// classification wins over bare cancellation (documented precedence).
+		{"cancel-caused budget", &BudgetError{Resource: "deadline", Cause: context.Canceled}, http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, StatusClientClosedRequest},
+		{"wrapped cancel", fmt.Errorf("optimize: %w", context.Canceled), StatusClientClosedRequest},
+		{"panic", &PanicError{Value: "boom"}, http.StatusInternalServerError},
+		{"plain error", plain, http.StatusInternalServerError},
+		// errors.Is reaches through sweep aggregation: the sweep classifies
+		// like its item errors.
+		{"sweep of bad input", &SweepError{Total: 4, Items: []ItemError{{Index: 1, Err: BadInput(plain)}}}, http.StatusBadRequest},
+		{"sweep of deadline", &SweepError{Total: 2, Items: []ItemError{{Index: 0, Err: context.DeadlineExceeded}}}, http.StatusGatewayTimeout},
+		{"sweep of panic", &SweepError{Total: 2, Items: []ItemError{{Index: 0, Err: &PanicError{Value: 1}}}}, http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("%s: HTTPStatus(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBadInputIdempotent(t *testing.T) {
+	if BadInput(nil) != nil {
+		t.Fatal("BadInput(nil) must stay nil")
+	}
+	inner := errors.New("no such bench")
+	once := BadInput(inner)
+	twice := BadInput(once)
+	if twice != once {
+		t.Fatal("re-wrapping an already-classified error must be a no-op")
+	}
+	if !errors.Is(once, ErrBadInput) || !errors.Is(once, inner) {
+		t.Fatal("BadInput must match both the sentinel and the cause")
+	}
+	if once.Error() != inner.Error() {
+		t.Fatalf("BadInput changed the message: %q vs %q", once.Error(), inner.Error())
+	}
+}

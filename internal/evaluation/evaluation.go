@@ -60,7 +60,9 @@ type Options struct {
 	SolveTimeout   time.Duration
 }
 
-func (o Options) core() core.Options {
+// Core lowers the evaluation knobs onto the pipeline's option set (the
+// service's request handlers call it too).
+func (o Options) Core() core.Options {
 	return core.Options{
 		UseProfile:     o.UseProfile,
 		Solver:         o.Solver,
@@ -85,7 +87,7 @@ func (sw *Sweep) RunBenchmark(ctx context.Context, b *beebs.Benchmark, level mcc
 	if err != nil {
 		return nil, errs.AtBench(b.Name, level.String(), errs.Wrap(errs.StageCompile, err))
 	}
-	rep, err := sess.Optimize(ctx, opts.core())
+	rep, err := sess.Optimize(ctx, opts.Core())
 	if err != nil {
 		return nil, errs.AtBench(b.Name, level.String(), err)
 	}

@@ -39,6 +39,15 @@ type Sweep struct {
 	// simulated (see SessionStats.PruneChecked/PruneSkipped).
 	Prune bool
 
+	// Cache, when set, backs the sweep's sessions with a cross-request
+	// store: sessions are fetched through (and retained by) it, content-
+	// addressed on core.SessionKey(source, level) rather than scoped to
+	// this Sweep's lifetime. The daemon (internal/service) sets it so
+	// sweep requests and single-shot requests hit one shared memo. The
+	// sweep still tracks its own view of the sessions it touched, so
+	// Stats() reports the same shape either way.
+	Cache core.SessionCache
+
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
 
@@ -87,49 +96,81 @@ func (sw *Sweep) Session(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session,
 		sw.sessionHits.Add(1)
 	}
 	sw.mu.Unlock()
-	e.once.Do(func() { e.sess, e.err = NewSession(b, level) })
+	e.once.Do(func() {
+		if sw.Cache != nil {
+			e.sess, e.err = sw.Cache.GetSession(
+				core.SessionKey(b.Source, level.String()),
+				func() (*core.Session, error) { return NewSession(b, level) })
+			return
+		}
+		e.sess, e.err = NewSession(b, level)
+	})
 	return e.sess, e.err
 }
 
 // SweepStats reports how much pipeline work a Sweep reused: the session
-// (compile) cache and the per-stage counters aggregated over every
-// session the sweep touched.
+// (compile) cache, the per-stage counters aggregated over every session
+// the sweep touched, and the cumulative totals across both layers. It is
+// also the `session_stats` ledger schema shared by `beebsbench -json`
+// and the daemon's /statsz, so sweep-local and cross-request reuse read
+// the same way.
 type SweepStats struct {
 	SessionHits   uint64            `json:"session_hits"`
 	SessionMisses uint64            `json:"session_misses"`
 	Stages        core.SessionStats `json:"stages"`
+	// Totals folds the session lookups and every per-stage counter into
+	// one cumulative hits/misses/hit-rate line — the number the service
+	// ledger and the per-sweep ledger can compare directly.
+	Totals core.CacheTotals `json:"totals"`
+}
+
+// NewSweepStats assembles the shared ledger from session-level lookup
+// counters and the aggregated stage counters behind them. Sweep.Stats
+// and the daemon's /statsz both build their documents through it.
+func NewSweepStats(sessionHits, sessionMisses uint64, stages core.SessionStats) SweepStats {
+	return SweepStats{
+		SessionHits:   sessionHits,
+		SessionMisses: sessionMisses,
+		Stages:        stages,
+		Totals:        core.NewCacheTotals(sessionHits, sessionMisses, stages),
+	}
 }
 
 // Stats snapshots the sweep's reuse counters.
 func (sw *Sweep) Stats() SweepStats {
-	out := SweepStats{
-		SessionHits:   sw.sessionHits.Load(),
-		SessionMisses: sw.sessionMisses.Load(),
-	}
 	sw.mu.Lock()
 	entries := make([]*sessionEntry, 0, len(sw.sessions))
 	for _, e := range sw.sessions {
 		entries = append(entries, e)
 	}
 	sw.mu.Unlock()
+	var stages core.SessionStats
 	for _, e := range entries {
 		if e.sess != nil {
-			out.Stages.Add(e.sess.Stats())
+			stages.Add(e.sess.Stats())
 		}
 	}
-	return out
+	return NewSweepStats(sw.sessionHits.Load(), sw.sessionMisses.Load(), stages)
 }
 
-// runIsolated runs one job with panic isolation: a panicking job is
-// converted into an *errs.PanicError carrying the worker's stack, so one
-// broken cell cannot take down the whole sweep (or the process).
-func runIsolated(fn func(i int) error, i int) (err error) {
+// Isolated runs fn with the sweep workers' panic isolation: a panic is
+// converted into an *errs.PanicError carrying the goroutine's stack, so
+// one broken job cannot take down the caller (or the process). The
+// daemon's request handlers run every pipeline execution through it —
+// the same boundary the sweep pool uses, so a pathological request
+// costs one 500, not the server.
+func Isolated(fn func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &errs.PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(i)
+	return fn()
+}
+
+// runIsolated is Isolated over one indexed sweep job.
+func runIsolated(fn func(i int) error, i int) error {
+	return Isolated(func() error { return fn(i) })
 }
 
 // forEach runs fn(0..n-1) across a pool of at most sw.Workers goroutines.

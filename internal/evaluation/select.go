@@ -64,7 +64,7 @@ func (sw *Sweep) BestConfig(ctx context.Context, b *beebs.Benchmark, level mcc.O
 	incumbent := 0.0
 	for _, c := range cands {
 		row := SelectionRow{Name: c.Name}
-		copts := c.Opts.core()
+		copts := c.Opts.Core()
 		if sw.Prune && best.Report != nil {
 			br, err := sess.StaticBounds(ctx, copts)
 			if err != nil {

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/beebs"
+	"repro/internal/evaluation"
+	"repro/internal/mcc"
+)
+
+const tinySource = `int result[1];
+int main() {
+    int i, acc = 0;
+    for (i = 0; i < 32; i++) acc += i * i;
+    result[0] = acc;
+    return 0;
+}
+`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestOptimizeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := OptimizeRequest{Bench: "crc32", Level: "O2"}
+
+	status, cold := postJSON(t, ts.URL+"/v1/optimize", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, cold)
+	}
+	var doc evaluation.RunJSON
+	if err := json.Unmarshal(cold, &doc); err != nil {
+		t.Fatalf("response is not a RunJSON document: %v", err)
+	}
+	if doc.Bench != "crc32" || doc.Level != "O2" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Baseline.Cycles == 0 || doc.Optimized.Cycles == 0 {
+		t.Fatalf("empty metrics: %+v", doc)
+	}
+
+	// Warm serve: byte-identical to the cold one.
+	status, warm := postJSON(t, ts.URL+"/v1/optimize", req)
+	if status != http.StatusOK || !bytes.Equal(cold, warm) {
+		t.Fatalf("warm serve differs (status %d):\ncold %s\nwarm %s", status, cold, warm)
+	}
+
+	// CLI identity: the exact bytes `flashram -json` would emit for the
+	// same request — same document, same encoder settings.
+	b := beebs.Get("crc32")
+	sess, err := evaluation.NewSession(b, mcc.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Optimize(t.Context(), evaluation.Options{}.Core())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli bytes.Buffer
+	enc := json.NewEncoder(&cli)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(evaluation.NewRunJSON(&evaluation.Run{Bench: "crc32", Level: mcc.O2, Report: rep})); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, cli.Bytes()) {
+		t.Fatalf("service document differs from the CLI document:\nservice %s\ncli %s", cold, cli.Bytes())
+	}
+}
+
+func TestOptimizeInlineSource(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Source: tinySource, Name: "tiny", Level: "O2"})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var doc evaluation.RunJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bench != "tiny" {
+		t.Fatalf("inline source label = %q, want %q", doc.Bench, "tiny")
+	}
+}
+
+func TestBadRequestsMapTo400(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown bench", `{"bench":"nope"}`},
+		{"missing program", `{}`},
+		{"bench and source", `{"bench":"crc32","source":"int main(){return 0;}"}`},
+		{"bad level", `{"bench":"crc32","level":"O9"}`},
+		{"bad solver", `{"bench":"crc32","solver":"quantum"}`},
+		{"unknown field", `{"bench":"crc32","xlimt":2}`},
+		{"negative timeout", `{"bench":"crc32","timeout_ms":-5}`},
+		{"uncompilable source", `{"source":"int main( {"}`},
+		{"malformed json", `{"bench":`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+		var ed errorDoc
+		if err := json.Unmarshal(body, &ed); err != nil || ed.Error == "" || ed.Status != http.StatusBadRequest {
+			t.Errorf("%s: malformed error envelope %s", tc.name, body)
+		}
+	}
+}
+
+func TestDeadlineMapsTo504(t *testing.T) {
+	_, ts := newTestServer(t)
+	// 1 ms against a cold cell: the deadline expires before the pipeline
+	// can finish compiling and simulating, and the request reports 504.
+	status, body := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Bench: "float_matmult", Level: "O0", TimeoutMS: 1})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", status, body)
+	}
+	// The cancelled computation must not have poisoned the memo: the
+	// same cell with a sane deadline completes.
+	status, body = postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Bench: "float_matmult", Level: "O0", TimeoutMS: 60000})
+	if status != http.StatusOK {
+		t.Fatalf("retry after expiry: status = %d, want 200: %s", status, body)
+	}
+}
+
+func TestSweepEndpointStreamsInOrder(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := SweepRequest{Cells: []OptimizeRequest{
+		{Bench: "crc32", Level: "O2"},
+		{Bench: "sha", Level: "O2"},
+		{Bench: "crc32", Level: "O2"}, // identical to cell 0: same document
+		{Bench: "crc32", Level: "Os"},
+	}}
+	b, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var rows []sweepRow
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row sweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(req.Cells) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(req.Cells))
+	}
+	for i, row := range rows {
+		if row.Index != i {
+			t.Fatalf("row %d has index %d (stream out of order)", i, row.Index)
+		}
+		if row.Error != "" || row.Run == nil {
+			t.Fatalf("row %d failed: %+v", i, row)
+		}
+	}
+	// Identical cells produce identical documents.
+	r0, _ := json.Marshal(rows[0].Run)
+	r2, _ := json.Marshal(rows[2].Run)
+	if !bytes.Equal(r0, r2) {
+		t.Fatalf("identical cells diverged:\n%s\n%s", r0, r2)
+	}
+	if bytes.Equal(r0, mustMarshal(t, rows[3].Run)) {
+		t.Fatal("distinct cells produced the same document")
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSweepRejectsBadCellUpfront(t *testing.T) {
+	_, ts := newTestServer(t)
+	status, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Cells: []OptimizeRequest{
+		{Bench: "crc32"},
+		{Bench: "nope"},
+	}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400: %s", status, body)
+	}
+	if !strings.Contains(string(body), "cell 1") {
+		t.Fatalf("error does not attribute the bad cell: %s", body)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	srv.StartDrain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining healthz = %d %s", resp.StatusCode, body)
+	}
+	status, body2 := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Bench: "crc32"})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("optimize while draining = %d: %s", status, body2)
+	}
+}
+
+func TestStatszLedger(t *testing.T) {
+	_, ts := newTestServer(t)
+	const repeats = 6
+	for i := 0; i < repeats; i++ {
+		if status, body := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Bench: "crc32"}); status != http.StatusOK {
+			t.Fatalf("optimize = %d: %s", status, body)
+		}
+	}
+	postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Bench: "nope"})
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc StatsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Requests.Total != repeats+1 || doc.Requests.OK != repeats || doc.Requests.ClientError != 1 {
+		t.Fatalf("request ledger = %+v", doc.Requests)
+	}
+	if doc.Store.Misses != 1 || doc.Store.Hits != repeats-1 || doc.Store.Entries != 1 {
+		t.Fatalf("store ledger = %+v", doc.Store)
+	}
+	// The service ledger carries the exact sweep-CLI schema: session
+	// hits/misses mirror the store and the totals fold in the stage memos.
+	if doc.SessionStats.SessionHits != doc.Store.Hits || doc.SessionStats.SessionMisses != doc.Store.Misses {
+		t.Fatalf("session_stats diverges from store: %+v vs %+v", doc.SessionStats, doc.Store)
+	}
+	if doc.SessionStats.Totals.HitRate <= 0.5 {
+		t.Fatalf("repeated identical requests should dominate the totals hit rate: %+v", doc.SessionStats.Totals)
+	}
+	if doc.Workers != 4 || doc.Draining {
+		t.Fatalf("service section = %+v", doc)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/optimize = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/nope", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestLoadTestHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness in -short mode")
+	}
+	rep, err := LoadTest(t.Context(), LoadConfig{N: 60, Concurrency: 12, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, rep)
+	}
+	if rep.HitRate <= 0.5 {
+		t.Fatalf("hit rate %.2f on a repeated mix", rep.HitRate)
+	}
+	if fmt.Sprint(rep) == "" {
+		t.Fatal("empty ledger rendering")
+	}
+}

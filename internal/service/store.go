@@ -1,0 +1,179 @@
+// Package service is the placement-as-a-service subsystem: a
+// long-running HTTP/JSON daemon (cmd/flashramd) wrapping core.Session,
+// with a content-addressed artifact store shared across requests and
+// tenants, an admission/worker layer reusing the evaluation sweep's
+// panic isolation, and a load-test harness that publishes the
+// hit-rate/latency ledger EXPERIMENTS.md records.
+//
+// The cache architecture is two-level, mirroring PR 3's memo keys
+// exactly. The outer level — the Store here — content-addresses whole
+// Sessions on core.SessionKey(source, level): a hash of the inputs that
+// reach the compiler. The inner level is the Session's own per-stage
+// memos, keyed on exactly the knobs that reach each stage (placement,
+// budgets, tracing). A request's effective stage key is therefore
+// (program hash, stage knobs), so identical stage inputs from different
+// requests, connections, or tenants land on one shared computation —
+// the same guarantee the in-process sweeps already had, lifted across
+// requests.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultMaxSessions bounds the store when the configuration leaves it
+// zero. Sessions retain compiled programs, baseline simulations and
+// solved placements; ~64 programs is a few hundred MB worst-case on the
+// BEEBS-sized inputs the daemon serves, and the LRU keeps the working
+// set hot under churn.
+const DefaultMaxSessions = 64
+
+// Store is the daemon's cross-request artifact cache: a bounded,
+// least-recently-used map from content-addressed program keys to live
+// core.Sessions. It implements core.SessionCache, so an
+// evaluation.Sweep pointed at it shares sessions with every other
+// request the daemon has served.
+//
+// Builds are single-flight per key: the first request computes, every
+// concurrent identical request blocks on that computation and shares
+// the (immutable) result — the cross-request analogue of the Session's
+// own stage memos. A failed build is not retained, so a transiently
+// broken request cannot poison the key for later callers.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*storeEntry
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+
+	// retired accumulates the stage counters of evicted sessions
+	// (snapshotted at eviction), so the /statsz ledger stays cumulative
+	// over the daemon's lifetime rather than resetting when the LRU
+	// turns over.
+	retired core.SessionStats
+}
+
+type storeEntry struct {
+	key  string
+	elem *list.Element
+	once sync.Once
+	sess *core.Session
+	err  error
+	// built is set (under the store lock) once the flight finished
+	// successfully; only built entries are eviction candidates, so a
+	// key's single-flight guarantee holds even under capacity pressure.
+	built bool
+}
+
+// NewStore returns a store retaining at most max sessions (<= 0 means
+// DefaultMaxSessions).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultMaxSessions
+	}
+	return &Store{
+		max:     max,
+		entries: make(map[string]*storeEntry),
+		lru:     list.New(),
+	}
+}
+
+// GetSession implements core.SessionCache: return the session for key,
+// building it at most once per live key.
+func (s *Store) GetSession(key string, build func() (*core.Session, error)) (*core.Session, error) {
+	s.mu.Lock()
+	e := s.entries[key]
+	if e != nil {
+		s.hits++
+		s.lru.MoveToFront(e.elem)
+	} else {
+		s.misses++
+		e = &storeEntry{key: key}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		e.sess, e.err = build()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if e.err != nil {
+			// Drop the failed flight: waiters of this flight still see
+			// the error, but the next request with this key retries.
+			if s.entries[key] == e {
+				delete(s.entries, key)
+				s.lru.Remove(e.elem)
+			}
+			return
+		}
+		e.built = true
+		s.evictLocked()
+	})
+	return e.sess, e.err
+}
+
+// evictLocked trims least-recently-used built entries until the store is
+// within its bound. In-flight entries are never evicted (that would
+// break single-flight); if every entry is mid-build the store briefly
+// exceeds its bound and settles as flights land.
+func (s *Store) evictLocked() {
+	for len(s.entries) > s.max {
+		victim := (*storeEntry)(nil)
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*storeEntry); e.built {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.entries, victim.key)
+		s.lru.Remove(victim.elem)
+		s.evictions++
+		if victim.sess != nil {
+			// Snapshot the evicted session's stage ledger so the
+			// cumulative totals survive the eviction. A request still
+			// holding the session finishes fine — sessions are self-
+			// contained — but work it does after this snapshot is not
+			// re-counted.
+			s.retired.Add(victim.sess.Stats())
+		}
+	}
+}
+
+// CacheStats implements core.SessionCache: the hit/miss/eviction ledger.
+func (s *Store) CacheStats() core.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.CacheStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   len(s.entries),
+	}
+}
+
+// StageStats aggregates the per-stage memo counters across every live
+// session plus the retained snapshots of evicted ones — the cumulative
+// stage half of the /statsz ledger.
+func (s *Store) StageStats() core.SessionStats {
+	s.mu.Lock()
+	live := make([]*core.Session, 0, len(s.entries))
+	for _, e := range s.entries {
+		if e.built && e.sess != nil {
+			live = append(live, e.sess)
+		}
+	}
+	out := s.retired
+	s.mu.Unlock()
+	for _, sess := range live {
+		out.Add(sess.Stats())
+	}
+	return out
+}

@@ -23,13 +23,16 @@ fi
 
 go vet ./...
 
-# Sweep configuration must live on the Sweep value, not in package
-# globals — the old `evaluation.Workers` variable let two concurrent
-# sweeps race on each other's worker count. Only the read-only
-# figure1Bars table is allowed at package level.
-globals=$(grep -n '^var ' internal/evaluation/*.go | grep -v '_test.go:' | grep -v 'figure1Bars' || true)
+# Sweep and service configuration must live on the Sweep/Server values,
+# not in package globals — the old `evaluation.Workers` variable let two
+# concurrent sweeps race on each other's worker count, and a daemon
+# holding per-process mutable globals could not host two Servers in one
+# test binary. Only the read-only figure1Bars table is allowed at
+# package level.
+globals=$(grep -n '^var ' internal/evaluation/*.go internal/service/*.go \
+    | grep -v '_test.go:' | grep -v 'figure1Bars' || true)
 if [ -n "$globals" ]; then
-    echo "internal/evaluation grew package-global state (put it on Sweep or Session instead):" >&2
+    echo "internal/evaluation or internal/service grew package-global state (put it on Sweep, Session or Server instead):" >&2
     echo "$globals" >&2
     exit 1
 fi
@@ -42,6 +45,7 @@ fi
 # freely; they run under the testing harness.
 panics=$(grep -n 'panic(' internal/core/*.go internal/evaluation/*.go internal/sim/*.go \
     internal/placement/*.go internal/lp/*.go internal/ilp/*.go internal/trace/*.go \
+    internal/service/*.go \
     | grep -v '_test.go:' || true)
 if [ -n "$panics" ]; then
     echo "pipeline packages call panic() (return a typed internal/errs error instead):" >&2
