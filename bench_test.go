@@ -520,9 +520,15 @@ func BenchmarkFigure5Sweep(b *testing.B) {
 
 // BenchmarkTradeoffSweep measures the Figure 6 trade-off generation (the
 // `tradeoff` CLI's workload: 2^8 cloud plus 24 constrained ILP solves).
-// "shared" runs all solve points out of one session; "per-point" pays a
-// fresh session (compile, CFG, frequency estimate) per solve point, the
-// cost of sweeping without cross-point artifact reuse.
+// "shared" runs all solve points out of one warm-solving session (the
+// sweep default); "shared-cold" is the same sweep with warm starts off
+// (`tradeoff -cold`); "per-point" pays a fresh session (compile, CFG,
+// frequency estimate) per solve point, the cost of sweeping without
+// cross-point artifact reuse. "paths-warm" vs "paths-cold" isolate the
+// 24 constrained solves themselves — session setup, cloud enumeration
+// and model assembly are excluded — so the pair reads as the
+// warm-started solver chain against from-scratch solves of the exact
+// same points.
 func BenchmarkTradeoffSweep(b *testing.B) {
 	ramSweep := []float64{0, 16, 32, 64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 4096}
 	xSweep := []float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0}
@@ -533,6 +539,54 @@ func BenchmarkTradeoffSweep(b *testing.B) {
 			}
 		}
 	})
+	b.Run("shared-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sw := evaluation.NewSweep(1)
+			sw.ColdSolve = true
+			if _, err := sw.Figure6(context.Background(), "int_matmult", mcc.O2, 8, ramSweep, xSweep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	paths := func(b *testing.B, warm bool) {
+		bench := beebs.Get("int_matmult")
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			newSess := evaluation.NewSession
+			if warm {
+				newSess = evaluation.NewWarmSession
+			}
+			sess, err := newSess(bench, mcc.O2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spare, err := sess.SpareRAM()
+			if err != nil {
+				b.Fatal(err)
+			}
+			specs := make([]core.ModelSpec, 0, len(ramSweep)+len(xSweep))
+			// Loosest constraint first, exactly like Figure6's paths.
+			for j := len(ramSweep) - 1; j >= 0; j-- {
+				specs = append(specs, core.ModelSpec{Rspare: ramSweep[j], Xlimit: 1e9, MaxCandidates: 8})
+			}
+			for j := len(xSweep) - 1; j >= 0; j-- {
+				specs = append(specs, core.ModelSpec{Rspare: spare, Xlimit: xSweep[j], MaxCandidates: 8})
+			}
+			for _, spec := range specs {
+				if _, err := sess.Model(context.Background(), spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			for _, spec := range specs {
+				if _, err := sess.Solve(context.Background(), core.SolveSpec{ModelSpec: spec, Solver: core.SolverILP}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("paths-warm", func(b *testing.B) { paths(b, true) })
+	b.Run("paths-cold", func(b *testing.B) { paths(b, false) })
 	b.Run("per-point", func(b *testing.B) {
 		bench := beebs.Get("int_matmult")
 		solve := func(rspare, xlimit float64) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
 )
@@ -46,8 +47,11 @@ type document struct {
 	Fig9         []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
 	Selection    []evaluation.BestJSON          `json:"selection,omitempty"`
 	SessionStats evaluation.SweepStats          `json:"session_stats"`
-	WallMS       float64                        `json:"wall_ms"`
-	Workers      int                            `json:"workers"`
+	// SolverStats counts what the warm-started solver stack reused
+	// across the sweep (same schema as the daemon's /statsz).
+	SolverStats core.SolverStats `json:"solver_stats"`
+	WallMS      float64          `json:"wall_ms"`
+	Workers     int              `json:"workers"`
 
 	// Status is "incomplete" when any selected section was cut short —
 	// by -timeout, an interrupt, or a failing cell — in which case
@@ -126,6 +130,7 @@ func main() {
 	}
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 	doc.SessionStats = sw.Stats()
+	doc.SolverStats = sw.SolverStats()
 	if len(doc.Errors) > 0 {
 		doc.Status = "incomplete"
 	}

@@ -162,7 +162,8 @@ func main() {
 		100*rep.EnergyChange, 100*rep.TimeChange, 100*rep.PowerChange)
 	fmt.Printf("  placement: %d blocks (%d bytes RAM code), solver nodes %d, proven %v\n",
 		len(rep.MovedLabels()), rep.Optimized.RAMCodeBytes, rep.Placement.Nodes, rep.Placement.Proven)
-	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal {
+	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal &&
+		rep.Strategy != placement.StrategyWarmILPOptimal {
 		fmt.Printf("  strategy : %s (%s)\n", rep.Strategy, rep.StrategyReason)
 	}
 	fmt.Printf("  moved    : %v\n", rep.MovedLabels())

@@ -26,6 +26,7 @@ func main() {
 		k         = flag.Int("k", 8, "number of hottest blocks to enumerate (2^k placements)")
 		points    = flag.Bool("points", false, "dump every cloud point (mask energy cycles ram)")
 		asJSON    = flag.Bool("json", false, "emit the Figure 6 dataset as JSON (cloud points included with -points)")
+		cold      = flag.Bool("cold", false, "solve every constraint point from scratch (no warm starts); the output is byte-identical either way — this flag exists to prove it and to benchmark against")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry — or SIGINT — the completed path points are still emitted")
 	)
 	flag.Parse()
@@ -40,8 +41,11 @@ func main() {
 	xSweep := []float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0}
 	// One Sweep → one session for the benchmark: the CFG, frequency
 	// estimate and repeated constraint corners are shared across all 24
-	// solve points instead of being rebuilt per point.
-	data, err := evaluation.NewSweep(1).Figure6(ctx, *benchName, optLevel, *k, ramSweep, xSweep)
+	// solve points instead of being rebuilt per point — and unless -cold
+	// the solves warm-start each other down each constraint path.
+	sw := evaluation.NewSweep(1)
+	sw.ColdSolve = *cold
+	data, err := sw.Figure6(ctx, *benchName, optLevel, *k, ramSweep, xSweep)
 	if data == nil {
 		fatal(err)
 	}

@@ -41,11 +41,22 @@ import (
 // over one Session safe (the evaluation sweeps run them across a worker
 // pool under the race detector).
 type Session struct {
-	prog    *ir.Program
-	profile *power.Profile
-	layout  layout.Config
+	prog      *ir.Program
+	profile   *power.Profile
+	layout    layout.Config
+	warmSolve bool
 
 	counters sessionCounters
+
+	// warmIdx is the warm-start registry: per solve family (same model
+	// inputs except the Rspare/Xlimit bounds, same solver and budget),
+	// the completed proven solves and their reusable state. A solve at
+	// one constraint point consults its nearest single-axis neighbor
+	// here before paying for a cold solve.
+	warmIdx struct {
+		mu  sync.Mutex
+		idx map[solveFamily][]solvePoint
+	}
 
 	// machines is a one-slot pool of simulator instances. sim.Machine
 	// retargets across images via SetImage, keeping its memory arrays and
@@ -78,6 +89,17 @@ type Session struct {
 type SessionConfig struct {
 	Profile *power.Profile
 	Layout  layout.Config
+	// WarmSolve enables the warm-start registry: an ILP solve consults
+	// the completed solve at a neighboring Rspare/Xlimit point and reuses
+	// its incumbent, bound and simplex basis. The placement and every
+	// RunJSON-level output are identical to a cold solve's (golden
+	// tests); what changes is solver effort — Result.Nodes, the recorded
+	// warm-ilp-optimal strategy — and which neighbor is consulted can
+	// depend on completion order under concurrency. Consumers that
+	// fingerprint solver effort (or need it deterministic under
+	// concurrent solves) must leave this off; the sweeps and the service
+	// turn it on.
+	WarmSolve bool
 }
 
 // NewSession verifies the program once and wraps it in an empty staged
@@ -93,7 +115,7 @@ func NewSession(p *ir.Program, cfg SessionConfig) (*Session, error) {
 	if err := ir.Verify(p); err != nil {
 		return nil, errs.Wrap(errs.StageVerify, err)
 	}
-	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout}, nil
+	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout, warmSolve: cfg.WarmSolve}, nil
 }
 
 // Program returns the session's (immutable) input program.
@@ -483,7 +505,15 @@ func (s *Session) solve(ctx context.Context, key solveKey) (*placement.Result, e
 			// The ladder degrades through incumbent → rounding → greedy →
 			// identity when the budget trips; with the zero budget and a
 			// live context it is exactly the exact ILP solve.
-			res, err = placement.SolveLadder(ctx, mdl, key.budget)
+			var warm *placement.Warm
+			if s.warmSolve {
+				warm = s.neighborWarm(key)
+			}
+			res, err = placement.SolveLadder(ctx, mdl, key.budget, warm)
+			if err == nil && s.warmSolve {
+				s.accountWarm(warm, res)
+				s.recordWarm(key, res.Warm)
+			}
 		case SolverGreedy:
 			res = placement.SolveGreedy(mdl)
 		case SolverFunction:
@@ -498,6 +528,108 @@ func (s *Session) solve(ctx context.Context, key solveKey) (*placement.Result, e
 		}
 		return res, nil
 	})
+}
+
+// solveFamily groups solves that differ only in their Rspare/Xlimit
+// constraint bounds — the model columns and objective are identical
+// across a family, which is exactly the precondition for warm reuse.
+type solveFamily struct {
+	model       modelKey // rspare and xlimit zeroed
+	solver      Solver
+	exhaustiveK int
+	budget      placement.Budget
+}
+
+// solvePoint is one completed proven solve within a family.
+type solvePoint struct {
+	rspare, xlimit float64
+	warm           *placement.Warm
+}
+
+func familyOf(key solveKey) solveFamily {
+	mk := key.model
+	mk.rspare, mk.xlimit = 0, 0
+	return solveFamily{model: mk, solver: key.solver, exhaustiveK: key.exhaustiveK, budget: key.budget}
+}
+
+// neighborWarm picks the carried state for a solve: the nearest
+// completed solve in the same family that differs on exactly one
+// constraint axis. Preference order is deterministic for a fixed
+// registry state — rspare neighbors before xlimit neighbors, then
+// smallest bound distance, then the tighter of two equidistant points —
+// so identical solve sequences always consult identical neighbors.
+func (s *Session) neighborWarm(key solveKey) *placement.Warm {
+	fam := familyOf(key)
+	s.warmIdx.mu.Lock()
+	pts := s.warmIdx.idx[fam]
+	s.warmIdx.mu.Unlock()
+
+	best := -1
+	bestAxis, bestDist, bestVal := 2, 0.0, 0.0
+	for i, pt := range pts {
+		sameR := pt.rspare == key.model.rspare
+		sameX := pt.xlimit == key.model.xlimit
+		var axis int // 0 = rspare neighbor, 1 = xlimit neighbor
+		var dist, val float64
+		switch {
+		case sameX && !sameR:
+			axis, dist, val = 0, absf(pt.rspare-key.model.rspare), pt.rspare
+		case sameR && !sameX:
+			axis, dist, val = 1, absf(pt.xlimit-key.model.xlimit), pt.xlimit
+		default:
+			continue // same point (impossible: memoized) or diagonal
+		}
+		if best < 0 || axis < bestAxis ||
+			(axis == bestAxis && (dist < bestDist ||
+				(dist == bestDist && val < bestVal))) {
+			best, bestAxis, bestDist, bestVal = i, axis, dist, val
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return pts[best].warm
+}
+
+// recordWarm registers a completed solve's donated state (nil for
+// unproven results — only proven optima may seed future solves).
+func (s *Session) recordWarm(key solveKey, warm *placement.Warm) {
+	if warm == nil {
+		return
+	}
+	fam := familyOf(key)
+	s.warmIdx.mu.Lock()
+	if s.warmIdx.idx == nil {
+		s.warmIdx.idx = make(map[solveFamily][]solvePoint)
+	}
+	s.warmIdx.idx[fam] = append(s.warmIdx.idx[fam],
+		solvePoint{rspare: key.model.rspare, xlimit: key.model.xlimit, warm: warm})
+	s.warmIdx.mu.Unlock()
+}
+
+// accountWarm ledgers one ILP solve's warm outcome.
+func (s *Session) accountWarm(warm *placement.Warm, res *placement.Result) {
+	if warm == nil || !res.WarmUse.Consumed {
+		s.counters.warmMisses.Add(1)
+		return
+	}
+	s.counters.warmHits.Add(1)
+	if res.WarmUse.Incumbent {
+		s.counters.warmIncumbents.Add(1)
+	}
+	if res.WarmUse.InstantProof {
+		s.counters.warmProofs.Add(1)
+	}
+	if res.WarmUse.ItersSaved > 0 {
+		s.counters.simplexItersSaved.Add(uint64(res.WarmUse.ItersSaved))
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // transformed is the placement-determined artifact set: the transformed
@@ -830,6 +962,11 @@ type SessionStats struct {
 	// and how many of those skipped simulation outright.
 	PruneChecked uint64 `json:"prune_checked"`
 	PruneSkipped uint64 `json:"prune_skipped"`
+	// WarmHits/WarmMisses ledger the warm-start registry: ILP solves
+	// that consumed carried neighbor state versus solves that ran cold
+	// (no usable neighbor, or the carried state was rejected).
+	WarmHits   uint64 `json:"warm_hits"`
+	WarmMisses uint64 `json:"warm_misses"`
 }
 
 // Reuses totals the stage hits: how many artifact computations the
@@ -864,6 +1001,47 @@ func (st *SessionStats) Add(o SessionStats) {
 	st.CyclesSimulated += o.CyclesSimulated
 	st.PruneChecked += o.PruneChecked
 	st.PruneSkipped += o.PruneSkipped
+	st.WarmHits += o.WarmHits
+	st.WarmMisses += o.WarmMisses
+}
+
+// SolverStats is the solver-level warm-start ledger — finer grained
+// than SessionStats' hit/miss pair. `beebsbench -json` and the daemon's
+// /statsz emit it as the solver_stats section.
+type SolverStats struct {
+	// WarmHits counts ILP solves that consumed carried warm state;
+	// WarmMisses those that ran cold (no neighbor, or state rejected).
+	WarmHits   uint64 `json:"warm_hits"`
+	WarmMisses uint64 `json:"warm_misses"`
+	// IncumbentsAccepted counts solves whose starting incumbent came
+	// from a neighbor's proven optimum.
+	IncumbentsAccepted uint64 `json:"incumbents_accepted"`
+	// WarmProofs counts solves closed by the carried bound alone — zero
+	// LP relaxations solved.
+	WarmProofs uint64 `json:"warm_proofs"`
+	// SimplexItersSaved estimates root-relaxation simplex pivots avoided
+	// across all warm solves.
+	SimplexItersSaved uint64 `json:"simplex_iters_saved"`
+}
+
+// Add accumulates another snapshot (for aggregating across sessions).
+func (st *SolverStats) Add(o SolverStats) {
+	st.WarmHits += o.WarmHits
+	st.WarmMisses += o.WarmMisses
+	st.IncumbentsAccepted += o.IncumbentsAccepted
+	st.WarmProofs += o.WarmProofs
+	st.SimplexItersSaved += o.SimplexItersSaved
+}
+
+// SolverStats snapshots the session's warm-start solver counters.
+func (s *Session) SolverStats() SolverStats {
+	return SolverStats{
+		WarmHits:           s.counters.warmHits.Load(),
+		WarmMisses:         s.counters.warmMisses.Load(),
+		IncumbentsAccepted: s.counters.warmIncumbents.Load(),
+		WarmProofs:         s.counters.warmProofs.Load(),
+		SimplexItersSaved:  s.counters.simplexItersSaved.Load(),
+	}
 }
 
 type stageCounter struct {
@@ -883,6 +1061,9 @@ type sessionCounters struct {
 
 	simRuns, cyclesSimulated   atomic.Uint64
 	pruneChecked, pruneSkipped atomic.Uint64
+
+	warmHits, warmMisses, warmIncumbents atomic.Uint64
+	warmProofs, simplexItersSaved        atomic.Uint64
 }
 
 // Stats snapshots the session's stage hit/miss counters.
@@ -901,6 +1082,8 @@ func (s *Session) Stats() SessionStats {
 		CyclesSimulated: s.counters.cyclesSimulated.Load(),
 		PruneChecked:    s.counters.pruneChecked.Load(),
 		PruneSkipped:    s.counters.pruneSkipped.Load(),
+		WarmHits:        s.counters.warmHits.Load(),
+		WarmMisses:      s.counters.warmMisses.Load(),
 	}
 }
 

@@ -14,6 +14,7 @@ package evaluation
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/beebs"
@@ -370,30 +371,52 @@ func (sw *Sweep) Figure6(ctx context.Context, benchName string, level mcc.OptLev
 		data.Blocks = append(data.Blocks, bd.Block.Label)
 	}
 
-	for _, rs := range ramSweep {
-		res, err := sess.Solve(ctx, core.SolveSpec{ModelSpec: spec(rs, 1e9), Solver: core.SolverILP})
-		if err != nil {
-			// The cloud and the completed path points still stand.
-			return data, errs.AtBench(benchName, level.String(), err)
+	// Each path is solved loosest constraint first: every later solve
+	// then tightens the previous one, so a warm-solving session (the
+	// sweep default) can chain the previous optimum, its proven bound
+	// and the simplex basis down the whole path — often closing a point
+	// with no LP work at all. Results land in index-addressed slots and
+	// are emitted in the caller's order, so the path reads identically
+	// at any visiting order and any worker count; on an error the points
+	// already solved still stand, each naming its own constraint.
+	solvePath := func(sweep []float64, mk func(v float64) core.ModelSpec) ([]PathPoint, error) {
+		order := make([]int, len(sweep))
+		for i := range order {
+			order[i] = i
 		}
-		data.RAMPath = append(data.RAMPath, PathPoint{
-			Constraint: rs,
-			EnergyNJ:   res.Outcome.EnergyNJ,
-			Cycles:     res.Outcome.Cycles,
-			RAMBytes:   res.Outcome.RAMBytes,
-		})
+		sort.SliceStable(order, func(a, b int) bool { return sweep[order[a]] > sweep[order[b]] })
+		slots := make([]*PathPoint, len(sweep))
+		var solveErr error
+		for _, i := range order {
+			res, err := sess.Solve(ctx, core.SolveSpec{ModelSpec: mk(sweep[i]), Solver: core.SolverILP})
+			if err != nil {
+				solveErr = err
+				break
+			}
+			slots[i] = &PathPoint{
+				Constraint: sweep[i],
+				EnergyNJ:   res.Outcome.EnergyNJ,
+				Cycles:     res.Outcome.Cycles,
+				RAMBytes:   res.Outcome.RAMBytes,
+			}
+		}
+		var pts []PathPoint
+		for _, p := range slots {
+			if p != nil {
+				pts = append(pts, *p)
+			}
+		}
+		return pts, solveErr
 	}
-	for _, xl := range xlimitSweep {
-		res, err := sess.Solve(ctx, core.SolveSpec{ModelSpec: spec(spare, xl), Solver: core.SolverILP})
-		if err != nil {
-			return data, errs.AtBench(benchName, level.String(), err)
-		}
-		data.TimePath = append(data.TimePath, PathPoint{
-			Constraint: xl,
-			EnergyNJ:   res.Outcome.EnergyNJ,
-			Cycles:     res.Outcome.Cycles,
-			RAMBytes:   res.Outcome.RAMBytes,
-		})
+
+	data.RAMPath, err = solvePath(ramSweep, func(rs float64) core.ModelSpec { return spec(rs, 1e9) })
+	if err != nil {
+		// The cloud and the path points already solved still stand.
+		return data, errs.AtBench(benchName, level.String(), err)
+	}
+	data.TimePath, err = solvePath(xlimitSweep, func(xl float64) core.ModelSpec { return spec(spare, xl) })
+	if err != nil {
+		return data, errs.AtBench(benchName, level.String(), err)
 	}
 	return data, nil
 }

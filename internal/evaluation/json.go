@@ -49,8 +49,10 @@ type RunJSON struct {
 
 	// Strategy and StrategyReason are emitted only when the solver's
 	// degradation ladder produced the placement from a rung below the
-	// exact solve; the common ilp-optimal case stays out of the document
-	// so pre-ladder outputs remain byte-identical.
+	// exact solve; the common ilp-optimal case — and its warm-started
+	// twin warm-ilp-optimal, which is the same proven optimum reached
+	// faster — stays out of the document so pre-ladder outputs remain
+	// byte-identical and warm solves emit the same bytes as cold ones.
 	Strategy       string `json:"strategy,omitempty"`
 	StrategyReason string `json:"strategy_reason,omitempty"`
 }
@@ -69,7 +71,8 @@ func NewRunJSON(r *Run) RunJSON {
 		BlocksInRAM:  len(rep.MovedLabels()),
 		MovedBlocks:  rep.MovedLabels(),
 	}
-	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal {
+	if rep.Strategy != "" && rep.Strategy != placement.StrategyILPOptimal &&
+		rep.Strategy != placement.StrategyWarmILPOptimal {
 		out.Strategy = rep.Strategy
 		out.StrategyReason = rep.StrategyReason
 	}
@@ -271,7 +274,8 @@ type Figure6JSON struct {
 	TimePath     []PathPointJSON `json:"time_path"`
 	// Status is "incomplete" when the constraint sweeps were cut off
 	// (timeout, interrupt): the cloud and the path points present are
-	// valid, later points are simply missing. Absent on a clean run.
+	// valid — each names its own constraint — and the rest are simply
+	// missing. Absent on a clean run.
 	Status string `json:"status,omitempty"`
 }
 

@@ -48,6 +48,17 @@ type Sweep struct {
 	// Stats() reports the same shape either way.
 	Cache core.SessionCache
 
+	// ColdSolve disables warm-started solves: the sweep's sessions are
+	// built without core.SessionConfig.WarmSolve, so every constraint
+	// point is solved from scratch. The placements and every emitted
+	// number are identical either way (warm starts only change solver
+	// effort); the flag exists so tests and `tradeoff -cold` can prove
+	// that byte-for-byte and so the warm speedup can be benchmarked
+	// against a true cold baseline. When Cache is set the store owns
+	// session construction and an already-cached warm session may be
+	// returned regardless; the daemon never mixes the two.
+	ColdSolve bool
+
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
 
@@ -70,13 +81,27 @@ type sessionEntry struct {
 
 // NewSession compiles the benchmark at the given level and wraps the
 // program in a fresh staged pipeline with the default board profile and
-// memory map.
+// memory map. Solves are cold: single-shot callers have no constraint
+// sweep to chain warm state across.
 func NewSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
+	return newSession(b, level, false)
+}
+
+// NewWarmSession is NewSession with warm-started solves enabled: solves
+// at neighbouring constraint points reuse each other's optima, bounds
+// and bases (see core.SessionConfig.WarmSolve). The sweep drivers and
+// the daemon build their sessions through it; placements and reported
+// numbers match NewSession's exactly.
+func NewWarmSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
+	return newSession(b, level, true)
+}
+
+func newSession(b *beebs.Benchmark, level mcc.OptLevel, warm bool) (*core.Session, error) {
 	prog, err := mcc.Compile(b.Source, level)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewSession(prog, core.SessionConfig{})
+	return core.NewSession(prog, core.SessionConfig{WarmSolve: warm})
 }
 
 // Session returns the sweep's shared pipeline for one benchmark×level
@@ -97,13 +122,12 @@ func (sw *Sweep) Session(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session,
 	}
 	sw.mu.Unlock()
 	e.once.Do(func() {
+		build := func() (*core.Session, error) { return newSession(b, level, !sw.ColdSolve) }
 		if sw.Cache != nil {
-			e.sess, e.err = sw.Cache.GetSession(
-				core.SessionKey(b.Source, level.String()),
-				func() (*core.Session, error) { return NewSession(b, level) })
+			e.sess, e.err = sw.Cache.GetSession(core.SessionKey(b.Source, level.String()), build)
 			return
 		}
-		e.sess, e.err = NewSession(b, level)
+		e.sess, e.err = build()
 	})
 	return e.sess, e.err
 }
@@ -151,6 +175,25 @@ func (sw *Sweep) Stats() SweepStats {
 		}
 	}
 	return NewSweepStats(sw.sessionHits.Load(), sw.sessionMisses.Load(), stages)
+}
+
+// SolverStats aggregates the warm-start solver counters over every
+// session the sweep touched — the `solver_stats` ledger emitted by
+// `beebsbench -json` and the daemon's /statsz.
+func (sw *Sweep) SolverStats() core.SolverStats {
+	sw.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(sw.sessions))
+	for _, e := range sw.sessions {
+		entries = append(entries, e)
+	}
+	sw.mu.Unlock()
+	var out core.SolverStats
+	for _, e := range entries {
+		if e.sess != nil {
+			out.Add(e.sess.SolverStats())
+		}
+	}
+	return out
 }
 
 // Isolated runs fn with the sweep workers' panic isolation: a panic is

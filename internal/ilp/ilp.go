@@ -51,10 +51,38 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", int(s))
 }
 
+// WarmStart carries reusable state from a completed solve of a related
+// problem — same columns and objective, different constraint bounds —
+// into a new one. Every field is optional and independently validated:
+// the solve is never wrong because of a stale warm start, only slower.
+type WarmStart struct {
+	// Incumbent is a candidate starting solution (full variable vector).
+	// It is used only if it is integral and feasible for THIS problem;
+	// its objective is recomputed, never trusted.
+	Incumbent []float64
+	// Bound, when HasBound, is a proven lower bound on this problem's
+	// optimal objective (e.g. the optimum of a relaxation-wise looser
+	// neighbor). An accepted incumbent whose objective reaches Bound is
+	// optimal without a single LP solve.
+	Bound    float64
+	HasBound bool
+	// Basis, when non-nil, warm-starts the root relaxation through
+	// lp.SolveFrom instead of a cold solve.
+	Basis []int
+	// State, when non-nil, is the donor root's full end state
+	// (lp.Solution.State) and supersedes Basis: the root resumes through
+	// lp.SolveFromState, which skips basis re-installation entirely.
+	State *lp.State
+	// RootIters is the simplex iteration count of the donor's root solve,
+	// used by callers to account iterations saved. Not read by Solve.
+	RootIters int
+}
+
 // Solver is a 0–1 branch-and-bound instance.
 type Solver struct {
-	// Base is the LP relaxation. It must already include x_j ≤ 1 rows
-	// (or equivalent) for every variable in Binaries.
+	// Base is the LP relaxation. Solve adds its own 0/1 bound rows for
+	// every variable in Binaries (they carry the branching fixes), so
+	// Base need not include x_j ≤ 1 rows; redundant copies are harmless.
 	Base *lp.Problem
 	// Binaries lists the variable indices required to be integer (0 or 1).
 	Binaries []int
@@ -64,6 +92,8 @@ type Solver struct {
 	// feasible integer candidate (used to seed and tighten the incumbent).
 	// It must return a complete variable vector and true on success.
 	Rounder func(x []float64) ([]float64, bool)
+	// Warm, if set, seeds the search with state from a related solve.
+	Warm *WarmStart
 }
 
 // Result of a solve.
@@ -77,6 +107,21 @@ type Result struct {
 	// deadline-caused stop also matches the context error). Nil when the
 	// search ran to completion.
 	Stop error
+	// RootIters is the simplex iteration count of the root relaxation
+	// (zero when the root was never solved), RootBasis its final basis
+	// and RootState its full end state — together the donor state for
+	// the next warm start.
+	RootIters int
+	RootBasis []int
+	RootState *lp.State
+	// WarmIncumbent reports that the warm start's incumbent was accepted
+	// as the starting incumbent; WarmRoot that the warm basis genuinely
+	// warm-started the root relaxation (not a cold fallback); WarmProof
+	// that the incumbent was proven optimal by the carried bound alone,
+	// with no LP solved (Nodes == 0).
+	WarmIncumbent bool
+	WarmRoot      bool
+	WarmProof     bool
 }
 
 const intTol = 1e-6
@@ -84,6 +129,10 @@ const intTol = 1e-6
 type node struct {
 	bound float64
 	fixes []fix
+	// from is the parent relaxation's end state. Because fixes are
+	// RHS-only edits of the augmented problem, the parent's tableau stays
+	// dual feasible in every child and seeds a dual-simplex re-solve.
+	from *lp.State
 }
 
 type fix struct {
@@ -127,14 +176,80 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 		incumbent    []float64
 		incumbentObj = math.Inf(1)
 		nodes        int
+		rootIters    int
+		rootBasis    []int
+		rootState    *lp.State
+		warmInc      bool
+		warmRoot     bool
 	)
+	stamp := func(r *Result) *Result {
+		r.RootIters = rootIters
+		r.RootBasis = rootBasis
+		r.RootState = rootState
+		r.WarmIncumbent = warmInc
+		r.WarmRoot = warmRoot
+		return r
+	}
 
-	solveNode := func(fixes []fix) (*lp.Solution, error) {
-		p := s.Base.Clone()
+	// A warm incumbent is admitted only on its own merits: integral and
+	// feasible for THIS problem, objective recomputed here. If a carried
+	// lower bound already meets that objective the solve is over before
+	// the first LP.
+	if w := s.Warm; w != nil && w.Incumbent != nil &&
+		s.integral(w.Incumbent) && s.Base.Feasible(w.Incumbent, 1e-6) {
+		incumbent = append([]float64(nil), w.Incumbent...)
+		incumbentObj = s.Base.Objective(incumbent)
+		warmInc = true
+		if w.HasBound && incumbentObj <= w.Bound+1e-9 {
+			// The donor's root state is passed through untouched so a
+			// chain of instant proofs keeps a usable basis for the first
+			// point that needs a real solve again.
+			rootBasis = append([]int(nil), w.Basis...)
+			rootState = w.State
+			rootIters = w.RootIters
+			return stamp(&Result{
+				Status: Optimal, X: incumbent, Obj: incumbentObj,
+				Nodes: 0, WarmProof: true,
+			}), nil
+		}
+	}
+
+	// The search works on an augmented relaxation: every binary gets an
+	// upper-bound row (x_j ≤ 1) and a lower-bound row (x_j ≥ 0) up front,
+	// and a branching fix only edits the matching row's RHS — fix to 0
+	// tightens the upper bound to 0, fix to 1 raises the lower bound to 1.
+	// Appending EQ rows per node (the obvious encoding) would give every
+	// node a different standard-form layout; RHS-only edits keep the
+	// layout identical across the whole tree, which is what lets a parent
+	// basis warm-start its children below. The edited RHS values (0 and 1)
+	// never go negative, so no row changes sign or sprouts a different
+	// slack/artificial pattern.
+	aug := s.Base.Clone()
+	ubRow := make(map[int]int, len(s.Binaries))
+	lbRow := make(map[int]int, len(s.Binaries))
+	for _, j := range s.Binaries {
+		ubRow[j] = aug.NumRows()
+		aug.AddRow(map[int]float64{j: 1}, lp.LE, 1)
+		lbRow[j] = aug.NumRows()
+		aug.AddRow(map[int]float64{j: 1}, lp.GE, 0)
+	}
+
+	// solveNode solves one tree node. With a parent end state the node
+	// resumes the dual simplex from the parent's tableau (falling back to
+	// a cold solve internally on any mismatch); the root passes nil.
+	solveNode := func(fixes []fix, from *lp.State) (*lp.Solution, error) {
+		p := aug.Clone()
 		for _, f := range fixes {
-			p.AddRow(map[int]float64{f.j: 1}, lp.EQ, f.val)
+			if f.val == 0 {
+				p.SetRHS(ubRow[f.j], 0)
+			} else {
+				p.SetRHS(lbRow[f.j], 1)
+			}
 		}
 		nodes++
+		if from != nil {
+			return p.SolveFromState(ctx, from)
+		}
 		return p.Solve(ctx)
 	}
 
@@ -156,16 +271,33 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 		}
 	}
 
-	// Root node.
-	rootSol, err := solveNode(nil)
+	// Root node. A donor end state resumes the tableau directly; a bare
+	// basis routes through the install-and-repair re-solve. Both fall
+	// back to a cold solve internally on any mismatch.
+	var rootSol *lp.Solution
+	var err error
+	switch {
+	case s.Warm != nil && s.Warm.State != nil:
+		nodes++
+		rootSol, err = aug.Clone().SolveFromState(ctx, s.Warm.State)
+	case s.Warm != nil && s.Warm.Basis != nil:
+		nodes++
+		rootSol, err = aug.Clone().SolveFrom(ctx, s.Warm.Basis)
+	default:
+		rootSol, err = solveNode(nil, nil)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ilp: root relaxation: %w", err)
 	}
+	rootIters = rootSol.Iters
+	rootBasis = rootSol.Basis
+	rootState = rootSol.State
+	warmRoot = rootSol.Warmed
 	switch rootSol.Status {
 	case lp.Infeasible:
-		return &Result{Status: Infeasible, Nodes: nodes}, nil
+		return stamp(&Result{Status: Infeasible, Nodes: nodes}), nil
 	case lp.Unbounded:
-		return &Result{Status: Unbounded, Nodes: nodes}, nil
+		return stamp(&Result{Status: Unbounded, Nodes: nodes}), nil
 	case lp.IterLimit:
 		// The pivot budget ran out at the root. A phase-2 trip still
 		// carries a feasible point — round it into an incumbent rather
@@ -177,11 +309,11 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 		if incumbent == nil {
 			return nil, fmt.Errorf("ilp: %w with no incumbent", error(stop))
 		}
-		return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}, nil
+		return stamp(&Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}), nil
 	}
 	tryIncumbent(rootSol.X)
 	if s.integral(rootSol.X) {
-		return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+		return stamp(&Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}), nil
 	}
 
 	open := &nodeHeap{{bound: rootSol.Obj}}
@@ -202,9 +334,9 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 			}
 		}
 		if best >= incumbentObj-1e-9 {
-			return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+			return stamp(&Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}), nil
 		}
-		return &Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}, nil
+		return stamp(&Result{Status: Feasible, X: incumbent, Obj: incumbentObj, Nodes: nodes, Stop: stop}), nil
 	}
 
 	for open.Len() > 0 {
@@ -222,7 +354,7 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 		if nd.bound >= incumbentObj-1e-9 {
 			continue // pruned by bound
 		}
-		sol, err := solveNode(nd.fixes)
+		sol, err := solveNode(nd.fixes, nd.from)
 		if err != nil {
 			if ctx.Err() != nil {
 				return stopResult(&errs.BudgetError{Resource: "deadline", Cause: ctx.Err()})
@@ -253,15 +385,16 @@ func (s *Solver) Solve(ctx context.Context) (*Result, error) {
 			child := &node{
 				bound: sol.Obj,
 				fixes: append(append([]fix(nil), nd.fixes...), fix{j, v}),
+				from:  sol.State,
 			}
 			heap.Push(open, child)
 		}
 	}
 
 	if incumbent == nil {
-		return &Result{Status: Infeasible, Nodes: nodes}, nil
+		return stamp(&Result{Status: Infeasible, Nodes: nodes}), nil
 	}
-	return &Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}, nil
+	return stamp(&Result{Status: Optimal, X: incumbent, Obj: incumbentObj, Nodes: nodes}), nil
 }
 
 // integral reports whether every branching variable of x is 0/1.

@@ -85,6 +85,65 @@ type Solution struct {
 	Status Status
 	X      []float64 // structural variable values (len = NumVars)
 	Obj    float64   // objective value cᵀx
+
+	// Basis is the final basis (one tableau column index per row) of an
+	// Optimal solve. A later solve of a problem with identical rows and
+	// columns but a changed RHS can restart from it via SolveFrom: the
+	// basis stays dual feasible under RHS changes, so the dual simplex
+	// re-solve needs only the pivots that repair primal feasibility.
+	// Nil for non-optimal outcomes.
+	Basis []int
+	// Iters is the number of simplex pivots this solve performed (both
+	// phases, including the basis-installation pivots of SolveFrom).
+	Iters int
+	// Warmed reports that a warm path (SolveFrom or SolveFromState)
+	// produced this solution — the carried state was genuinely consumed,
+	// not discarded for a cold fallback.
+	Warmed bool
+	// State is the full end state of an Optimal solve — the final tableau
+	// with its basis and layout. SolveFromState resumes from it far
+	// cheaper than SolveFrom resumes from Basis alone: the tableau IS the
+	// factorized basis, so no re-installation pivots are needed. Nil for
+	// non-optimal outcomes. Opaque; safe to share (resuming copies it).
+	State *State
+}
+
+// State is the complete end state of an Optimal solve: the final simplex
+// tableau, its basis, and the standard-form layout it was built under. A
+// later solve of a problem with identical coefficient rows, columns and
+// objective but (possibly) changed RHS values resumes from it via
+// SolveFromState. The zero value is useless; States come only from
+// Solution.State.
+type State struct {
+	tab    [][]float64 // final tableau, m × (total+1)
+	basis  []int
+	n      int
+	nSlack int
+	nArt   int
+	rels   []Rel     // original row relations at solve time
+	flips  []bool    // rows negated entering standard form (RHS < 0)
+	b      []float64 // standardized (post-negation) RHS values solved with
+}
+
+// captureState packages a finished tableau as a donor State. The tableau
+// and basis are taken over, not copied — callers must be done with them.
+func (p *Problem) captureState(t [][]float64, basis []int, nSlack, nArt int) *State {
+	m := len(p.rowRel)
+	flips := make([]bool, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		rhs := p.rowRHS[i]
+		if rhs < 0 {
+			flips[i] = true
+			rhs = -rhs
+		}
+		b[i] = rhs
+	}
+	return &State{
+		tab: t, basis: basis, n: p.n, nSlack: nSlack, nArt: nArt,
+		rels:  append([]Rel(nil), p.rowRel...),
+		flips: flips, b: b,
+	}
 }
 
 // NewProblem returns a minimization problem with n structural variables,
@@ -144,6 +203,26 @@ func (p *Problem) AddDenseRow(coeffs []float64, rel Rel, rhs float64) {
 // Row returns row i's dense coefficients (not a copy), relation and RHS.
 func (p *Problem) Row(i int) ([]float64, Rel, float64) {
 	return p.rowCoef[i], p.rowRel[i], p.rowRHS[i]
+}
+
+// SetRHS replaces row i's right-hand side. An out-of-range row records a
+// sticky ErrBadProblem (reported by Solve).
+//
+// RHS-only edits are the warm-restart move: a basis from a previous
+// Optimal solve stays dual feasible under them, so SolveFrom can repair
+// the solution with a few dual pivots. One caveat — the standard-form
+// layout negates rows with negative RHS, so an edit that flips a row's
+// RHS sign changes the tableau's column meaning and a carried basis
+// will (safely) fall back to a cold solve. Callers chasing warm restarts
+// should formulate rows so edited RHS values keep their sign.
+func (p *Problem) SetRHS(i int, rhs float64) {
+	if i < 0 || i >= len(p.rowRHS) {
+		if p.err == nil {
+			p.err = fmt.Errorf("%w: row %d out of range [0,%d)", ErrBadProblem, i, len(p.rowRHS))
+		}
+		return
+	}
+	p.rowRHS[i] = rhs
 }
 
 // Obj returns the objective coefficient of variable j.
@@ -240,87 +319,11 @@ func (p *Problem) Solve(ctx context.Context) (*Solution, error) {
 	m := len(p.rowRel)
 	n := p.n
 
-	// Column layout: [0,n) structural, [n, n+slacks) slack/surplus,
-	// [n+slacks, n+slacks+arts) artificial.
-	slackOf := make([]int, m) // column of this row's slack, or -1
-	artOf := make([]int, m)   // column of this row's artificial, or -1
-	nSlack, nArt := 0, 0
-	for i := 0; i < m; i++ {
-		rel, rhs := p.rowRel[i], p.rowRHS[i]
-		neg := rhs < 0
-		effRel := rel
-		if neg {
-			// Row will be negated below; flip the relation.
-			switch rel {
-			case LE:
-				effRel = GE
-			case GE:
-				effRel = LE
-			}
-		}
-		slackOf[i], artOf[i] = -1, -1
-		switch effRel {
-		case LE:
-			slackOf[i] = nSlack
-			nSlack++
-		case GE:
-			slackOf[i] = nSlack
-			nSlack++
-			artOf[i] = nArt
-			nArt++
-		case EQ:
-			artOf[i] = nArt
-			nArt++
-		}
-	}
+	tb := p.newTableau()
+	t, basis := tb.t, tb.basis
+	nSlack, nArt, total := tb.nSlack, tb.nArt, tb.total
 
-	total := n + nSlack + nArt
-	// Tableau: m rows × (total+1) columns; last column is RHS.
-	t := make([][]float64, m)
-	basis := make([]int, m)
-	for i := 0; i < m; i++ {
-		t[i] = make([]float64, total+1)
-		sign := 1.0
-		rhs := p.rowRHS[i]
-		if rhs < 0 {
-			sign = -1.0
-			rhs = -rhs
-		}
-		for j := 0; j < n; j++ {
-			t[i][j] = sign * p.rowCoef[i][j]
-		}
-		t[i][total] = rhs
-
-		effRel := p.rowRel[i]
-		if sign < 0 {
-			switch effRel {
-			case LE:
-				effRel = GE
-			case GE:
-				effRel = LE
-			}
-		}
-		switch effRel {
-		case LE:
-			t[i][n+slackOf[i]] = 1
-			basis[i] = n + slackOf[i]
-		case GE:
-			t[i][n+slackOf[i]] = -1
-			t[i][n+nSlack+artOf[i]] = 1
-			basis[i] = n + nSlack + artOf[i]
-		case EQ:
-			t[i][n+nSlack+artOf[i]] = 1
-			basis[i] = n + nSlack + artOf[i]
-		}
-	}
-
-	maxIter := p.MaxIter
-	if maxIter == 0 {
-		maxIter = 50 * (m + total)
-		if maxIter < 10000 {
-			maxIter = 10000
-		}
-	}
+	maxIter := p.maxIters(m, total)
 	iters := 0
 	done := ctx.Done()
 
@@ -393,16 +396,464 @@ func (p *Problem) Solve(ctx context.Context) (*Solution, error) {
 	case stCanceled:
 		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
 	case Unbounded:
-		return &Solution{Status: Unbounded}, nil
+		return &Solution{Status: Unbounded, Iters: iters}, nil
 	case IterLimit:
 		// The basis is feasible (phase 1 finished): hand back the point
 		// in hand instead of discarding the budget's work.
 		x, obj := p.extract(t, basis, m, n, total)
-		return &Solution{Status: IterLimit, X: x, Obj: obj}, nil
+		return &Solution{Status: IterLimit, X: x, Obj: obj, Iters: iters}, nil
 	}
 
 	x, obj := p.extract(t, basis, m, n, total)
-	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+	return &Solution{Status: Optimal, X: x, Obj: obj,
+		Basis: append([]int(nil), basis...), Iters: iters,
+		State: p.captureState(t, basis, nSlack, nArt)}, nil
+}
+
+// tableau is the dense simplex working state: m rows × (total+1) columns
+// (last column RHS) with the current basis column per row.
+type tableau struct {
+	t                   [][]float64
+	basis               []int
+	nSlack, nArt, total int
+}
+
+// newTableau lays out the standard-form tableau: columns [0,n) are
+// structural, [n, n+nSlack) slack/surplus, [n+nSlack, total) artificial.
+// Rows with negative RHS are negated (flipping their relation) so every
+// RHS starts non-negative; the initial basis is the slack (LE rows) or
+// artificial (GE/EQ rows) column of each row.
+func (p *Problem) newTableau() *tableau {
+	m := len(p.rowRel)
+	n := p.n
+
+	slackOf := make([]int, m) // column of this row's slack, or -1
+	artOf := make([]int, m)   // column of this row's artificial, or -1
+	nSlack, nArt := 0, 0
+	for i := 0; i < m; i++ {
+		rel, rhs := p.rowRel[i], p.rowRHS[i]
+		neg := rhs < 0
+		effRel := rel
+		if neg {
+			// Row will be negated below; flip the relation.
+			switch rel {
+			case LE:
+				effRel = GE
+			case GE:
+				effRel = LE
+			}
+		}
+		slackOf[i], artOf[i] = -1, -1
+		switch effRel {
+		case LE:
+			slackOf[i] = nSlack
+			nSlack++
+		case GE:
+			slackOf[i] = nSlack
+			nSlack++
+			artOf[i] = nArt
+			nArt++
+		case EQ:
+			artOf[i] = nArt
+			nArt++
+		}
+	}
+
+	total := n + nSlack + nArt
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total+1)
+		sign := 1.0
+		rhs := p.rowRHS[i]
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * p.rowCoef[i][j]
+		}
+		t[i][total] = rhs
+
+		effRel := p.rowRel[i]
+		if sign < 0 {
+			switch effRel {
+			case LE:
+				effRel = GE
+			case GE:
+				effRel = LE
+			}
+		}
+		switch effRel {
+		case LE:
+			t[i][n+slackOf[i]] = 1
+			basis[i] = n + slackOf[i]
+		case GE:
+			t[i][n+slackOf[i]] = -1
+			t[i][n+nSlack+artOf[i]] = 1
+			basis[i] = n + nSlack + artOf[i]
+		case EQ:
+			t[i][n+nSlack+artOf[i]] = 1
+			basis[i] = n + nSlack + artOf[i]
+		}
+	}
+	return &tableau{t: t, basis: basis, nSlack: nSlack, nArt: nArt, total: total}
+}
+
+// maxIters resolves the pivot budget for a tableau of m rows and total
+// columns.
+func (p *Problem) maxIters(m, total int) int {
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 50 * (m + total)
+		if maxIter < 10000 {
+			maxIter = 10000
+		}
+	}
+	return maxIter
+}
+
+// install re-pivots the tableau so that target becomes the basis. The
+// target must have one column per row, each a structural or slack column
+// (artificials are never re-installed). Returns false — leaving the
+// tableau unusable — when the target is malformed or numerically
+// singular; callers fall back to a cold Solve.
+func (tb *tableau) install(target []int) bool {
+	m := len(tb.t)
+	if len(target) != m {
+		return false
+	}
+	want := make(map[int]bool, m)
+	for _, j := range target {
+		if j < 0 || j >= tb.total-tb.nArt || want[j] {
+			return false
+		}
+		want[j] = true
+	}
+	inBasis := make(map[int]bool, m)
+	for _, j := range tb.basis {
+		inBasis[j] = true
+	}
+	for _, j := range target {
+		if inBasis[j] {
+			continue
+		}
+		// Pivot j in, displacing a row whose current basis column is not
+		// itself wanted; pick the largest pivot element for stability.
+		best, bestAbs := -1, 1e-7
+		for i := 0; i < m; i++ {
+			if want[tb.basis[i]] {
+				continue
+			}
+			if a := math.Abs(tb.t[i][j]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		delete(inBasis, tb.basis[best])
+		pivot(tb.t, tb.basis, best, j, tb.total)
+		inBasis[j] = true
+	}
+	return true
+}
+
+// SolveFrom re-solves the problem starting from the final basis of a
+// previous Optimal solve of a problem with identical rows, columns and
+// objective but (possibly) changed RHS values — the single-bound-change
+// re-solve of a constraint sweep. The basis stays dual feasible under an
+// RHS change, so the dual simplex method repairs primal feasibility in a
+// handful of pivots instead of re-deriving the basis from scratch; a
+// primal clean-up pass then certifies optimality. Any structural
+// mismatch, singular basis, or lost dual feasibility falls back to the
+// cold Solve path transparently (the pivots already spent still count in
+// Solution.Iters), so SolveFrom never answers worse than Solve — only
+// cheaper.
+func (p *Problem) SolveFrom(ctx context.Context, basis []int) (*Solution, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	m := len(p.rowRel)
+	n := p.n
+	tb := p.newTableau()
+	if !tb.install(basis) {
+		return p.Solve(ctx)
+	}
+	t, bs, total := tb.t, tb.basis, tb.total
+	maxIter := p.maxIters(m, total)
+	iters := 0
+	done := ctx.Done()
+
+	cost := make([]float64, total)
+	copy(cost, p.obj)
+	for j := n + tb.nSlack; j < total; j++ {
+		cost[j] = math.Inf(1)
+	}
+
+	st := dualSimplex(t, bs, cost, total, maxIter, &iters, done)
+	switch st {
+	case stCanceled:
+		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
+	case Infeasible:
+		return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, nil
+	case Optimal:
+		// Primal feasible again; the clean-up pass below certifies (and,
+		// if a reduced cost drifted negative, restores) optimality.
+	default:
+		// Iteration limit or lost dual feasibility: the warm path cannot
+		// certify anything from a primal-infeasible point, so pay for the
+		// cold solve instead of guessing.
+		sol, err := p.Solve(ctx)
+		if sol != nil {
+			sol.Iters += iters
+		}
+		return sol, err
+	}
+
+	st = simplex(t, bs, cost, total, maxIter, &iters, done)
+	switch st {
+	case stCanceled:
+		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iters: iters, Warmed: true}, nil
+	case IterLimit:
+		x, obj := p.extract(t, bs, m, n, total)
+		return &Solution{Status: IterLimit, X: x, Obj: obj, Iters: iters, Warmed: true}, nil
+	}
+	x, obj := p.extract(t, bs, m, n, total)
+	return &Solution{Status: Optimal, X: x, Obj: obj,
+		Basis: append([]int(nil), bs...), Iters: iters, Warmed: true,
+		State: p.captureState(t, bs, tb.nSlack, tb.nArt)}, nil
+}
+
+// SolveFromState re-solves the problem from the full end state of a
+// previous Optimal solve of a problem with identical coefficient rows,
+// columns and objective but (possibly) changed RHS values. Where
+// SolveFrom must rebuild the tableau and re-install the basis pivot by
+// pivot — O(m) pivots, each a full tableau pass, nearly the price of a
+// cold solve on small problems — this path clones the donor tableau and
+// refreshes only the basic values: the donor tableau already embeds the
+// basis inverse, and for each changed RHS b_k the column of row k's
+// slack variable holds ±B⁻¹eₖ, so the refresh is one axpy per changed
+// row. The dual simplex then repairs primal feasibility and a primal
+// clean-up pass certifies optimality, exactly as in SolveFrom.
+//
+// Safety: any layout mismatch — dimensions, relations, the RHS sign
+// pattern (which decides slack/artificial allocation), or a changed RHS
+// on a slackless EQ row — falls back to the cold Solve, and an Optimal
+// warm answer is verified feasible against THIS problem's rows before
+// being returned (cold fallback otherwise). A stale or foreign state
+// can cost time, never correctness.
+func (p *Problem) SolveFromState(ctx context.Context, st *State) (*Solution, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	m := len(p.rowRel)
+	n := p.n
+	if st == nil || st.n != n || len(st.tab) != m || len(st.basis) != m || len(st.rels) != m {
+		return p.Solve(ctx)
+	}
+	// Recompute this problem's standard-form layout row by row and bail to
+	// the cold path on the first divergence from the donor's.
+	slackSign := make([]float64, m) // slack coefficient (+1 LE, −1 GE), 0 for EQ
+	slackOf := make([]int, m)
+	newb := make([]float64, m)
+	nSlack := 0
+	for i := 0; i < m; i++ {
+		rel, rhs := p.rowRel[i], p.rowRHS[i]
+		flip := rhs < 0
+		if rel != st.rels[i] || flip != st.flips[i] {
+			return p.Solve(ctx)
+		}
+		if flip {
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		newb[i] = rhs
+		slackOf[i] = -1
+		switch rel {
+		case LE:
+			slackOf[i], slackSign[i] = nSlack, 1
+			nSlack++
+		case GE:
+			slackOf[i], slackSign[i] = nSlack, -1
+			nSlack++
+		}
+	}
+	if nSlack != st.nSlack {
+		return p.Solve(ctx)
+	}
+	total := n + st.nSlack + st.nArt
+
+	t := make([][]float64, m)
+	for i, row := range st.tab {
+		if len(row) != total+1 {
+			return p.Solve(ctx)
+		}
+		t[i] = append([]float64(nil), row...)
+	}
+	bs := append([]int(nil), st.basis...)
+
+	// Refresh the basic values for every changed RHS. Row k's slack
+	// column started as ±eₖ, so its current column is ±B⁻¹eₖ — exactly
+	// the direction the basic values move when b_k changes.
+	for k := 0; k < m; k++ {
+		d := newb[k] - st.b[k]
+		if d == 0 {
+			continue
+		}
+		if slackOf[k] < 0 {
+			return p.Solve(ctx) // EQ row changed: no slack column to read B⁻¹ from
+		}
+		col := n + slackOf[k]
+		step := slackSign[k] * d
+		for i := 0; i < m; i++ {
+			if c := t[i][col]; c != 0 {
+				t[i][total] += step * c
+			}
+		}
+	}
+
+	maxIter := p.maxIters(m, total)
+	iters := 0
+	done := ctx.Done()
+
+	cost := make([]float64, total)
+	copy(cost, p.obj)
+	for j := n + st.nSlack; j < total; j++ {
+		cost[j] = math.Inf(1)
+	}
+
+	cold := func() (*Solution, error) {
+		sol, err := p.Solve(ctx)
+		if sol != nil {
+			sol.Iters += iters
+		}
+		return sol, err
+	}
+
+	dst := dualSimplex(t, bs, cost, total, maxIter, &iters, done)
+	switch dst {
+	case stCanceled:
+		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
+	case Infeasible:
+		return &Solution{Status: Infeasible, Iters: iters, Warmed: true}, nil
+	case Optimal:
+		// Primal feasible again; fall through to the certifying pass.
+	default:
+		return cold()
+	}
+
+	dst = simplex(t, bs, cost, total, maxIter, &iters, done)
+	switch dst {
+	case stCanceled:
+		return nil, fmt.Errorf("lp: solve interrupted: %w", ctx.Err())
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iters: iters, Warmed: true}, nil
+	case IterLimit:
+		x, obj := p.extract(t, bs, m, n, total)
+		return &Solution{Status: IterLimit, X: x, Obj: obj, Iters: iters, Warmed: true}, nil
+	}
+	x, obj := p.extract(t, bs, m, n, total)
+	if !p.Feasible(x, 1e-6) {
+		// The donor state did not describe this problem after all.
+		return cold()
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj,
+		Basis: append([]int(nil), bs...), Iters: iters, Warmed: true,
+		State: p.captureState(t, bs, st.nSlack, st.nArt)}, nil
+}
+
+// stDualStall is dual simplex's internal "a reduced cost is negative"
+// outcome: the supplied basis was not dual feasible (numerical drift or
+// caller misuse), so the dual method's invariant is broken and the
+// caller must fall back to the primal path.
+const stDualStall Status = -2
+
+// dualSimplex restores primal feasibility of a dual-feasible basis: the
+// leaving row is the most negative RHS, the entering column the dual
+// ratio test over that row's negative coefficients. Returns Optimal once
+// every RHS is non-negative (primal feasible — not yet re-certified
+// optimal), Infeasible when a negative row has no negative coefficient
+// (that row is unsatisfiable for any x ≥ 0), stDualStall when a
+// candidate column's reduced cost is negative, IterLimit or stCanceled.
+func dualSimplex(t [][]float64, basis []int, cost []float64, total, maxIter int, iters *int, done <-chan struct{}) Status {
+	m := len(t)
+	cb := make([]float64, m)
+	for {
+		if *iters >= maxIter {
+			return IterLimit
+		}
+		if done != nil && *iters%cancelCheckStride == 0 {
+			select {
+			case <-done:
+				return stCanceled
+			default:
+			}
+		}
+		*iters++
+
+		leave := -1
+		worst := -1e-7
+		for i := 0; i < m; i++ {
+			if t[i][total] < worst {
+				worst = t[i][total]
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Optimal // primal feasible
+		}
+
+		for i := 0; i < m; i++ {
+			c := cost[basis[i]]
+			if math.IsInf(c, 1) {
+				c = 0 // basic artificial at value 0 contributes nothing
+			}
+			cb[i] = c
+		}
+
+		// Dual ratio test: minimize reduced[j] / |t[leave][j]| over the
+		// leaving row's negative coefficients; lowest column index breaks
+		// ties (Bland, so the dual walk cannot cycle). Reduced costs are
+		// priced lazily — only the leaving row's candidate columns need
+		// them, a small fraction of the tableau.
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < total; j++ {
+			a := t[leave][j]
+			if a >= -eps || math.IsInf(cost[j], 1) {
+				continue
+			}
+			r := cost[j]
+			for i := 0; i < m; i++ {
+				if cb[i] != 0 && t[i][j] != 0 {
+					r -= cb[i] * t[i][j]
+				}
+			}
+			if r < -1e-7 {
+				return stDualStall
+			}
+			if r < 0 {
+				r = 0
+			}
+			ratio := r / -a
+			if ratio < bestRatio-eps || (ratio < bestRatio+eps && (enter < 0 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return Infeasible
+		}
+		pivot(t, basis, leave, enter, total)
+	}
 }
 
 // extract reads the structural variable values and objective off the
@@ -451,25 +902,25 @@ func simplex(t [][]float64, basis []int, cost []float64, total, maxIter int, ite
 		}
 		*iters++
 
-		// Reduced costs: c_j - c_B · B⁻¹A_j (tableau form: c_j - Σ c_basis[i]·t[i][j]).
-		for j := 0; j < total; j++ {
-			if math.IsInf(cost[j], 1) {
-				reduced[j] = math.Inf(1)
-				// An infinite-cost column may still be basic (artificial at
-				// zero); it never enters.
+		// Reduced costs: c_j - c_B · B⁻¹A_j (tableau form: c_j - Σ c_basis[i]·t[i][j]),
+		// accumulated row-major. An infinite-cost column may still be basic
+		// (artificial at zero); it never enters, and a finite subtraction
+		// leaves its +Inf reduced cost intact.
+		copy(reduced, cost[:total])
+		for i := 0; i < m; i++ {
+			cb := cost[basis[i]]
+			if math.IsInf(cb, 1) {
+				cb = 0 // basic artificial at value 0 contributes nothing
+			}
+			if cb == 0 {
 				continue
 			}
-			r := cost[j]
-			for i := 0; i < m; i++ {
-				cb := cost[basis[i]]
-				if math.IsInf(cb, 1) {
-					cb = 0 // basic artificial at value 0 contributes nothing
-				}
-				if cb != 0 && t[i][j] != 0 {
-					r -= cb * t[i][j]
+			ti := t[i]
+			for j := 0; j < total; j++ {
+				if ti[j] != 0 {
+					reduced[j] -= cb * ti[j]
 				}
 			}
-			reduced[j] = r
 		}
 
 		// Entering column: most negative reduced cost (Dantzig), or the

@@ -21,6 +21,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/ilp"
 	"repro/internal/ir"
+	"repro/internal/lp"
 	"repro/internal/model"
 )
 
@@ -30,6 +31,12 @@ const (
 	// StrategyILPOptimal: the exact branch-and-bound solve finished
 	// within budget and proved its placement optimal.
 	StrategyILPOptimal = "ilp-optimal"
+	// StrategyWarmILPOptimal: same proven-optimal outcome, but reached
+	// while genuinely consuming warm state carried from a neighboring
+	// solve (accepted incumbent, carried bound, or warm-started root).
+	// The placement itself is byte-identical to the cold solve's; only
+	// the provenance differs.
+	StrategyWarmILPOptimal = "warm-ilp-optimal"
 	// StrategyILPIncumbent: a budget tripped mid-search; the best
 	// branch-and-bound incumbent was kept.
 	StrategyILPIncumbent = "ilp-incumbent"
@@ -65,6 +72,72 @@ type Result struct {
 	// deterministic — no wall-clock numbers — so identical budgets
 	// produce byte-identical results.
 	StrategyReason string
+	// Warm is the reusable solve state this result donates to a
+	// neighboring solve of the same program at different constraint
+	// bounds. Non-nil only on proven-optimal ILP results.
+	Warm *Warm
+	// WarmUse records which carried warm ingredients this solve actually
+	// consumed (all false on a cold solve).
+	WarmUse WarmUse
+}
+
+// Warm is reusable solve state carried between ILP solves of the same
+// model family — identical blocks, edges and energy parameters, varying
+// only the Rspare/Xlimit constraint bounds (the Figure 6 sweeps). The
+// monotonicity rule governs reuse:
+//
+//   - The donor's optimal placement is always worth OFFERING as a
+//     starting incumbent; the receiver admits it only if it is feasible
+//     under ITS bounds (automatic when the receiver is looser, checked
+//     when tighter).
+//   - The donor's objective is an admissible LOWER bound only when the
+//     receiver's feasible region is contained in the donor's (receiver
+//     at most as loose on every bound): shrinking a minimization's
+//     feasible region can only raise its optimum. When the offered
+//     incumbent is also admitted, optimum ≤ incumbent = donorObj ≤
+//     optimum closes the gap instantly — the common case along a
+//     tightening sweep while the optimum is unchanged.
+//
+// Every ingredient is independently validated by the receiver, so a
+// stale or mismatched Warm can cost time but never change an answer.
+type Warm struct {
+	// Incumbent is the donor's proven-optimal placement (an empty map is
+	// the all-flash placement; nil means no placement is carried).
+	Incumbent map[string]bool
+	// Obj is the donor's optimal objective in LP units.
+	Obj float64
+	// Basis and RootIters are the donor root relaxation's final basis
+	// and pivot count (see lp.Solution); State is its full end state,
+	// which resumes the receiver's root far cheaper than the bare basis.
+	Basis     []int
+	State     *lp.State
+	RootIters int
+	// Rspare and Xlimit are the donor's constraint bounds — the
+	// provenance the monotonicity rule is checked against.
+	Rspare, Xlimit float64
+	// Proven confirms the donor solve proved optimality; without it no
+	// bound may be carried.
+	Proven bool
+}
+
+// WarmUse itemizes how a solve consumed carried warm state.
+type WarmUse struct {
+	// Consumed is true when any ingredient below was actually used —
+	// the condition for the warm-ilp-optimal strategy rung.
+	Consumed bool
+	// Incumbent: the donor placement was admitted as starting incumbent.
+	Incumbent bool
+	// Bound: the donor objective was carried as an admissible bound.
+	Bound bool
+	// Basis: the donor basis warm-started the root LP (dual simplex ran;
+	// false when SolveFrom fell back to a cold solve).
+	Basis bool
+	// InstantProof: the bound proved the incumbent optimal with zero LP
+	// solves.
+	InstantProof bool
+	// ItersSaved estimates simplex pivots avoided at the root relative
+	// to the donor's root solve.
+	ItersSaved int
 }
 
 // Budget bounds a placement solve. The zero value means no bound beyond
@@ -91,6 +164,15 @@ func (b Budget) IsZero() bool { return b == Budget{} }
 // An error is returned only when the budget ran out before any feasible
 // placement existed (matching errs.ErrBudget) or ctx was cancelled.
 func SolveILP(ctx context.Context, m *model.Model, budget Budget) (*Result, error) {
+	return SolveILPWarm(ctx, m, budget, nil)
+}
+
+// SolveILPWarm is SolveILP with carried warm state from a neighboring
+// solve of the same model family (nil warm = cold solve). The warm
+// ingredients are translated into an ilp.WarmStart under the
+// monotonicity rule documented on Warm; the answer is always the one
+// the cold solve would give, warm state only shortens the path to it.
+func SolveILPWarm(ctx context.Context, m *model.Model, budget Budget, warm *Warm) (*Result, error) {
 	prob, vars := m.BuildILP()
 	if budget.MaxLPIter > 0 {
 		prob.MaxIter = budget.MaxLPIter
@@ -100,23 +182,68 @@ func SolveILP(ctx context.Context, m *model.Model, budget Budget) (*Result, erro
 		binaries = append(binaries, j)
 	}
 	sort.Ints(binaries)
+
+	var ws *ilp.WarmStart
+	carriedBound := false
+	if warm != nil {
+		ws = &ilp.WarmStart{Basis: warm.Basis, State: warm.State, RootIters: warm.RootIters}
+		if warm.Incumbent != nil {
+			// Offered unconditionally; the solver admits it only after
+			// its own integrality and feasibility checks.
+			ws.Incumbent = m.MaterializeX(vars, warm.Incumbent)
+		}
+		// The donor bound is admissible only when this feasible region is
+		// contained in the donor's (every bound at most as loose).
+		if warm.Proven &&
+			m.Params.Rspare <= warm.Rspare+1e-9 &&
+			m.Params.Xlimit <= warm.Xlimit+1e-9 {
+			ws.Bound, ws.HasBound = warm.Obj, true
+			carriedBound = true
+		}
+	}
+
 	solver := &ilp.Solver{
 		Base:     prob,
 		Binaries: binaries,
 		MaxNodes: budget.MaxNodes,
 		Rounder:  m.Rounder(vars),
+		Warm:     ws,
 	}
 	res, err := solver.Solve(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("placement: ilp solve: %w", err)
 	}
+
+	use := WarmUse{
+		Incumbent:    res.WarmIncumbent,
+		Bound:        carriedBound,
+		Basis:        res.WarmRoot,
+		InstantProof: res.WarmProof,
+	}
+	use.Consumed = use.Incumbent || use.Basis || use.InstantProof
+	if warm != nil {
+		switch {
+		case res.WarmProof:
+			use.ItersSaved = warm.RootIters
+		case res.WarmRoot && warm.RootIters > res.RootIters:
+			use.ItersSaved = warm.RootIters - res.RootIters
+		}
+	}
+
 	switch res.Status {
 	case ilp.Infeasible:
 		// Rspare/Xlimit leave no room: the all-flash placement is the
 		// answer (it is always feasible for Xlimit ≥ 1).
 		empty := map[string]bool{}
 		return &Result{Method: "ilp", InRAM: empty, Outcome: m.Evaluate(empty),
-			Proven: true, Strategy: StrategyILPOptimal}, nil
+			Proven: true, Strategy: StrategyILPOptimal,
+			Warm: &Warm{
+				Incumbent: empty,
+				Obj:       prob.Objective(make([]float64, prob.NumVars())),
+				Rspare:    m.Params.Rspare,
+				Xlimit:    m.Params.Xlimit,
+				Proven:    true,
+			}}, nil
 	case ilp.Unbounded:
 		return nil, fmt.Errorf("placement: ilp relaxation unbounded (model bug)")
 	}
@@ -127,8 +254,11 @@ func SolveILP(ctx context.Context, m *model.Model, budget Budget) (*Result, erro
 		Outcome: m.Evaluate(inRAM),
 		Nodes:   res.Nodes,
 		Proven:  res.Status == ilp.Optimal,
+		WarmUse: use,
 	}
 	switch {
+	case r.Proven && use.Consumed:
+		r.Strategy = StrategyWarmILPOptimal
 	case r.Proven:
 		r.Strategy = StrategyILPOptimal
 	case res.Nodes <= 1:
@@ -139,6 +269,18 @@ func SolveILP(ctx context.Context, m *model.Model, budget Budget) (*Result, erro
 	default:
 		r.Strategy = StrategyILPIncumbent
 		r.StrategyReason = degradeReason(res.Stop)
+	}
+	if r.Proven {
+		r.Warm = &Warm{
+			Incumbent: inRAM,
+			Obj:       res.Obj,
+			Basis:     res.RootBasis,
+			State:     res.RootState,
+			RootIters: res.RootIters,
+			Rspare:    m.Params.Rspare,
+			Xlimit:    m.Params.Xlimit,
+			Proven:    true,
+		}
 	}
 	return r, nil
 }
@@ -168,14 +310,19 @@ func degradeReason(err error) string {
 // model. The LP-relaxation rung is realized inside the branch and bound
 // (the Rounder seeds the incumbent from the root relaxation), so no
 // relaxation is ever solved twice.
-func SolveLadder(ctx context.Context, m *model.Model, budget Budget) (*Result, error) {
+//
+// A non-nil warm carries reusable state from a neighboring solve into
+// the top rung; a proven solve that actually consumed it records the
+// warm-ilp-optimal strategy. The degraded rungs ignore warm state — an
+// unproven answer must not depend on what a neighbor happened to solve.
+func SolveLadder(ctx context.Context, m *model.Model, budget Budget, warm *Warm) (*Result, error) {
 	solveCtx := ctx
 	if budget.Timeout > 0 {
 		var cancel context.CancelFunc
 		solveCtx, cancel = context.WithTimeout(ctx, budget.Timeout)
 		defer cancel()
 	}
-	res, err := SolveILP(solveCtx, m, budget)
+	res, err := SolveILPWarm(solveCtx, m, budget, warm)
 	if err == nil {
 		return res, nil
 	}

@@ -98,6 +98,98 @@ func TestOptimizeEndpoint(t *testing.T) {
 	}
 }
 
+func TestOptimizeConditionalRequest(t *testing.T) {
+	srv, ts := newTestServer(t)
+	req := OptimizeRequest{Bench: "crc32", Level: "O2"}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(inm string) *http.Response {
+		t.Helper()
+		hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if inm != "" {
+			hreq.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	first := post("")
+	io.Copy(io.Discard, first.Body)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", first.StatusCode)
+	}
+	etag := first.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("ETag = %q, want a quoted validator", etag)
+	}
+
+	// Replaying the identical request with the validator skips the
+	// pipeline: 304, no body, same tag.
+	for _, inm := range []string{etag, "W/" + etag, `"stale-tag", ` + etag, "*"} {
+		resp := post(inm)
+		got, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: status = %d, want 304 (%s)", inm, resp.StatusCode, got)
+		}
+		if resp.Header.Get("ETag") != etag {
+			t.Fatalf("If-None-Match %q: ETag = %q, want %q", inm, resp.Header.Get("ETag"), etag)
+		}
+		if len(got) != 0 {
+			t.Fatalf("304 carried a body: %s", got)
+		}
+	}
+
+	// A stale validator re-runs the request and re-sends the document.
+	resp := post(`"stale-tag"`)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") != etag {
+		t.Fatalf("stale validator: status %d etag %q", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	// A different request fingerprint gets a different tag even when the
+	// client presents the old one.
+	other, err := json.Marshal(OptimizeRequest{Bench: "crc32", Level: "O2", Rspare: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", bytes.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("If-None-Match", etag)
+	oresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oresp.Body.Close()
+	io.Copy(io.Discard, oresp.Body)
+	if oresp.StatusCode != http.StatusOK {
+		t.Fatalf("different knobs under old validator: status = %d, want 200", oresp.StatusCode)
+	}
+	if oetag := oresp.Header.Get("ETag"); oetag == etag || oetag == "" {
+		t.Fatalf("different knobs share a validator: %q", oetag)
+	}
+
+	stats := srv.Stats()
+	if stats.Requests.NotModified != 4 {
+		t.Fatalf("not_modified = %d, want 4", stats.Requests.NotModified)
+	}
+	if stats.Requests.OK != 3+4 { // three 200s + four 304s
+		t.Fatalf("ok = %d, want 7", stats.Requests.OK)
+	}
+}
+
 func TestOptimizeInlineSource(t *testing.T) {
 	_, ts := newTestServer(t)
 	status, body := postJSON(t, ts.URL+"/v1/optimize", OptimizeRequest{Source: tinySource, Name: "tiny", Level: "O2"})

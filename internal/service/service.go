@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -64,6 +65,7 @@ type Server struct {
 		total, inFlight              atomic.Uint64
 		ok, clientErr, serverErr     atomic.Uint64
 		canceled, timedOut, rejected atomic.Uint64
+		notModified                  atomic.Uint64
 	}
 }
 
@@ -263,6 +265,19 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	// The response for a given request is deterministic (the byte-
+	// identity contract below), so a validator derived purely from the
+	// request fingerprint is sound: same program, level and knobs mean
+	// the same document, however it was solved. A client replaying a
+	// request with If-None-Match skips the pipeline entirely.
+	etag := optimizeETag(cell)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		s.countStatus(http.StatusNotModified)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
@@ -285,10 +300,48 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := evaluation.NewRunJSON(run)
 	s.countStatus(http.StatusOK)
+	w.Header().Set("ETag", etag)
 	// Byte-identity contract: this is exactly the document (and exactly
 	// the encoding — two-space indent, trailing newline) `flashram
 	// -json` writes for the same request, cold or warm.
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// optimizeETag fingerprints a resolved /v1/optimize request into a
+// strong entity tag: the same content-addressed hash scheme the session
+// store keys on (core.SessionKey), extended over every knob that can
+// reach the emitted document. TimeoutMS is deliberately excluded — it
+// changes whether the request finishes, never what it says.
+func optimizeETag(cell evaluation.Cell) string {
+	o := cell.Opts
+	return `"` + core.SessionKey(
+		"optimize/v1",
+		cell.Bench.Name, cell.Bench.Source, cell.Level.String(),
+		string(o.Solver),
+		fmt.Sprintf("%g/%g", o.Xlimit, o.Rspare),
+		fmt.Sprintf("%v/%v/%d", o.UseProfile, o.LinkTime, o.MaxInstrs),
+		fmt.Sprintf("%d/%d/%d", o.SolveMaxNodes, o.SolveMaxLPIter, int64(o.SolveTimeout)),
+	) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-
+// separated validator list, "*" matching anything, weak validators
+// compared by opaque tag (RFC 9110's weak comparison — the document is
+// deterministic, so weak and strong coincide here).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, tok := range strings.Split(header, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "*" {
+			return true
+		}
+		if strings.TrimPrefix(tok, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // runCell executes one pipeline run against the shared store, under the
@@ -297,9 +350,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runCell(ctx context.Context, cell evaluation.Cell) (*evaluation.Run, error) {
 	var run *evaluation.Run
 	err := evaluation.Isolated(func() error {
+		// The daemon's sessions solve warm: requests at neighbouring
+		// constraints (a client walking a trade-off curve) reuse each
+		// other's solve state, and the emitted documents are identical
+		// either way.
 		sess, err := s.store.GetSession(
 			core.SessionKey(cell.Bench.Source, cell.Level.String()),
-			func() (*core.Session, error) { return evaluation.NewSession(cell.Bench, cell.Level) })
+			func() (*core.Session, error) { return evaluation.NewWarmSession(cell.Bench, cell.Level) })
 		if err != nil {
 			// The session build is compile + verify: its failures are
 			// request-shaped (the source does not compile), not server
@@ -447,6 +504,10 @@ type StatsDoc struct {
 	// SessionStats totals fold it together with the per-stage memos.
 	Store        core.CacheStats       `json:"store"`
 	SessionStats evaluation.SweepStats `json:"session_stats"`
+	// SolverStats is the warm-start solver ledger aggregated over every
+	// session the store has held — the same schema `beebsbench -json`
+	// emits, so sweep-local and cross-request solver reuse read alike.
+	SolverStats core.SolverStats `json:"solver_stats"`
 }
 
 // RequestStats counts requests by outcome class.
@@ -455,13 +516,16 @@ type RequestStats struct {
 	InFlight uint64 `json:"in_flight"`
 	// OK counts 2xx; ClientError 4xx; ServerError 5xx; Canceled the
 	// 499s (client went away); Rejected the drain-mode 503s (also in
-	// ServerError); TimedOut the 504s (also in ServerError).
+	// ServerError); TimedOut the 504s (also in ServerError);
+	// NotModified the conditional-request 304s (also in OK — the client
+	// got exactly what it asked for, without a pipeline run).
 	OK          uint64 `json:"ok"`
 	ClientError uint64 `json:"client_error"`
 	ServerError uint64 `json:"server_error"`
 	Canceled    uint64 `json:"canceled"`
 	TimedOut    uint64 `json:"timed_out"`
 	Rejected    uint64 `json:"rejected"`
+	NotModified uint64 `json:"not_modified"`
 }
 
 // Stats snapshots the server's ledger (the /statsz document).
@@ -480,9 +544,11 @@ func (s *Server) Stats() StatsDoc {
 			Canceled:    s.requests.canceled.Load(),
 			TimedOut:    s.requests.timedOut.Load(),
 			Rejected:    s.requests.rejected.Load(),
+			NotModified: s.requests.notModified.Load(),
 		},
 		Store:        cs,
 		SessionStats: evaluation.NewSweepStats(cs.Hits, cs.Misses, s.store.StageStats()),
+		SolverStats:  s.store.SolverStats(),
 	}
 }
 
@@ -508,6 +574,9 @@ func (s *Server) countStatus(status int) {
 	switch {
 	case status == errs.StatusClientClosedRequest:
 		s.requests.canceled.Add(1)
+	case status == http.StatusNotModified:
+		s.requests.ok.Add(1)
+		s.requests.notModified.Add(1)
 	case status >= 200 && status < 300:
 		s.requests.ok.Add(1)
 	case status >= 400 && status < 500:

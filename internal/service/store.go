@@ -53,8 +53,10 @@ type Store struct {
 	// retired accumulates the stage counters of evicted sessions
 	// (snapshotted at eviction), so the /statsz ledger stays cumulative
 	// over the daemon's lifetime rather than resetting when the LRU
-	// turns over.
-	retired core.SessionStats
+	// turns over. retiredSolver does the same for the warm-start solver
+	// counters.
+	retired       core.SessionStats
+	retiredSolver core.SolverStats
 }
 
 type storeEntry struct {
@@ -143,6 +145,7 @@ func (s *Store) evictLocked() {
 			// contained — but work it does after this snapshot is not
 			// re-counted.
 			s.retired.Add(victim.sess.Stats())
+			s.retiredSolver.Add(victim.sess.SolverStats())
 		}
 	}
 }
@@ -174,6 +177,25 @@ func (s *Store) StageStats() core.SessionStats {
 	s.mu.Unlock()
 	for _, sess := range live {
 		out.Add(sess.Stats())
+	}
+	return out
+}
+
+// SolverStats aggregates the warm-start solver counters across every
+// live session plus the retained snapshots of evicted ones — the
+// `solver_stats` half of the /statsz ledger.
+func (s *Store) SolverStats() core.SolverStats {
+	s.mu.Lock()
+	live := make([]*core.Session, 0, len(s.entries))
+	for _, e := range s.entries {
+		if e.built && e.sess != nil {
+			live = append(live, e.sess)
+		}
+	}
+	out := s.retiredSolver
+	s.mu.Unlock()
+	for _, sess := range live {
+		out.Add(sess.SolverStats())
 	}
 	return out
 }

@@ -37,6 +37,20 @@ if [ -n "$globals" ]; then
     exit 1
 fi
 
+# The solver stack threads warm state explicitly — lp.State flows
+# through ilp.WarmStart, placement.Warm and core.Session's memo. A
+# package-global cache there would alias tableaus across concurrent
+# sessions and break the byte-identity guarantee (DESIGN.md §6j).
+# Sentinel errors (`var Err...`) are the one legitimate package var.
+solverGlobals=$(grep -n '^var ' internal/lp/*.go internal/ilp/*.go \
+    internal/placement/*.go internal/core/*.go \
+    | grep -v '_test.go:' | grep -v ':var Err' || true)
+if [ -n "$solverGlobals" ]; then
+    echo "solver packages grew package-global state (thread it through lp.State/ilp.WarmStart/placement.Warm instead):" >&2
+    echo "$solverGlobals" >&2
+    exit 1
+fi
+
 # The pipeline promises panic isolation (DESIGN.md §6g): a pathological
 # cell forfeits only its own result. A naked panic() in the pipeline
 # packages defeats that by design — misuse and broken invariants must
