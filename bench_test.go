@@ -335,6 +335,34 @@ func BenchmarkSimThroughput(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
 }
 
+// BenchmarkSimThroughputNoFuse is BenchmarkSimThroughput with superblock
+// fusion disabled (sim.Machine.NoFuse, the beebsbench -nofuse knob): pure
+// slot-at-a-time dispatch on the same workload. The ratio between the two
+// is the fused engine's same-host speedup recorded in BENCH_sim.json.
+func BenchmarkSimThroughputNoFuse(b *testing.B) {
+	prog, err := mcc.Compile(beebs.Get("int_matmult").Source, mcc.O2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := layout.New(prog, layout.DefaultConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.New(img, power.STM32F100())
+	m.NoFuse = true
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		st, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += st.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "MIPS")
+}
+
 // BenchmarkSimThroughputCancellable is BenchmarkSimThroughput with a live
 // cancellable context threaded through RunContext: the delta between the
 // two is the price of the cooperative cancellation poll (one nil test and

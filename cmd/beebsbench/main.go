@@ -15,6 +15,15 @@
 // machine-readable document — including the session_stats reuse counters
 // — using the schema shared with `flashram profile -json` and
 // `tradeoff -json`.
+//
+// Sweeps also shard across processes: `-shard i/n` runs only the cells
+// whose stable index j satisfies j%n == i and emits a mergeable JSON
+// fragment; `beebsbench -merge frag0.json … fragN-1.json` validates the
+// fragments form one partition and reassembles the exact unsharded
+// document. Merged documents are ledger-free, so compare them against an
+// unsharded `-noledger` run. `-nofuse` forces the simulator's slot-at-a-
+// time dispatch (identical output, no superblock fusion — the
+// differential-testing knob).
 package main
 
 import (
@@ -30,7 +39,7 @@ import (
 	"repro/internal/beebs"
 	"repro/internal/casestudy"
 	"repro/internal/cliutil"
-	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
 )
@@ -38,28 +47,10 @@ import (
 // document is the `beebsbench -json` output: one optional section per
 // selected experiment, plus the sweep's pipeline-reuse counters (all the
 // sections run through one evaluation.Sweep, so e.g. -all pays for each
-// benchmark×level compile and baseline simulation once).
-type document struct {
-	Fig5         []evaluation.Figure5RowJSON    `json:"fig5,omitempty"`
-	Aggregate    *evaluation.AggregateJSON      `json:"aggregate,omitempty"`
-	Savers       []evaluation.SaversRowJSON     `json:"savers,omitempty"`
-	CaseStudy    *evaluation.ScenarioJSON       `json:"casestudy,omitempty"`
-	Fig9         []evaluation.Figure9SeriesJSON `json:"fig9,omitempty"`
-	Selection    []evaluation.BestJSON          `json:"selection,omitempty"`
-	SessionStats evaluation.SweepStats          `json:"session_stats"`
-	// SolverStats counts what the warm-started solver stack reused
-	// across the sweep (same schema as the daemon's /statsz).
-	SolverStats core.SolverStats `json:"solver_stats"`
-	WallMS      float64          `json:"wall_ms"`
-	Workers     int              `json:"workers"`
-
-	// Status is "incomplete" when any selected section was cut short —
-	// by -timeout, an interrupt, or a failing cell — in which case
-	// Errors lists what went wrong and the affected section rows carry
-	// incomplete markers. Absent on a clean run.
-	Status string   `json:"status,omitempty"`
-	Errors []string `json:"errors,omitempty"`
-}
+// benchmark×level compile and baseline simulation once). The schema
+// lives in internal/evaluation so shard fragments merge against the
+// exact emitted shape.
+type document = evaluation.Document
 
 func main() {
 	var (
@@ -74,14 +65,32 @@ func main() {
 		workers   = flag.Int("workers", 1, "benchmark sweep worker goroutines")
 		top       = flag.Int("top", 3, "blocks per run in the -savers report")
 		asJSON    = flag.Bool("json", false, "emit the selected sections as one JSON document")
+		shardSpec = flag.String("shard", "", "run only sweep cells owned by shard `i/n` and emit a mergeable fragment (implies -json)")
+		merge     = flag.Bool("merge", false, "merge the shard fragment files given as arguments into the unsharded document and exit")
+		noledger  = flag.Bool("noledger", false, "omit the process ledgers (session_stats, solver_stats, wall_ms, workers) so documents are byte-comparable across runs")
+		noFuse    = flag.Bool("nofuse", false, "force slot-at-a-time simulator dispatch instead of superblock fusion (identical output; differential-testing knob)")
 		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry — or SIGINT — the sweep stops and the partial document is still emitted")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to `file`")
 		memProf   = flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
 	flag.Parse()
+	if *merge {
+		if err := runMerge(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *sel || *all) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	var shard evaluation.Shard
+	if *shardSpec != "" {
+		var err error
+		if shard, err = evaluation.ParseShard(*shardSpec); err != nil {
+			fatal(err)
+		}
+		*asJSON = true
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -95,12 +104,29 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	sw := evaluation.NewSweep(*workers)
+	sw.NoFuse = *noFuse
+	sw.Shard = shard
 	ctx, stop := cliutil.Context(*timeout)
 	defer stop()
 
 	start := time.Now()
 	var doc document
 	doc.Workers = *workers
+	if shard.Count > 1 {
+		sections := []string{}
+		addSection := func(on bool, name string) {
+			if on {
+				sections = append(sections, name)
+			}
+		}
+		addSection(*fig5 || *all, "fig5")
+		addSection(*aggregate || *all, "aggregate")
+		addSection(*savers || *all, "savers")
+		addSection(*study || *all, "casestudy")
+		addSection(*fig9 || *all, "fig9")
+		addSection(*sel || *all, "select")
+		doc.Shard = &evaluation.ShardJSON{Index: shard.Index, Count: shard.Count, Sections: sections}
+	}
 	// Each selected section runs to whatever extent the context allows;
 	// a failed or interrupted section contributes its partial rows and
 	// an entry in doc.Errors rather than aborting the document.
@@ -118,7 +144,8 @@ func main() {
 	if *savers || *all {
 		step("savers", func() error { return runSavers(ctx, sw, *asJSON, *top, &doc) })
 	}
-	if *study || *all {
+	if (*study || *all) && shard.Owns(0) {
+		// The case study is one cell (fdct O2); it belongs to shard 0.
 		step("casestudy", func() error { return runCaseStudy(ctx, sw, *asJSON, &doc) })
 	}
 	if *fig9 || *all {
@@ -129,8 +156,14 @@ func main() {
 		step("select", func() error { return runSelect(ctx, sw, *asJSON, &doc) })
 	}
 	doc.WallMS = float64(time.Since(start).Microseconds()) / 1e3
-	doc.SessionStats = sw.Stats()
-	doc.SolverStats = sw.SolverStats()
+	st := sw.Stats()
+	solver := sw.SolverStats()
+	if *noledger {
+		doc.WallMS, doc.Workers = 0, 0
+	} else {
+		doc.SessionStats = &st
+		doc.SolverStats = &solver
+	}
 	if len(doc.Errors) > 0 {
 		doc.Status = "incomplete"
 	}
@@ -142,9 +175,9 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		st := doc.SessionStats
 		fmt.Printf("wall clock: %.0f ms with %d worker(s); %d compiles, %d stage reuses, %d simulator runs\n",
-			doc.WallMS, *workers, st.SessionMisses, st.Stages.Reuses(), st.Stages.SimRuns)
+			float64(time.Since(start).Microseconds())/1e3, *workers,
+			st.SessionMisses, st.Stages.Reuses(), st.Stages.SimRuns)
 	}
 
 	if *memProf != "" {
@@ -311,7 +344,10 @@ func runSelect(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *docu
 	if !asJSON {
 		fmt.Println("== best configuration per benchmark (O2) ==")
 	}
-	for _, b := range beebs.All() {
+	for i, b := range beebs.All() {
+		if !sw.Shard.Owns(i) {
+			continue
+		}
 		best, err := sw.BestConfig(ctx, b, mcc.O2, cands)
 		if err != nil {
 			if firstErr == nil {
@@ -336,6 +372,32 @@ func runSelect(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *docu
 		fmt.Println()
 	}
 	return firstErr
+}
+
+// runMerge reassembles an unsharded document from one fragment file per
+// shard (evaluation.MergeShards validates they form one partition) and
+// writes it to stdout with the same encoder settings as a direct run.
+func runMerge(files []string) error {
+	if len(files) == 0 {
+		return errs.BadInput(fmt.Errorf("-merge: no fragment files given"))
+	}
+	frags := make([]evaluation.Document, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return errs.BadInput(err)
+		}
+		if err := json.Unmarshal(data, &frags[i]); err != nil {
+			return errs.BadInput(fmt.Errorf("%s: %v", f, err))
+		}
+	}
+	doc, err := evaluation.MergeShards(frags, files)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func fatal(err error) {

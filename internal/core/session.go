@@ -45,6 +45,7 @@ type Session struct {
 	profile   *power.Profile
 	layout    layout.Config
 	warmSolve bool
+	noFuse    bool
 
 	counters sessionCounters
 
@@ -100,6 +101,13 @@ type SessionConfig struct {
 	// concurrent solves) must leave this off; the sweeps and the service
 	// turn it on.
 	WarmSolve bool
+	// NoFuse forces every simulator run to slot-at-a-time dispatch,
+	// bypassing the superblock engine (sim.Machine.NoFuse). Outputs are
+	// byte-identical either way — that identity is the fused engine's
+	// contract and what the differential sweeps assert — so this is a
+	// debug/verification knob (beebsbench -nofuse), never a semantics
+	// switch.
+	NoFuse bool
 }
 
 // NewSession verifies the program once and wraps it in an empty staged
@@ -115,7 +123,7 @@ func NewSession(p *ir.Program, cfg SessionConfig) (*Session, error) {
 	if err := ir.Verify(p); err != nil {
 		return nil, errs.Wrap(errs.StageVerify, err)
 	}
-	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout, warmSolve: cfg.WarmSolve}, nil
+	return &Session{prog: p, profile: cfg.Profile, layout: cfg.Layout, warmSolve: cfg.WarmSolve, noFuse: cfg.NoFuse}, nil
 }
 
 // Program returns the session's (immutable) input program.
@@ -129,9 +137,11 @@ func (s *Session) acquireMachine(img *layout.Image) *sim.Machine {
 	s.machines.free = nil
 	s.machines.mu.Unlock()
 	if m == nil {
-		return sim.New(img, s.profile)
+		m = sim.New(img, s.profile)
+	} else {
+		m.SetImage(img)
 	}
-	m.SetImage(img)
+	m.NoFuse = s.noFuse
 	return m
 }
 

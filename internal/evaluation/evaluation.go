@@ -126,12 +126,13 @@ type Figure5Row struct {
 // says which items failed and why.
 func (sw *Sweep) Figure5(ctx context.Context, levels []mcc.OptLevel) ([]Figure5Row, error) {
 	jobs := sweepJobs(levels)
-	rows := make([]Figure5Row, len(jobs))
-	for i, j := range jobs {
-		rows[i] = Figure5Row{Bench: j.bench.Name, Level: j.level, Incomplete: true}
+	own := sw.Shard.indices(len(jobs))
+	rows := make([]Figure5Row, len(own))
+	for i, j := range own {
+		rows[i] = Figure5Row{Bench: jobs[j].bench.Name, Level: jobs[j].level, Incomplete: true}
 	}
-	err := sw.forEach(ctx, len(jobs), func(i int) error {
-		j := jobs[i]
+	err := sw.forEach(ctx, len(own), func(i int) error {
+		j := jobs[own[i]]
 		static, err := sw.RunBenchmark(ctx, j.bench, j.level, Options{})
 		if err != nil {
 			return err
@@ -207,9 +208,10 @@ type Aggregate struct {
 func (sw *Sweep) RunAggregate(ctx context.Context, levels []mcc.OptLevel) (*Aggregate, error) {
 	agg := &Aggregate{Levels: levels}
 	jobs := sweepJobs(levels)
-	runs := make([]*Run, len(jobs))
-	err := sw.forEach(ctx, len(jobs), func(i int) error {
-		r, err := sw.RunBenchmark(ctx, jobs[i].bench, jobs[i].level, Options{})
+	own := sw.Shard.indices(len(jobs))
+	runs := make([]*Run, len(own))
+	err := sw.forEach(ctx, len(own), func(i int) error {
+		r, err := sw.RunBenchmark(ctx, jobs[own[i]].bench, jobs[own[i]].level, Options{})
 		if err != nil {
 			return err
 		}
@@ -274,12 +276,13 @@ type SaversRow struct {
 // failure every cell is still present, failed ones marked Incomplete.
 func (sw *Sweep) TopSavers(ctx context.Context, levels []mcc.OptLevel, n int) ([]SaversRow, error) {
 	jobs := sweepJobs(levels)
-	rows := make([]SaversRow, len(jobs))
-	for i, j := range jobs {
-		rows[i] = SaversRow{Bench: j.bench.Name, Level: j.level, Incomplete: true}
+	own := sw.Shard.indices(len(jobs))
+	rows := make([]SaversRow, len(own))
+	for i, j := range own {
+		rows[i] = SaversRow{Bench: jobs[j].bench.Name, Level: jobs[j].level, Incomplete: true}
 	}
-	err := sw.forEach(ctx, len(jobs), func(i int) error {
-		r, err := sw.RunBenchmark(ctx, jobs[i].bench, jobs[i].level, Options{Trace: true})
+	err := sw.forEach(ctx, len(own), func(i int) error {
+		r, err := sw.RunBenchmark(ctx, jobs[own[i]].bench, jobs[own[i]].level, Options{Trace: true})
 		if err != nil {
 			return err
 		}
@@ -452,7 +455,10 @@ type Figure9Series struct {
 // same Sweep has already paid for these cells.
 func (sw *Sweep) Figure9(ctx context.Context, level mcc.OptLevel, multiples []float64) ([]Figure9Series, error) {
 	var out []Figure9Series
-	for _, name := range []string{"fdct", "int_matmult", "2dfir"} {
+	for j, name := range []string{"fdct", "int_matmult", "2dfir"} {
+		if !sw.Shard.Owns(j) {
+			continue
+		}
 		r, err := sw.RunBenchmark(ctx, beebs.Get(name), level, Options{})
 		if err != nil {
 			// The completed series still stand; the error names the

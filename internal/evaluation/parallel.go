@@ -59,6 +59,24 @@ type Sweep struct {
 	// returned regardless; the daemon never mixes the two.
 	ColdSolve bool
 
+	// NoFuse builds the sweep's sessions with superblock fusion disabled
+	// (core.SessionConfig.NoFuse → sim.Machine.NoFuse): every simulated
+	// run dispatches slot-at-a-time. Outputs are byte-identical either
+	// way — the differential tests and `beebsbench -nofuse` exist to
+	// prove exactly that. As with ColdSolve, a Cache-owned session may
+	// have been built with the other setting; the daemon never mixes
+	// the two.
+	NoFuse bool
+
+	// Shard restricts the sweep drivers (Figure5, RunAggregate,
+	// TopSavers, Figure9) to the cells this shard owns: cell j runs — and
+	// appears in the output — iff j % Shard.Count == Shard.Index, with
+	// cells enumerated in the driver's fixed order. The zero value runs
+	// everything. Fragments produced by complementary shards merge back
+	// into the exact unsharded document (MergeShards, `beebsbench
+	// -merge`).
+	Shard Shard
+
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
 
@@ -84,7 +102,7 @@ type sessionEntry struct {
 // memory map. Solves are cold: single-shot callers have no constraint
 // sweep to chain warm state across.
 func NewSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
-	return newSession(b, level, false)
+	return newSession(b, level, false, false)
 }
 
 // NewWarmSession is NewSession with warm-started solves enabled: solves
@@ -93,15 +111,15 @@ func NewSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
 // the daemon build their sessions through it; placements and reported
 // numbers match NewSession's exactly.
 func NewWarmSession(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session, error) {
-	return newSession(b, level, true)
+	return newSession(b, level, true, false)
 }
 
-func newSession(b *beebs.Benchmark, level mcc.OptLevel, warm bool) (*core.Session, error) {
+func newSession(b *beebs.Benchmark, level mcc.OptLevel, warm, noFuse bool) (*core.Session, error) {
 	prog, err := mcc.Compile(b.Source, level)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewSession(prog, core.SessionConfig{WarmSolve: warm})
+	return core.NewSession(prog, core.SessionConfig{WarmSolve: warm, NoFuse: noFuse})
 }
 
 // Session returns the sweep's shared pipeline for one benchmark×level
@@ -122,7 +140,7 @@ func (sw *Sweep) Session(b *beebs.Benchmark, level mcc.OptLevel) (*core.Session,
 	}
 	sw.mu.Unlock()
 	e.once.Do(func() {
-		build := func() (*core.Session, error) { return newSession(b, level, !sw.ColdSolve) }
+		build := func() (*core.Session, error) { return newSession(b, level, !sw.ColdSolve, sw.NoFuse) }
 		if sw.Cache != nil {
 			e.sess, e.err = sw.Cache.GetSession(core.SessionKey(b.Source, level.String()), build)
 			return

@@ -1,0 +1,92 @@
+package evaluation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/errs"
+)
+
+// Shard selects a deterministic slice of a sweep's cells so independent
+// processes (or CI jobs) can split one evaluation and merge the JSON
+// fragments afterwards (`beebsbench -shard i/n` + `beebsbench -merge`).
+//
+// Every sweep driver enumerates its cells in a fixed order — benchmark-
+// major for the benchmark × level sweeps, series order for Figure 9 —
+// and a shard owns cell j exactly when j % Count == Index. Ownership
+// therefore depends only on the cell enumeration, never on worker count,
+// timing or which other shards exist, which is what makes the fragments
+// mergeable: shard i's rows are the unsharded document's rows j with
+// j % n == i, in order, and MergeShards interleaves them back.
+//
+// The zero value owns every cell (an unsharded sweep).
+type Shard struct {
+	Index int
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" (0 <= i < n).
+func ParseShard(s string) (Shard, error) {
+	var sh Shard
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return sh, errs.BadInput(fmt.Errorf("shard %q: want i/n, e.g. 0/4", s))
+	}
+	var err error
+	if sh.Index, err = strconv.Atoi(idx); err != nil {
+		return sh, errs.BadInput(fmt.Errorf("shard %q: want i/n, e.g. 0/4", s))
+	}
+	if sh.Count, err = strconv.Atoi(cnt); err != nil {
+		return sh, errs.BadInput(fmt.Errorf("shard %q: want i/n, e.g. 0/4", s))
+	}
+	if err := sh.Validate(); err != nil {
+		return sh, err
+	}
+	return sh, nil
+}
+
+// Validate rejects out-of-range shard coordinates.
+func (s Shard) Validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil // the zero value: unsharded
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return errs.BadInput(fmt.Errorf("shard %d/%d: index must be in [0, count)", s.Index, s.Count))
+	}
+	return nil
+}
+
+// Owns reports whether cell j of a sweep belongs to this shard.
+func (s Shard) Owns(j int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return j%s.Count == s.Index
+}
+
+// indices returns, in order, the owned cell indices of an n-cell sweep.
+func (s Shard) indices(n int) []int {
+	if s.Count <= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	var idx []int
+	for j := s.Index; j < n; j += s.Count {
+		idx = append(idx, j)
+	}
+	return idx
+}
+
+// shardLen is the number of cells shard i of n owns in an m-cell sweep —
+// what MergeShards expects each fragment's sections to contain.
+func shardLen(m, n, i int) int {
+	l := m / n
+	if i < m%n {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,159 @@
+package evaluation
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/mcc"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"0/1": {0, 1},
+		"0/4": {0, 4},
+		"3/4": {3, 4},
+	}
+	for in, want := range good {
+		sh, err := ParseShard(in)
+		if err != nil || sh != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", in, sh, err, want)
+		}
+	}
+	for _, in := range []string{"", "3", "4/4", "-1/4", "1/0", "a/b", "1/2/3"} {
+		if _, err := ParseShard(in); !errors.Is(err, errs.ErrBadInput) {
+			t.Errorf("ParseShard(%q) = %v, want ErrBadInput", in, err)
+		}
+	}
+}
+
+// TestShardPartition: for any count, the shards' owned indices are
+// disjoint and cover every cell exactly once, in order — the property
+// the merge interleave inverts.
+func TestShardPartition(t *testing.T) {
+	const cells = 17
+	for n := 1; n <= 5; n++ {
+		owner := make([]int, cells)
+		for i := range owner {
+			owner[i] = -1
+		}
+		for i := 0; i < n; i++ {
+			sh := Shard{Index: i, Count: n}
+			if got, want := len(sh.indices(cells)), shardLen(cells, n, i); got != want {
+				t.Errorf("shard %d/%d owns %d cells, want %d", i, n, got, want)
+			}
+			for _, j := range sh.indices(cells) {
+				if !sh.Owns(j) {
+					t.Errorf("shard %d/%d: indices lists %d but Owns(%d) is false", i, n, j, j)
+				}
+				if owner[j] != -1 {
+					t.Errorf("cell %d owned by both shard %d and %d of %d", j, owner[j], i, n)
+				}
+				owner[j] = i
+			}
+		}
+		for j, o := range owner {
+			if o == -1 {
+				t.Errorf("cell %d owned by no shard of %d", j, n)
+			}
+		}
+	}
+}
+
+// shardFragment runs the aggregate + fig9 sections the way beebsbench
+// -shard does, producing one ledger-free fragment document.
+func shardFragment(t *testing.T, sh Shard) Document {
+	t.Helper()
+	sw := NewSweep(1)
+	sw.Shard = sh
+	var doc Document
+	doc.Shard = &ShardJSON{Index: sh.Index, Count: sh.Count, Sections: []string{"aggregate", "fig9"}}
+	agg, err := sw.RunAggregate(context.Background(), []mcc.OptLevel{mcc.O2})
+	if err != nil {
+		t.Fatalf("shard %d/%d aggregate: %v", sh.Index, sh.Count, err)
+	}
+	j := NewAggregateJSON(agg)
+	doc.Aggregate = &j
+	series, err := sw.Figure9(context.Background(), mcc.O2, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatalf("shard %d/%d fig9: %v", sh.Index, sh.Count, err)
+	}
+	doc.Fig9 = NewFigure9JSON(series)
+	return doc
+}
+
+// TestMergeShardsByteIdentity: merging the fragments of a 3-way sharded
+// sweep reproduces the unsharded document byte for byte — including the
+// aggregate's recomputed means and maxima, which no single shard can
+// compute alone.
+func TestMergeShardsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full aggregate sweep in -short mode")
+	}
+	const n = 3
+	frags := make([]Document, n)
+	for i := 0; i < n; i++ {
+		frags[i] = shardFragment(t, Shard{Index: i, Count: n})
+	}
+	// Shuffle the argument order: merge must key on the recorded index.
+	merged, err := MergeShards([]Document{frags[2], frags[0], frags[1]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := shardFragment(t, Shard{})
+	full.Shard = nil
+	want, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("merged document differs from unsharded run:\nmerged: %s\nfull:   %s", got, want)
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	frag := func(i, n int, sections ...string) Document {
+		if sections == nil {
+			sections = []string{"fig9"}
+		}
+		return Document{Shard: &ShardJSON{Index: i, Count: n, Sections: sections}}
+	}
+	cases := []struct {
+		name  string
+		frags []Document
+	}{
+		{"empty", nil},
+		{"no-metadata", []Document{{}}},
+		{"count-conflict", []Document{frag(0, 2), frag(1, 3)}},
+		{"index-out-of-range", []Document{frag(0, 2), frag(2, 2)}},
+		{"duplicate", []Document{frag(0, 2), frag(0, 2)}},
+		{"missing", []Document{frag(0, 3), frag(1, 3)}},
+		{"sections-conflict", []Document{frag(0, 2, "fig9"), frag(1, 2, "fig5")}},
+		{"incomplete", []Document{frag(0, 2), {
+			Shard:  &ShardJSON{Index: 1, Count: 2, Sections: []string{"fig9"}},
+			Status: "incomplete",
+		}}},
+		// A 3-cell sweep sharded 2 ways puts 2 cells on shard 0 and 1 on
+		// shard 1; the reverse split cannot come from one invocation.
+		{"not-a-partition", []Document{
+			{Shard: &ShardJSON{Index: 0, Count: 2, Sections: []string{"fig9"}},
+				Fig9: make([]Figure9SeriesJSON, 1)},
+			{Shard: &ShardJSON{Index: 1, Count: 2, Sections: []string{"fig9"}},
+				Fig9: make([]Figure9SeriesJSON, 2)},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := MergeShards(tc.frags, nil); !errors.Is(err, errs.ErrBadInput) {
+				t.Errorf("MergeShards = %v, want ErrBadInput", err)
+			}
+		})
+	}
+}

@@ -51,6 +51,10 @@ type slot struct {
 	cycles   uint8        // isa.Cycles(in)
 	cyclesNT uint8        // isa.CyclesNotTaken(in)
 	targetOK bool
+	// sb indexes engine.super when this slot heads a fused run, -1
+	// otherwise (superblock.go). Only head slots carry a descriptor — a
+	// jump into the middle of a run falls back to slot dispatch.
+	sb int32
 }
 
 // engine holds the predecoded tables for the two code regions plus the
@@ -64,17 +68,22 @@ type engine struct {
 	// layout.Placed.ID and materialized into the public map form only
 	// when a run completes.
 	blockCounts []uint64
+
+	// super holds the fused straight-line run descriptors, indexed by
+	// slot.sb (superblock.go). Rebuilt with the tables on SetImage.
+	super []superblock
 }
 
 // slotAt resolves a fetch address against the predecoded tables. It
 // returns nil exactly when the reference interpreter's per-address map
 // lookup missed: odd addresses, addresses outside the code regions, and
 // addresses inside them that are not an instruction start.
-func (m *Machine) slotAt(pc uint32) *slot {
+func (m *Machine) slotAt(pc uint32) *slot { return m.eng.slotAt(pc) }
+
+func (e *engine) slotAt(pc uint32) *slot {
 	if pc&1 != 0 {
 		return nil
 	}
-	e := &m.eng
 	// Unsigned wraparound makes the single compare also reject pc < base.
 	if d := pc - e.flashBase; d < e.flashLen {
 		if s := &e.flash[d>>1]; s.pl != nil {
@@ -140,6 +149,7 @@ func (m *Machine) predecode() {
 				fetchMem: fetchMem,
 				cycles:   uint8(isa.Cycles(in)),
 				cyclesNT: uint8(isa.CyclesNotTaken(in)),
+				sb:       -1,
 			}
 			switch in.Op {
 			case isa.B, isa.CBZ, isa.CBNZ, isa.BL:
@@ -167,6 +177,12 @@ func (m *Machine) predecode() {
 			}
 		}
 	}
+
+	// With every target resolved, fuse straight-line runs into
+	// superblock descriptors (superblock.go). The one symbol lookup here
+	// is per-SetImage, not per-instruction: fuse itself reads only the
+	// resolved slots.
+	m.fuse(img.Symbols[img.Prog.Entry])
 }
 
 // resizeSlots reuses the backing array across SetImage calls when it is

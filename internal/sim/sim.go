@@ -76,6 +76,12 @@ type Machine struct {
 	// MaxInstrs aborts runaway programs (0 = default 500 million).
 	MaxInstrs uint64
 
+	// NoFuse forces slot-by-slot dispatch even where superblock
+	// descriptors exist (superblock.go) — the differential-testing knob
+	// behind beebsbench -nofuse. An attached observer bypasses fusion
+	// regardless, since the event stream is per-instruction.
+	NoFuse bool
+
 	regs  [isa.NumRegs]uint32
 	n, z  bool
 	c, v  bool
@@ -91,6 +97,15 @@ type Machine struct {
 	obs   Observer
 	ev    Event // reused event buffer when obs != nil
 	stats Stats
+
+	// polls counts cancellation-poll selects this run; the regression
+	// test beside TestSimCancellationOverhead pigeonholes it against the
+	// instruction count to prove no fused run stretched the poll
+	// interval past cancelCheckMask+1 dispatched slots.
+	polls uint64
+	// fusedInstrs counts instructions retired through superblocks this
+	// run (fusion-rate reporting; Stats stays byte-identical either way).
+	fusedInstrs uint64
 }
 
 // Stats aggregates one run.
@@ -197,6 +212,7 @@ func (m *Machine) reset() {
 	clear(m.ram)
 	clear(m.eng.blockCounts)
 	m.stats = Stats{}
+	m.polls, m.fusedInstrs = 0, 0
 
 	// Initialize globals.
 	for _, g := range m.Img.Prog.Globals {
@@ -242,6 +258,11 @@ func (m *Machine) pokeWord(addr uint32, w uint32) {
 		m.pokeByte(addr+uint32(i), b)
 	}
 }
+
+// FusedInstructions reports how many of the current run's instructions
+// retired through superblock descriptors — fusion-rate reporting only;
+// Stats is byte-identical with fusion on or off.
+func (m *Machine) FusedInstructions() uint64 { return m.fusedInstrs }
 
 // Reg returns a register value (for tests and result extraction).
 func (m *Machine) Reg(r isa.Reg) uint32 { return m.regs[r] }
@@ -425,6 +446,16 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 	}
 	done := ctx.Done() // nil for context.Background: poll compiles out
 	counts := m.eng.blockCounts
+	super := m.eng.super
+	// Fused dispatch needs per-instruction observer events off and the
+	// differential knob unset; both are fixed for the whole run.
+	fuse := m.obs == nil && !m.NoFuse
+	// nextPoll is the instruction count at which the context must be
+	// polled again. Re-arming it after every poll (instead of masking
+	// the count) keeps the <= cancelCheckMask+1 dispatched-slots
+	// guarantee when superblocks retire thousands of instructions at
+	// once: a run that would cross the mark polls before dispatching.
+	var nextPoll uint64
 	pc := entry
 	var last *slot // previous instruction, for wild-jump faults
 	for {
@@ -439,12 +470,46 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 			}
 			return f
 		}
+		if fuse && s.sb >= 0 {
+			sb := &super[s.sb]
+			// A run that would cross MaxInstrs falls through to slot
+			// dispatch so the limit faults on the exact instruction.
+			if m.stats.Instructions+sb.n <= maxInstrs {
+				if done != nil && m.stats.Instructions+sb.n > nextPoll {
+					m.polls++
+					select {
+					case <-done:
+						cause := context.Cause(ctx)
+						f := &Fault{PC: pc, Reason: "run cancelled: " + cause.Error(), Cause: cause}
+						f.locate(s.ref())
+						return f
+					default:
+					}
+					nextPoll = m.stats.Instructions + cancelCheckMask + 1
+				}
+				// The chain inside runSuperblock may not cross the nearer
+				// of the poll mark and the instruction limit; it returns
+				// at the boundary and this loop polls or faults there.
+				limit := maxInstrs
+				if done != nil && nextPoll < limit {
+					limit = nextPoll
+				}
+				next, tail, f := m.runSuperblock(sb, limit)
+				if f != nil {
+					return f // located by flushFault
+				}
+				last = tail
+				pc = next
+				continue
+			}
+		}
 		if m.stats.Instructions >= maxInstrs {
 			f := &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}
 			f.locate(s.ref())
 			return f
 		}
-		if done != nil && m.stats.Instructions&cancelCheckMask == 0 {
+		if done != nil && m.stats.Instructions >= nextPoll {
+			m.polls++
 			select {
 			case <-done:
 				cause := context.Cause(ctx)
@@ -453,6 +518,7 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 				return f
 			default:
 			}
+			nextPoll = m.stats.Instructions + cancelCheckMask + 1
 		}
 		if s.index == 0 {
 			counts[s.blockID]++
@@ -528,130 +594,15 @@ func (m *Machine) step(s *slot, pc uint32) (uint32, error) {
 	}
 
 	switch s.op {
-	case isa.NOP, isa.IT:
-		m.charge(&cs, int(s.cycles), power.None)
-		return seqNext, nil
-
-	case isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ:
-		src := m.operand2(in)
-		var v uint32
-		switch s.op {
-		case isa.MOV:
-			v = src
-		case isa.MVN:
-			v = ^src
-		case isa.SXTB:
-			v = uint32(int32(int8(src)))
-		case isa.SXTH:
-			v = uint32(int32(int16(src)))
-		case isa.UXTB:
-			v = src & 0xFF
-		case isa.UXTH:
-			v = src & 0xFFFF
-		case isa.CLZ:
-			v = clz(src)
-		}
-		m.regs[in.Rd] = v
-		if in.SetFlags {
-			m.setNZ(v)
-		}
-		m.charge(&cs, int(s.cycles), power.None)
-		return seqNext, nil
-
-	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.MUL, isa.MLA,
+	case isa.NOP, isa.IT,
+		isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ,
+		isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.MUL, isa.MLA,
 		isa.SDIV, isa.UDIV, isa.AND, isa.ORR, isa.EOR, isa.BIC,
-		isa.LSL, isa.LSR, isa.ASR, isa.ROR:
-		a := m.regs[in.Rn]
-		b := m.operand2(in)
-		var v uint32
-		switch s.op {
-		case isa.ADD:
-			v = a + b
-			if in.SetFlags {
-				m.setAddFlags(a, b, 0)
-			}
-		case isa.ADC:
-			carry := uint32(0)
-			if m.c {
-				carry = 1
-			}
-			v = a + b + carry
-			if in.SetFlags {
-				m.setAddFlags(a, b, carry)
-			}
-		case isa.SUB:
-			v = a - b
-			if in.SetFlags {
-				m.setSubFlags(a, b)
-			}
-		case isa.SBC:
-			borrow := uint32(1)
-			if m.c {
-				borrow = 0
-			}
-			v = a - b - borrow
-		case isa.RSB:
-			v = b - a
-			if in.SetFlags {
-				m.setSubFlags(b, a)
-			}
-		case isa.MUL:
-			v = a * b
-		case isa.MLA:
-			v = m.regs[in.Rd] + a*b
-		case isa.SDIV:
-			if b == 0 {
-				v = 0 // ARM defines divide-by-zero result as 0
-			} else if int32(a) == -1<<31 && int32(b) == -1 {
-				v = a // overflow case: result is the dividend
-			} else {
-				v = uint32(int32(a) / int32(b))
-			}
-		case isa.UDIV:
-			if b == 0 {
-				v = 0
-			} else {
-				v = a / b
-			}
-		case isa.AND:
-			v = a & b
-		case isa.ORR:
-			v = a | b
-		case isa.EOR:
-			v = a ^ b
-		case isa.BIC:
-			v = a &^ b
-		case isa.LSL:
-			v = shiftL(a, b)
-		case isa.LSR:
-			v = shiftR(a, b)
-		case isa.ASR:
-			v = shiftAR(a, b)
-		case isa.ROR:
-			v = rotR(a, b)
-		}
-		m.regs[in.Rd] = v
-		if in.SetFlags {
-			switch s.op {
-			case isa.ADD, isa.ADC, isa.SUB, isa.RSB:
-				// full flags already set above (including C and V)
-			default:
-				m.setNZ(v)
-			}
-		}
-		m.charge(&cs, int(s.cycles), power.None)
-		return seqNext, nil
-
-	case isa.CMP:
-		m.setSubFlags(m.regs[in.Rn], m.operand2(in))
-		m.charge(&cs, int(s.cycles), power.None)
-		return seqNext, nil
-	case isa.CMN:
-		m.setAddFlags(m.regs[in.Rn], m.operand2(in), 0)
-		m.charge(&cs, int(s.cycles), power.None)
-		return seqNext, nil
-	case isa.TST:
-		m.setNZ(m.regs[in.Rn] & m.operand2(in))
+		isa.LSL, isa.LSR, isa.ASR, isa.ROR,
+		isa.CMP, isa.CMN, isa.TST:
+		// Data-processing effects are shared with the superblock engine
+		// (execALU); every one of these charges (cycles, power.None).
+		m.execALU(s)
 		m.charge(&cs, int(s.cycles), power.None)
 		return seqNext, nil
 
@@ -783,6 +734,131 @@ func (m *Machine) branchTarget(s *slot, pc uint32) (uint32, error) {
 		return 0, &Fault{PC: pc, Reason: fmt.Sprintf("branch to unresolved %q", s.in.Sym)}
 	}
 	return s.target, nil
+}
+
+// execALU applies the register and flag effects of one data-processing
+// instruction — the reference semantics the superblock compiler's
+// specialized uops (superblock.go) must reproduce and the differential
+// fuzz target checks them against. The caller has already settled
+// predication and does the charging itself.
+func (m *Machine) execALU(s *slot) {
+	in := s.in
+	switch s.op {
+	case isa.NOP, isa.IT:
+
+	case isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ:
+		src := m.operand2(in)
+		var v uint32
+		switch s.op {
+		case isa.MOV:
+			v = src
+		case isa.MVN:
+			v = ^src
+		case isa.SXTB:
+			v = uint32(int32(int8(src)))
+		case isa.SXTH:
+			v = uint32(int32(int16(src)))
+		case isa.UXTB:
+			v = src & 0xFF
+		case isa.UXTH:
+			v = src & 0xFFFF
+		case isa.CLZ:
+			v = clz(src)
+		}
+		m.regs[in.Rd] = v
+		if in.SetFlags {
+			m.setNZ(v)
+		}
+
+	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB, isa.MUL, isa.MLA,
+		isa.SDIV, isa.UDIV, isa.AND, isa.ORR, isa.EOR, isa.BIC,
+		isa.LSL, isa.LSR, isa.ASR, isa.ROR:
+		a := m.regs[in.Rn]
+		b := m.operand2(in)
+		var v uint32
+		switch s.op {
+		case isa.ADD:
+			v = a + b
+			if in.SetFlags {
+				m.setAddFlags(a, b, 0)
+			}
+		case isa.ADC:
+			carry := uint32(0)
+			if m.c {
+				carry = 1
+			}
+			v = a + b + carry
+			if in.SetFlags {
+				m.setAddFlags(a, b, carry)
+			}
+		case isa.SUB:
+			v = a - b
+			if in.SetFlags {
+				m.setSubFlags(a, b)
+			}
+		case isa.SBC:
+			borrow := uint32(1)
+			if m.c {
+				borrow = 0
+			}
+			v = a - b - borrow
+		case isa.RSB:
+			v = b - a
+			if in.SetFlags {
+				m.setSubFlags(b, a)
+			}
+		case isa.MUL:
+			v = a * b
+		case isa.MLA:
+			v = m.regs[in.Rd] + a*b
+		case isa.SDIV:
+			if b == 0 {
+				v = 0 // ARM defines divide-by-zero result as 0
+			} else if int32(a) == -1<<31 && int32(b) == -1 {
+				v = a // overflow case: result is the dividend
+			} else {
+				v = uint32(int32(a) / int32(b))
+			}
+		case isa.UDIV:
+			if b == 0 {
+				v = 0
+			} else {
+				v = a / b
+			}
+		case isa.AND:
+			v = a & b
+		case isa.ORR:
+			v = a | b
+		case isa.EOR:
+			v = a ^ b
+		case isa.BIC:
+			v = a &^ b
+		case isa.LSL:
+			v = shiftL(a, b)
+		case isa.LSR:
+			v = shiftR(a, b)
+		case isa.ASR:
+			v = shiftAR(a, b)
+		case isa.ROR:
+			v = rotR(a, b)
+		}
+		m.regs[in.Rd] = v
+		if in.SetFlags {
+			switch s.op {
+			case isa.ADD, isa.ADC, isa.SUB, isa.RSB:
+				// full flags already set above (including C and V)
+			default:
+				m.setNZ(v)
+			}
+		}
+
+	case isa.CMP:
+		m.setSubFlags(m.regs[in.Rn], m.operand2(in))
+	case isa.CMN:
+		m.setAddFlags(m.regs[in.Rn], m.operand2(in), 0)
+	case isa.TST:
+		m.setNZ(m.regs[in.Rn] & m.operand2(in))
+	}
 }
 
 // operand2 evaluates the flexible second operand (register or immediate,

@@ -1,0 +1,1027 @@
+package sim
+
+import (
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// Superblock fusion: at predecode time, maximal straight-line runs of
+// slots are compiled into flat micro-op (uop) traces with every operand,
+// cycle count and energy outcome resolved up front. The hot loop then
+// dispatches a whole run with one bounds check, and each fused
+// instruction executes from one contiguous 32-byte record — no slot or
+// isa.Instr pointer chases, no operand-form or set-flags branching, no
+// per-instruction observer check.
+//
+// Legality and fallback rules (DESIGN.md §6k):
+//
+//   - Run bodies take unconditional data-processing instructions,
+//     resolved ADR/LDRLIT (LDRLIT only when Rd != PC — that form
+//     branches), and loads/stores. Loads and stores can fault and their
+//     data memory is dynamic, so their uops carry both precomputed
+//     energy outcomes (flash/RAM) and the executor accounts them
+//     in order; a fault mid-run flushes the exact partial stats the
+//     slot path would have accumulated and reports the same Fault.
+//   - A run may close with one terminal control transfer whose charge
+//     outcomes are static per direction: B (conditional or not, both
+//     target and fall-through energies precomputed), CBZ/CBNZ, BL
+//     (records the LR write), and BX/BLX (dynamic target from a
+//     register, static charge).
+//   - PUSH/POP (multi-access, RegList-dependent), predicated
+//     non-branch instructions, unresolved symbols and LDRLIT-to-PC end
+//     a run and stay on the slot path.
+//   - A superblock is entered only at its head slot. Statically known
+//     entry points — branch targets, call-return addresses, ADR and
+//     symbol-valued LDRLIT results (potential computed-jump targets),
+//     the program entry — split runs so those entries land on a head.
+//     A dynamic entry mid-run lands on a slot with sb < 0 and falls
+//     back to slot dispatch: slower, never wrong.
+//   - Fusion is bypassed entirely when an observer is attached (the
+//     event stream is per-instruction) or Machine.NoFuse is set, and a
+//     run that would cross MaxInstrs falls back to slot dispatch so the
+//     limit faults on the exact instruction.
+//
+// Stats stay byte-identical to the slot path by construction: energy is
+// applied per uop in program order through a single running float64
+// (float addition is not associative, so any reassociation would drift
+// from the slot path's bit pattern), while the integer stats — cycles
+// and the per-class split — are pre-aggregated per run at fuse time,
+// which is exact because uint64 addition is associative. Only the
+// dynamic parts (load stalls, conditional-terminal direction) are
+// accounted at run time.
+
+// minFuse is the shortest run worth a descriptor: a lone slot costs
+// more through the superblock indirection than through straight
+// dispatch.
+const minFuse = 2
+
+// maxFuse caps run length at the cancellation poll interval so one
+// fused run can never stretch the poll gap past cancelCheckMask+1
+// dispatched slots (runFrom polls before dispatching a run that would
+// cross its re-armed mark).
+const maxFuse = cancelCheckMask + 1
+
+// uop opcodes. Operand forms are specialized at compile time (…I takes
+// u.imm, …R takes m.regs[u.rm] << u.sh) so the executor never tests
+// HasImm or Shift. Unary immediate forms (mov/mvn/sxtb/… #imm, adr,
+// value-known LDRLIT) all fold to uMOVI with a precomputed imm.
+const (
+	uNOP = iota
+	uMOVI
+	uLDL // LDRLIT with Rd != PC: uMOVI plus load-class charge and stall
+	uMOVR
+	uMVNR
+	uSXTBR
+	uSXTHR
+	uUXTBR
+	uUXTHR
+	uCLZR
+	uADDI
+	uADDR
+	uADCI
+	uADCR
+	uSUBI
+	uSUBR
+	uSBCI
+	uSBCR
+	uRSBI
+	uRSBR
+	uMULR
+	uMLAR
+	uSDIVR
+	uUDIVR
+	uANDI
+	uANDR
+	uORRI
+	uORRR
+	uEORI
+	uEORR
+	uBICI
+	uBICR
+	uLSLI
+	uLSLR
+	uLSRI
+	uLSRR
+	uASRI
+	uASRR
+	uRORI
+	uRORR
+	uCMPI
+	uCMPR
+	uCMNI
+	uCMNR
+	uTSTI
+	uTSTR
+	uLDRI // load [rn, #imm]
+	uLDRR // load [rn, rm, lsl #sh]
+	uSTRI
+	uSTRR
+	// Terminal uops — always last in a run.
+	uB    // unconditional direct branch: pc = imm
+	uBCC  // conditional direct branch: cond in rd, fall-through in imm2
+	uCBZ  // pc = imm when regs[rn] == 0, else imm2
+	uCBNZ // pc = imm when regs[rn] != 0, else imm2
+	uBL   // LR = imm2, pc = imm
+	uBX   // pc = regs[rm] &^ 1
+	uBLX  // LR = imm2, pc = regs[rm] &^ 1
+)
+
+// uop flag bits.
+const (
+	fS     = 1 << iota // apply the instruction's SetFlags rule
+	fSign              // load sign-extends
+	fStall             // RAM-resident fetch: a RAM data access stalls
+)
+
+// uop is one compiled instruction of a superblock trace: 32 bytes, laid
+// out contiguously per run so the executor streams them. Terminal-only
+// extras that exist once per run (fall-through PC and cycles, link
+// value) live on the superblock instead.
+type uop struct {
+	code uint8
+	rd   uint8 // destination; the condition code of a uBCC
+	rn   uint8
+	rm   uint8
+	sh   uint8 // operand/address shift amount (…R forms)
+	cyc  uint8 // charged cycles (taken direction for terminals)
+	cl   uint8 // isa.Class, for the CyclesByMem split
+	fl   uint8 // fS | fSign | fStall
+	sz   uint8 // load/store access bytes
+
+	imm uint32
+
+	energy  float64 // charge in the taken / flash-data outcome
+	energy2 float64 // charge in the fall-through / RAM-data outcome
+}
+
+// superblock is one fused run.
+type superblock struct {
+	uops []uop
+	// slots parallels uops for the cold paths only: fault attribution
+	// and the partial stats flush when a load or store faults mid-run.
+	slots  []*slot
+	blocks []int32 // IDs of blocks entered in the run (index-0 slots)
+	n      uint64  // == len(uops)
+	next   uint32  // static successor (fall-through or direct target)
+	// nextSB chains runs whose successor is static (fall-through, uB,
+	// uBL) and itself a run head: the executor continues there without
+	// returning to the dispatch loop, as long as the caller's dispatch
+	// limit (poll mark, MaxInstrs) permits. -1 ends the chain.
+	nextSB int32
+	// staticCycles and perClass pre-aggregate every statically charged
+	// cycle of the run (bodies and unconditional terminals); only
+	// dynamic load stalls and conditional-terminal outcomes are
+	// accounted at run time. perClass is a fixed array so the flush is
+	// branch-free adds straight out of the descriptor (fetch memory is
+	// uniform across a run, so only the class dimension is needed).
+	staticCycles uint64
+	perClass     [isa.NumClasses]uint64
+	fetchMem     power.Memory
+	tail         *slot // last instruction — blames wild jumps out of the run
+
+	// Terminal extras (conditional terminals and link writes).
+	termImm2 uint32 // fall-through PC (uBCC/uCBZ/uCBNZ), link value (uBL/uBLX)
+	termCyc2 uint8  // fall-through cycles
+}
+
+// compileBody translates one fusible body slot to a uop. ok is false
+// when the slot has no fused form (the run breaks there instead).
+func compileBody(s *slot, fetchMem power.Memory) (u uop, ok bool) {
+	in := s.in
+	if in.Cond != isa.AL {
+		return u, false
+	}
+	u.cyc = s.cycles
+	u.cl = uint8(s.class)
+	u.energy = float64(s.cycles) * s.epc[power.None]
+	u.rd, u.rn = uint8(in.Rd), uint8(in.Rn)
+	if in.SetFlags {
+		u.fl |= fS
+	}
+	setRM := func() {
+		u.rm, u.sh = uint8(in.Rm), in.Shift
+	}
+	// operand2 of the immediate forms, for compile-time folding.
+	imm := uint32(in.Imm)
+
+	switch s.op {
+	case isa.NOP, isa.IT:
+		u.code, u.fl = uNOP, u.fl&^fS
+	case isa.MOV, isa.MVN, isa.SXTB, isa.SXTH, isa.UXTB, isa.UXTH, isa.CLZ:
+		if in.HasImm {
+			// Fold the unary op over the constant operand now.
+			u.code = uMOVI
+			switch s.op {
+			case isa.MOV:
+				u.imm = imm
+			case isa.MVN:
+				u.imm = ^imm
+			case isa.SXTB:
+				u.imm = uint32(int32(int8(imm)))
+			case isa.SXTH:
+				u.imm = uint32(int32(int16(imm)))
+			case isa.UXTB:
+				u.imm = imm & 0xFF
+			case isa.UXTH:
+				u.imm = imm & 0xFFFF
+			case isa.CLZ:
+				u.imm = clz(imm)
+			}
+		} else {
+			setRM()
+			switch s.op {
+			case isa.MOV:
+				u.code = uMOVR
+			case isa.MVN:
+				u.code = uMVNR
+			case isa.SXTB:
+				u.code = uSXTBR
+			case isa.SXTH:
+				u.code = uSXTHR
+			case isa.UXTB:
+				u.code = uUXTBR
+			case isa.UXTH:
+				u.code = uUXTHR
+			case isa.CLZ:
+				u.code = uCLZR
+			}
+		}
+	case isa.ADD, isa.ADC, isa.SUB, isa.SBC, isa.RSB,
+		isa.AND, isa.ORR, isa.EOR, isa.BIC,
+		isa.LSL, isa.LSR, isa.ASR, isa.ROR,
+		isa.CMP, isa.CMN, isa.TST:
+		type pair struct{ i, r uint8 }
+		forms := map[isa.Op]pair{
+			isa.ADD: {uADDI, uADDR}, isa.ADC: {uADCI, uADCR},
+			isa.SUB: {uSUBI, uSUBR}, isa.SBC: {uSBCI, uSBCR},
+			isa.RSB: {uRSBI, uRSBR},
+			isa.AND: {uANDI, uANDR}, isa.ORR: {uORRI, uORRR},
+			isa.EOR: {uEORI, uEORR}, isa.BIC: {uBICI, uBICR},
+			isa.LSL: {uLSLI, uLSLR}, isa.LSR: {uLSRI, uLSRR},
+			isa.ASR: {uASRI, uASRR}, isa.ROR: {uRORI, uRORR},
+			isa.CMP: {uCMPI, uCMPR}, isa.CMN: {uCMNI, uCMNR},
+			isa.TST: {uTSTI, uTSTR},
+		}
+		f := forms[s.op]
+		if in.HasImm {
+			u.code, u.imm = f.i, imm
+		} else {
+			u.code = f.r
+			setRM()
+		}
+	case isa.MUL, isa.MLA, isa.SDIV, isa.UDIV:
+		if in.HasImm {
+			return u, false // immediate forms never emitted; keep slot path
+		}
+		setRM()
+		switch s.op {
+		case isa.MUL:
+			u.code = uMULR
+		case isa.MLA:
+			u.code = uMLAR
+		case isa.SDIV:
+			u.code = uSDIVR
+		case isa.UDIV:
+			u.code = uUDIVR
+		}
+	case isa.ADR:
+		if !s.targetOK {
+			return u, false
+		}
+		// The reference ADR ignores SetFlags; so must the fold.
+		u.code, u.imm, u.fl = uMOVI, s.target, u.fl&^fS
+	case isa.LDRLIT:
+		if !s.targetOK || in.Rd == isa.PC {
+			return u, false
+		}
+		u.code, u.imm, u.fl = uLDL, s.target, u.fl&^fS
+		cyc := int(s.cycles)
+		if s.fetchMem == power.RAM && s.litMem == power.RAM {
+			cyc += isa.RAMContentionStall
+			u.fl |= fStall
+		}
+		u.cyc = uint8(cyc)
+		u.energy = float64(cyc) * s.epc[s.litMem]
+	case isa.LDR, isa.LDRB, isa.LDRH, isa.LDRSB, isa.LDRSH:
+		u.code = uLDRI
+		switch in.Mode {
+		case isa.AddrOffset:
+			u.imm = imm
+		case isa.AddrReg:
+			u.code = uLDRR
+			u.rm = uint8(in.Rm)
+		case isa.AddrRegLSL:
+			u.code = uLDRR
+			u.rm, u.sh = uint8(in.Rm), in.Shift
+		default:
+			u.imm = 0 // effAddr's fallback: base register only
+		}
+		u.sz = s.memSize
+		if s.memSign {
+			u.fl |= fSign
+		}
+		cyc := int(s.cycles)
+		u.energy = float64(cyc) * s.epc[power.Flash]
+		if fetchMem == power.RAM {
+			u.fl |= fStall
+			cyc += isa.RAMContentionStall
+		}
+		u.energy2 = float64(cyc) * s.epc[power.RAM]
+	case isa.STR, isa.STRB, isa.STRH:
+		u.code = uSTRI
+		switch in.Mode {
+		case isa.AddrOffset:
+			u.imm = imm
+		case isa.AddrReg:
+			u.code = uSTRR
+			u.rm = uint8(in.Rm)
+		case isa.AddrRegLSL:
+			u.code = uSTRR
+			u.rm, u.sh = uint8(in.Rm), in.Shift
+		default:
+			u.imm = 0
+		}
+		u.sz = s.memSize
+		// A successful store always hits RAM (stores to flash fault).
+		u.energy = float64(s.cycles) * s.epc[power.RAM]
+	default:
+		return u, false
+	}
+	return u, true
+}
+
+// compileTerminal translates a run-closing control transfer to a uop.
+// imm2 (fall-through PC for conditional forms, link value for BL/BLX) and
+// cyc2 (fall-through cycles) live on the superblock — a run has at most
+// one terminal, so they are returned separately rather than widening
+// every uop.
+func compileTerminal(s *slot) (u uop, imm2 uint32, cyc2 uint8, ok bool) {
+	in := s.in
+	u.cyc = s.cycles
+	u.cl = uint8(s.class)
+	u.energy = float64(s.cycles) * s.epc[power.None]
+	switch s.op {
+	case isa.B:
+		if !s.targetOK {
+			return u, 0, 0, false
+		}
+		u.imm = s.target
+		if in.Cond == isa.AL {
+			u.code = uB
+		} else {
+			u.code, u.rd = uBCC, uint8(in.Cond)
+			imm2, cyc2 = s.seqNext, s.cyclesNT
+			u.energy2 = float64(s.cyclesNT) * s.epc[power.None]
+		}
+	case isa.CBZ, isa.CBNZ:
+		if in.Cond != isa.AL || !s.targetOK {
+			return u, 0, 0, false
+		}
+		u.code = uCBZ
+		if s.op == isa.CBNZ {
+			u.code = uCBNZ
+		}
+		u.rn = uint8(in.Rn)
+		u.imm = s.target
+		imm2, cyc2 = s.seqNext, s.cyclesNT
+		u.energy2 = float64(s.cyclesNT) * s.epc[power.None]
+	case isa.BL:
+		if in.Cond != isa.AL || !s.targetOK {
+			return u, 0, 0, false
+		}
+		u.code = uBL
+		u.imm, imm2 = s.target, s.seqNext
+	case isa.BX:
+		if in.Cond != isa.AL {
+			return u, 0, 0, false
+		}
+		u.code, u.rm = uBX, uint8(in.Rm)
+	case isa.BLX:
+		if in.Cond != isa.AL {
+			return u, 0, 0, false
+		}
+		u.code, u.rm = uBLX, uint8(in.Rm)
+		imm2 = s.seqNext
+	default:
+		return u, 0, 0, false
+	}
+	return u, imm2, cyc2, true
+}
+
+// fuse builds the superblock table for the current predecode tables.
+// entry is the program entry address; like every statically known branch
+// target it must start its own run. Called from predecode only — targets
+// are read from the already-resolved slots, never from the symbol map.
+func (m *Machine) fuse(entry uint32) {
+	e := &m.eng
+	e.super = e.super[:0]
+
+	// Addresses that must be run heads so statically known entries land
+	// on a descriptor: resolved branch targets, call-return addresses,
+	// ADR results and symbol-valued LDRLIT results (potential computed
+	// jumps), and the entry point. Value-only LDRLIT constants are
+	// excluded — they are data, and splitting at whatever code address
+	// they happen to alias would chop runs for nothing.
+	split := map[uint32]struct{}{entry: {}}
+	for _, tbl := range [2][]slot{e.flash, e.ram} {
+		for i := range tbl {
+			s := &tbl[i]
+			if s.pl == nil {
+				continue
+			}
+			switch s.op {
+			case isa.B, isa.CBZ, isa.CBNZ:
+				if s.targetOK {
+					split[s.target] = struct{}{}
+				}
+			case isa.BL:
+				if s.targetOK {
+					split[s.target] = struct{}{}
+				}
+				split[s.seqNext] = struct{}{}
+			case isa.BLX:
+				split[s.seqNext] = struct{}{}
+			case isa.ADR:
+				if s.targetOK {
+					split[s.target] = struct{}{}
+				}
+			case isa.LDRLIT:
+				if s.targetOK && s.in.Sym != "" {
+					split[s.target] = struct{}{}
+				}
+			}
+		}
+	}
+
+	e.fuseRegion(e.flash, e.flashBase, e.flashLen, power.Flash, split)
+	e.fuseRegion(e.ram, e.ramBase, e.ramLen, power.RAM, split)
+
+	// Link pass: chain runs whose successor is static and fused. Both
+	// regions must be carved before successors can be resolved.
+	for i := range e.super {
+		sb := &e.super[i]
+		sb.nextSB = -1
+		if last := sb.uops[len(sb.uops)-1].code; last == uBCC || last == uCBZ ||
+			last == uCBNZ || last == uBX || last == uBLX {
+			continue // dynamic successor: the chain ends here
+		}
+		if s := e.slotAt(sb.next); s != nil && s.sb >= 0 {
+			sb.nextSB = s.sb
+		}
+	}
+}
+
+// fuseRegion scans one region's slot table in address order, carving it
+// into maximal fusible runs and appending their descriptors.
+func (e *engine) fuseRegion(tbl []slot, base, codeLen uint32, fetchMem power.Memory, split map[uint32]struct{}) {
+	for i := 0; i < len(tbl); {
+		head := &tbl[i]
+		if head.pl == nil {
+			i++
+			continue
+		}
+		hu, ok := compileBody(head, fetchMem)
+		if !ok {
+			i++
+			continue
+		}
+		uops := []uop{hu}
+		slots := []*slot{head}
+		var term *slot
+		var termU uop
+		var termImm2 uint32
+		var termCyc2 uint8
+		cur := head
+		for len(uops) < maxFuse {
+			d := cur.seqNext - base
+			if d >= codeLen {
+				break
+			}
+			nx := &tbl[d>>1]
+			if nx.pl == nil {
+				break
+			}
+			// A terminal is absorbed even at a split address: it could
+			// never head a run of its own, so nothing is lost, and a
+			// direct entry at it still slot-dispatches correctly.
+			if tu, i2, c2, ok := compileTerminal(nx); ok {
+				term, termU, termImm2, termCyc2 = nx, tu, i2, c2
+				break
+			}
+			if _, isHead := split[cur.seqNext]; isHead {
+				break
+			}
+			bu, ok := compileBody(nx, fetchMem)
+			if !ok {
+				break
+			}
+			uops = append(uops, bu)
+			slots = append(slots, nx)
+			cur = nx
+		}
+
+		// Resume the scan after everything this run consumed.
+		endAddr := cur.seqNext
+		if term != nil {
+			endAddr = term.seqNext
+		}
+		i = int(endAddr-base) >> 1
+
+		total := len(uops)
+		if term != nil {
+			total++
+		}
+		if total < minFuse {
+			continue
+		}
+
+		sb := superblock{
+			n:        uint64(total),
+			next:     cur.seqNext,
+			fetchMem: fetchMem,
+			tail:     cur,
+		}
+		if term != nil {
+			uops = append(uops, termU)
+			slots = append(slots, term)
+			sb.next, sb.tail = term.target, term // uB/uBL; others override at run time
+			sb.termImm2, sb.termCyc2 = termImm2, termCyc2
+		}
+		sb.uops, sb.slots = uops, slots
+		for _, s := range slots {
+			if s.index == 0 {
+				sb.blocks = append(sb.blocks, s.blockID)
+			}
+		}
+		// Pre-aggregate every statically charged cycle: bodies (a load's
+		// dynamic stall cycle is excluded — u.cyc is its base cost) and
+		// unconditional terminals. Conditional terminals pick a direction
+		// at run time and account themselves. uint64 addition is
+		// associative, so pre-summing cycles is exact; only energy must
+		// stay strictly per-uop.
+		for k := range uops {
+			u := &uops[k]
+			if u.code == uBCC || u.code == uCBZ || u.code == uCBNZ {
+				continue
+			}
+			sb.perClass[u.cl] += uint64(u.cyc)
+			sb.staticCycles += uint64(u.cyc)
+		}
+		head.sb = int32(len(e.super))
+		e.super = append(e.super, sb)
+	}
+}
+
+// runSuperblock executes one fused run — and chains straight into
+// statically linked successor runs while the dispatch limit permits —
+// returning the next PC and the last executed run's tail, or a located
+// Fault when a load or store faults mid-run. Energy accumulates per uop
+// in program order through a single local (bit-identity demands the slot
+// path's exact float addition order); cycles and the per-class split
+// were pre-aggregated at fuse time, so at run time only the dynamic
+// parts remain — load stalls, conditional-terminal direction — and the
+// hot per-uop tail is one float add.
+//
+// limit is the instruction count the chain must not cross: the nearer of
+// the re-armed cancellation poll mark and MaxInstrs. The caller polls or
+// faults at the boundary, so chaining never stretches either guarantee.
+func (m *Machine) runSuperblock(sb *superblock, limit uint64) (uint32, *slot, *Fault) {
+	st := &m.stats
+	e := st.EnergyNJ
+	super := m.eng.super
+	counts := m.eng.blockCounts
+chain:
+	cbm := &st.CyclesByMem[sb.fetchMem]
+	// stallCyc counts dynamic load stall cycles (charged to ClassLoad),
+	// stallEv the stall events; tcyc is the conditional terminal's chosen
+	// cycle cost (zero when the run ends unconditionally — those cycles
+	// are in staticCycles).
+	var stallCyc, stallEv, tcyc uint64
+	next := sb.next
+	uops := sb.uops
+	for i := 0; i < len(uops); i++ {
+		u := &uops[i]
+		switch u.code {
+		case uNOP:
+		case uMOVI:
+			m.regs[u.rd] = u.imm
+			if u.fl&fS != 0 {
+				m.setNZ(u.imm)
+			}
+		case uLDL:
+			// The stall cycle (if any) is static — litMem is known — and
+			// already folded into u.cyc/u.energy; only the event counts.
+			m.regs[u.rd] = u.imm
+			if u.fl&fStall != 0 {
+				stallEv++
+			}
+		case uMOVR:
+			v := m.regs[u.rm] << u.sh
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uMVNR:
+			v := ^(m.regs[u.rm] << u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uSXTBR:
+			v := uint32(int32(int8(m.regs[u.rm] << u.sh)))
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uSXTHR:
+			v := uint32(int32(int16(m.regs[u.rm] << u.sh)))
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uUXTBR:
+			v := (m.regs[u.rm] << u.sh) & 0xFF
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uUXTHR:
+			v := (m.regs[u.rm] << u.sh) & 0xFFFF
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uCLZR:
+			v := clz(m.regs[u.rm] << u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uADDI:
+			a := m.regs[u.rn]
+			v := a + u.imm
+			if u.fl&fS != 0 {
+				m.setAddFlags(a, u.imm, 0)
+			}
+			m.regs[u.rd] = v
+		case uADDR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			v := a + b
+			if u.fl&fS != 0 {
+				m.setAddFlags(a, b, 0)
+			}
+			m.regs[u.rd] = v
+		case uADCI:
+			a := m.regs[u.rn]
+			carry := uint32(0)
+			if m.c {
+				carry = 1
+			}
+			v := a + u.imm + carry
+			if u.fl&fS != 0 {
+				m.setAddFlags(a, u.imm, carry)
+			}
+			m.regs[u.rd] = v
+		case uADCR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			carry := uint32(0)
+			if m.c {
+				carry = 1
+			}
+			v := a + b + carry
+			if u.fl&fS != 0 {
+				m.setAddFlags(a, b, carry)
+			}
+			m.regs[u.rd] = v
+		case uSUBI:
+			a := m.regs[u.rn]
+			v := a - u.imm
+			if u.fl&fS != 0 {
+				m.setSubFlags(a, u.imm)
+			}
+			m.regs[u.rd] = v
+		case uSUBR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			v := a - b
+			if u.fl&fS != 0 {
+				m.setSubFlags(a, b)
+			}
+			m.regs[u.rd] = v
+		case uSBCI:
+			borrow := uint32(1)
+			if m.c {
+				borrow = 0
+			}
+			v := m.regs[u.rn] - u.imm - borrow
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uSBCR:
+			borrow := uint32(1)
+			if m.c {
+				borrow = 0
+			}
+			v := m.regs[u.rn] - m.regs[u.rm]<<u.sh - borrow
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uRSBI:
+			a := m.regs[u.rn]
+			v := u.imm - a
+			if u.fl&fS != 0 {
+				m.setSubFlags(u.imm, a)
+			}
+			m.regs[u.rd] = v
+		case uRSBR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			v := b - a
+			if u.fl&fS != 0 {
+				m.setSubFlags(b, a)
+			}
+			m.regs[u.rd] = v
+		case uMULR:
+			v := m.regs[u.rn] * (m.regs[u.rm] << u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uMLAR:
+			v := m.regs[u.rd] + m.regs[u.rn]*(m.regs[u.rm]<<u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uSDIVR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			var v uint32
+			if b == 0 {
+				v = 0 // ARM defines divide-by-zero result as 0
+			} else if int32(a) == -1<<31 && int32(b) == -1 {
+				v = a // overflow case: result is the dividend
+			} else {
+				v = uint32(int32(a) / int32(b))
+			}
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uUDIVR:
+			a, b := m.regs[u.rn], m.regs[u.rm]<<u.sh
+			var v uint32
+			if b != 0 {
+				v = a / b
+			}
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uANDI:
+			v := m.regs[u.rn] & u.imm
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uANDR:
+			v := m.regs[u.rn] & (m.regs[u.rm] << u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uORRI:
+			v := m.regs[u.rn] | u.imm
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uORRR:
+			v := m.regs[u.rn] | m.regs[u.rm]<<u.sh
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uEORI:
+			v := m.regs[u.rn] ^ u.imm
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uEORR:
+			v := m.regs[u.rn] ^ m.regs[u.rm]<<u.sh
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uBICI:
+			v := m.regs[u.rn] &^ u.imm
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uBICR:
+			v := m.regs[u.rn] &^ (m.regs[u.rm] << u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uLSLI:
+			v := shiftL(m.regs[u.rn], u.imm)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uLSLR:
+			v := shiftL(m.regs[u.rn], m.regs[u.rm]<<u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uLSRI:
+			v := shiftR(m.regs[u.rn], u.imm)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uLSRR:
+			v := shiftR(m.regs[u.rn], m.regs[u.rm]<<u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uASRI:
+			v := shiftAR(m.regs[u.rn], u.imm)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uASRR:
+			v := shiftAR(m.regs[u.rn], m.regs[u.rm]<<u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uRORI:
+			v := rotR(m.regs[u.rn], u.imm)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uRORR:
+			v := rotR(m.regs[u.rn], m.regs[u.rm]<<u.sh)
+			m.regs[u.rd] = v
+			if u.fl&fS != 0 {
+				m.setNZ(v)
+			}
+		case uCMPI:
+			m.setSubFlags(m.regs[u.rn], u.imm)
+		case uCMPR:
+			m.setSubFlags(m.regs[u.rn], m.regs[u.rm]<<u.sh)
+		case uCMNI:
+			m.setAddFlags(m.regs[u.rn], u.imm, 0)
+		case uCMNR:
+			m.setAddFlags(m.regs[u.rn], m.regs[u.rm]<<u.sh, 0)
+		case uTSTI:
+			m.setNZ(m.regs[u.rn] & u.imm)
+		case uTSTR:
+			m.setNZ(m.regs[u.rn] & (m.regs[u.rm] << u.sh))
+		case uLDRI, uLDRR:
+			// m.load open-coded (it is beyond the inlining budget; the
+			// fused path pays for a call here on every load): same bounds
+			// rule, same fault, same sign extension.
+			addr := m.regs[u.rn] + u.imm
+			if u.code == uLDRR {
+				addr = m.regs[u.rn] + m.regs[u.rm]<<u.sh
+			}
+			var v uint32
+			ram := false
+			if d := addr - m.flashBase; uint64(d)+uint64(u.sz) <= uint64(m.flashSize) {
+				v = readLE(m.flash[d:], int(u.sz))
+			} else if d := addr - m.ramBase; uint64(d)+uint64(u.sz) <= uint64(m.ramSize) {
+				v = readLE(m.ram[d:], int(u.sz))
+				ram = true
+			} else {
+				return 0, nil, m.flushFault(sb, i, stallCyc, stallEv, e,
+					m.accessFault("load", addr, int(u.sz)))
+			}
+			if u.fl&fSign != 0 {
+				shift := uint(32 - 8*u.sz)
+				v = uint32(int32(v<<shift) >> shift)
+			}
+			m.regs[u.rd] = v
+			if ram {
+				if u.fl&fStall != 0 {
+					stallCyc++
+					stallEv++
+				}
+				e += u.energy2
+			} else {
+				e += u.energy
+			}
+			continue
+		case uSTRI, uSTRR:
+			addr := m.regs[u.rn] + u.imm
+			if u.code == uSTRR {
+				addr = m.regs[u.rn] + m.regs[u.rm]<<u.sh
+			}
+			if d := addr - m.ramBase; uint64(d)+uint64(u.sz) <= uint64(m.ramSize) {
+				writeLE(m.ram[d:], m.regs[u.rd], int(u.sz))
+			} else if _, err := m.store(addr, m.regs[u.rd], int(u.sz)); err != nil {
+				// m.store re-derives the flash/unmapped/straddle fault.
+				return 0, nil, m.flushFault(sb, i, stallCyc, stallEv, e, err)
+			}
+		case uB:
+			// next is already sb.next == the target.
+		case uBCC:
+			if isa.Cond(u.rd).Holds(m.n, m.z, m.c, m.v) {
+				next, tcyc = u.imm, uint64(u.cyc)
+				e += u.energy
+			} else {
+				next, tcyc = sb.termImm2, uint64(sb.termCyc2)
+				e += u.energy2
+			}
+			continue
+		case uCBZ:
+			if m.regs[u.rn] == 0 {
+				next, tcyc = u.imm, uint64(u.cyc)
+				e += u.energy
+			} else {
+				next, tcyc = sb.termImm2, uint64(sb.termCyc2)
+				e += u.energy2
+			}
+			continue
+		case uCBNZ:
+			if m.regs[u.rn] != 0 {
+				next, tcyc = u.imm, uint64(u.cyc)
+				e += u.energy
+			} else {
+				next, tcyc = sb.termImm2, uint64(sb.termCyc2)
+				e += u.energy2
+			}
+			continue
+		case uBL:
+			m.regs[isa.LR] = sb.termImm2
+		case uBX:
+			next = m.regs[u.rm] &^ 1
+		case uBLX:
+			m.regs[isa.LR] = sb.termImm2
+			next = m.regs[u.rm] &^ 1
+		}
+		e += u.energy
+	}
+	st.Instructions += sb.n
+	st.Cycles += sb.staticCycles + stallCyc + tcyc
+	// Dynamic charges land on fixed classes: load stalls on ClassLoad,
+	// a conditional terminal (tcyc is zero otherwise) on ClassBranch.
+	cbm[isa.ClassLoad] += stallCyc
+	cbm[isa.ClassBranch] += tcyc
+	st.ContentionStalls += stallEv
+	st.EnergyNJ = e
+	for cl := range sb.perClass {
+		cbm[cl] += sb.perClass[cl]
+	}
+	for _, id := range sb.blocks {
+		counts[id]++
+	}
+	m.fusedInstrs += sb.n
+	if sb.nextSB >= 0 {
+		if nb := &super[sb.nextSB]; st.Instructions+nb.n <= limit {
+			sb = nb
+			goto chain
+		}
+	}
+	return next, sb.tail, nil
+}
+
+// flushFault commits the exact partial stats of a run that faulted at
+// uop i (the faulting instruction has charged nothing, but its block
+// entry counts — the slot path increments before stepping) and returns
+// the located fault. Cold path: it reconstructs the prefix's static
+// cycles and class split by walking uops[:i] — energies and dynamic
+// stalls were tracked in order by the caller and arrive as arguments.
+func (m *Machine) flushFault(sb *superblock, i int, stallCyc, stallEv uint64, e float64, err error) *Fault {
+	st := &m.stats
+	cbm := &st.CyclesByMem[sb.fetchMem]
+	var cycles uint64
+	for k := 0; k < i; k++ {
+		u := &sb.uops[k]
+		cycles += uint64(u.cyc)
+		cbm[u.cl] += uint64(u.cyc)
+	}
+	st.Instructions += uint64(i)
+	st.Cycles += cycles + stallCyc
+	cbm[isa.ClassLoad] += stallCyc
+	st.ContentionStalls += stallEv
+	st.EnergyNJ = e
+	counts := m.eng.blockCounts
+	for _, s := range sb.slots[:i+1] {
+		if s.index == 0 {
+			counts[s.blockID]++
+		}
+	}
+	m.fusedInstrs += uint64(i)
+	s := sb.slots[i]
+	f := &Fault{PC: s.pl.InstrAddrs[s.index], Reason: err.Error()}
+	f.locate(s.ref())
+	return f
+}

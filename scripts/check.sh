@@ -78,6 +78,19 @@ if [ -n "$mapuse" ]; then
     exit 1
 fi
 
+# The fused engine's whole win is that a superblock retires with zero
+# map traffic: symbol/memory/block-name resolution happens once at
+# SetImage time (predecode.go) and lands in the uop records and the
+# dense counter arrays (DESIGN.md §6k). Any of these identifiers in
+# superblock.go means a per-instruction (or per-superblock-dispatch)
+# map lookup crept back into the fused path — hoist it to compile time.
+fusedmaps=$(grep -n 'Symbols\[\|MemoryOf(\|BlockCounts\[' internal/sim/superblock.go || true)
+if [ -n "$fusedmaps" ]; then
+    echo "internal/sim/superblock.go does map lookups (resolve at SetImage/predecode time instead):" >&2
+    echo "$fusedmaps" >&2
+    exit 1
+fi
+
 go build -o /tmp/flashram.check ./cmd/flashram
 trap 'rm -f /tmp/flashram.check' EXIT
 
