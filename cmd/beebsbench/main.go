@@ -42,6 +42,8 @@ import (
 	"repro/internal/errs"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
+	"repro/internal/power"
+	"repro/internal/sim"
 )
 
 // document is the `beebsbench -json` output: one optional section per
@@ -59,6 +61,7 @@ func main() {
 		savers    = flag.Bool("savers", false, "report which blocks produced each benchmark's energy saving (O2, Os)")
 		study     = flag.Bool("casestudy", false, "regenerate the §7 case study")
 		fig9      = flag.Bool("fig9", false, "regenerate Figure 9")
+		intermit  = flag.Bool("intermittent", false, "harvested-power sweep: replay every benchmark under each harvest profile, checkpoint-oblivious and checkpoint-aware")
 		sel       = flag.Bool("select", false, "pick the best configuration per benchmark (static vs profiled vs all-flash)")
 		prune     = flag.Bool("prune", false, "let -select skip candidates dominated by their static energy lower bound (output-neutral; see session_stats prune counters)")
 		all       = flag.Bool("all", false, "run everything")
@@ -80,7 +83,7 @@ func main() {
 		}
 		return
 	}
-	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *sel || *all) {
+	if !(*fig5 || *aggregate || *savers || *study || *fig9 || *intermit || *sel || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -124,6 +127,7 @@ func main() {
 		addSection(*savers || *all, "savers")
 		addSection(*study || *all, "casestudy")
 		addSection(*fig9 || *all, "fig9")
+		addSection(*intermit || *all, "intermittent")
 		addSection(*sel || *all, "select")
 		doc.Shard = &evaluation.ShardJSON{Index: shard.Index, Count: shard.Count, Sections: sections}
 	}
@@ -150,6 +154,9 @@ func main() {
 	}
 	if *fig9 || *all {
 		step("fig9", func() error { return runFig9(ctx, sw, *asJSON, &doc) })
+	}
+	if *intermit || *all {
+		step("intermittent", func() error { return runIntermittent(ctx, sw, *asJSON, &doc) })
 	}
 	if *sel || *all {
 		sw.Prune = *prune
@@ -323,6 +330,57 @@ func runFig9(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *docume
 			fmt.Printf(" %13.1f%%", s.Points[i].EnergyPercent)
 		}
 		fmt.Println()
+	}
+	fmt.Println()
+	return err
+}
+
+// runIntermittent runs the harvested-power sweep (DESIGN.md §6l): every
+// benchmark at O2 and Os replayed under each harvest profile, with the
+// optimized image placed both checkpoint-oblivious and checkpoint-aware.
+func runIntermittent(ctx context.Context, sw *evaluation.Sweep, asJSON bool, doc *document) error {
+	levels := []mcc.OptLevel{mcc.O2, mcc.Os}
+	rows, err := sw.Intermittent(ctx, levels, sim.HarvestProfiles())
+	if asJSON {
+		doc.Intermittent = evaluation.NewIntermittentRowsJSON(rows)
+		return err
+	}
+	fmt.Println("== harvested power: useful instructions per delivered mJ, by profile ==")
+	fmt.Printf("%-15s %-4s %-12s %8s %12s %9s %9s %10s\n",
+		"benchmark", "lvl", "profile", "outages", "base i/mJ", "obliv%", "aware%", "time%")
+	js := evaluation.NewIntermittentRowsJSON(rows)
+	for _, r := range js {
+		if r.Incomplete {
+			fmt.Printf("%-15s %-4s %-12s (incomplete)\n", r.Bench, r.Level, r.Profile)
+			continue
+		}
+		fmt.Printf("%-15s %-4s %-12s %8d %12.0f %+8.1f%% %+8.1f%% %+9.1f%%\n",
+			r.Bench, r.Level, r.Profile, r.Outages, r.BaselineWorkPerMJ,
+			100*r.ObliviousWorkChange, 100*r.AwareWorkChange,
+			100*(r.AwareTimeMS/r.BaselineTimeMS-1))
+	}
+	// Fold each benchmark × level's profiles into the §7-style summary.
+	perCell := make(map[string][]evaluation.IntermittentRow)
+	var order []string
+	for _, r := range rows {
+		if r.Incomplete {
+			continue
+		}
+		key := r.Bench + " " + r.Level.String()
+		if _, ok := perCell[key]; !ok {
+			order = append(order, key)
+		}
+		perCell[key] = append(perCell[key], r)
+	}
+	fmt.Println("-- per-cell summary across profiles (aware placement) --")
+	for _, key := range order {
+		sum, serr := casestudy.SummarizeIntermittent(evaluation.Scenarios(perCell[key], power.STM32F100().ClockHz))
+		if serr != nil {
+			continue
+		}
+		fmt.Printf("%-20s mean work %+6.1f%%, best %s %+6.1f%%, worst %s %+6.1f%%\n",
+			key, 100*sum.MeanWorkChange, sum.Best.Profile, 100*sum.Best.WorkChange(),
+			sum.Worst.Profile, 100*sum.Worst.WorkChange())
 	}
 	fmt.Println()
 	return err

@@ -7,6 +7,7 @@
 //
 //	flashram -bench int_matmult -O O2
 //	flashram -src kernel.c -O Os -xlimit 1.1 -rspare 1024
+//	flashram -bench crc32 -powertrace steady -ckptaware   # harvested-power replay
 //	flashram -fig1
 //	flashram analyze -all            # static-analysis lint, no simulation
 //	flashram analyze -bench crc32 -v
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/beebs"
 	"repro/internal/cliutil"
@@ -54,6 +56,9 @@ func main() {
 		profile   = flag.Bool("profile", false, "use measured block frequencies instead of the static estimate")
 		linktime  = flag.Bool("linktime", false, "link-time mode: library code (soft-float) becomes placeable (§8 future work)")
 		maxinstr  = flag.Uint64("maxinstr", 0, "per-run instruction limit (0 = simulator default)")
+		ptrace    = flag.String("powertrace", "", "replay both images under injected power failures: a harvest profile (steady bursty adversarial), an inline trace spec, or @file")
+		ckptCyc   = flag.Uint64("checkpoint", 0, "checkpoint interval in executed cycles for -powertrace runs (0 = default)")
+		ckptAware = flag.Bool("ckptaware", false, "price per-checkpoint journal traffic of RAM residency into the placement model")
 		dump      = flag.Bool("dump", false, "dump the optimized assembly")
 		emit      = flag.String("emit", "", "write the encoded machine-code image to <prefix>.flash.bin and <prefix>.ram.bin")
 		disasm    = flag.Bool("disasm", false, "disassemble the optimized image (encoded bytes + assembly)")
@@ -126,15 +131,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	traceSpec := *ptrace
+	if strings.HasPrefix(traceSpec, "@") {
+		data, err := os.ReadFile(traceSpec[1:])
+		if err != nil {
+			fatal(err)
+		}
+		traceSpec = string(data)
+	}
 	rep, err := sess.Optimize(ctx, core.Options{
-		Solver:        core.Solver(*solver),
-		Xlimit:        *xlimit,
-		Rspare:        *rspare,
-		UseProfile:    *profile,
-		LinkTime:      *linktime,
-		MaxInstrs:     *maxinstr,
-		SolveMaxNodes: *snodes,
-		SolveTimeout:  *stimeout,
+		Solver:           core.Solver(*solver),
+		Xlimit:           *xlimit,
+		Rspare:           *rspare,
+		UseProfile:       *profile,
+		LinkTime:         *linktime,
+		MaxInstrs:        *maxinstr,
+		PowerTrace:       traceSpec,
+		CheckpointCycles: *ckptCyc,
+		CkptAware:        *ckptAware,
+		SolveMaxNodes:    *snodes,
+		SolveTimeout:     *stimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -167,6 +183,20 @@ func main() {
 		fmt.Printf("  strategy : %s (%s)\n", rep.Strategy, rep.StrategyReason)
 	}
 	fmt.Printf("  moved    : %v\n", rep.MovedLabels())
+	if ic := rep.Intermittent; ic != nil {
+		j := evaluation.NewIntermittentJSON(ic)
+		mode := "checkpoint-oblivious"
+		if ic.CkptAware {
+			mode = fmt.Sprintf("checkpoint-aware (%.3f nJ/byte)", ic.CkptNJPerByte)
+		}
+		fmt.Printf("  intermittent: %d outages, checkpoint every %d cycles, %s placement\n",
+			ic.Outages, ic.CheckpointCycles, mode)
+		fmt.Printf("    baseline : %.0f useful instr/mJ, %.3f ms to completion (%d replayed)\n",
+			j.Baseline.WorkPerMJ, j.Baseline.WallMS, j.Baseline.ReplayedInstructions)
+		fmt.Printf("    optimized: %.0f useful instr/mJ, %.3f ms to completion (%d replayed)\n",
+			j.Optimized.WorkPerMJ, j.Optimized.WallMS, j.Optimized.ReplayedInstructions)
+		fmt.Printf("    work per delivered mJ: %+.1f%%\n", 100*j.WorkChange)
+	}
 	if *dump {
 		fmt.Println("---- optimized program ----")
 		fmt.Print(rep.Optimized0.String())

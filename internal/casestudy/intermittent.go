@@ -1,0 +1,96 @@
+// Intermittent (harvested-power) variant of the case study: instead of a
+// battery and a sleep state, the device runs off an energy harvester that
+// fails and recovers on a schedule. The figure of merit shifts from
+// energy-per-period to forward progress per delivered energy — useful
+// instructions per millijoule — and to wall-clock time-to-completion
+// including down time and checkpoint traffic. The scenario here is pure
+// arithmetic over measured replay numbers (internal/sim produces them);
+// keeping it model-free mirrors the §7 Scenario.
+package casestudy
+
+import "fmt"
+
+// Intermittent is one benchmark replayed under one harvest profile,
+// before and after placement.
+type Intermittent struct {
+	// Profile names the harvest schedule (e.g. "steady", "adversarial").
+	Profile string
+	// Work rates in useful (non-replayed) instructions per mJ delivered,
+	// checkpoint and restore traffic included.
+	BaselineWorkPerMJ  float64
+	OptimizedWorkPerMJ float64
+	// Time-to-completion in seconds: executed cycles plus checkpoint,
+	// restore and down time.
+	BaselineTimeS  float64
+	OptimizedTimeS float64
+}
+
+// Validate rejects physically meaningless outcomes.
+func (s Intermittent) Validate() error {
+	switch {
+	case s.BaselineWorkPerMJ <= 0 || s.OptimizedWorkPerMJ <= 0:
+		return fmt.Errorf("casestudy: work rates must be positive")
+	case s.BaselineTimeS <= 0 || s.OptimizedTimeS <= 0:
+		return fmt.Errorf("casestudy: completion times must be positive")
+	}
+	return nil
+}
+
+// WorkChange is the fractional change in completed work per delivered
+// millijoule (positive = the placement helps under this profile).
+func (s Intermittent) WorkChange() float64 {
+	return s.OptimizedWorkPerMJ/s.BaselineWorkPerMJ - 1
+}
+
+// TimeChange is the fractional change in time-to-completion (negative =
+// the placement finishes sooner despite its instrumentation cycles).
+func (s Intermittent) TimeChange() float64 {
+	return s.OptimizedTimeS/s.BaselineTimeS - 1
+}
+
+// ExtraWorkPerCharge is the additional useful instructions one harvester
+// charge of the given size buys after the optimization — the intermittent
+// analogue of §7's energy-saved-per-period.
+func (s Intermittent) ExtraWorkPerCharge(mj float64) float64 {
+	return mj * (s.OptimizedWorkPerMJ - s.BaselineWorkPerMJ)
+}
+
+// IntermittentSummary aggregates one benchmark's outcomes across harvest
+// profiles: the mean work-rate change and the profiles where the
+// placement helps most and least.
+type IntermittentSummary struct {
+	Profiles       int
+	MeanWorkChange float64
+	MeanTimeChange float64
+	Best, Worst    Intermittent
+}
+
+// SummarizeIntermittent folds per-profile outcomes into a summary.
+// Outcomes are compared by WorkChange; ties keep the earlier profile so
+// the summary is deterministic in the caller's order.
+func SummarizeIntermittent(rows []Intermittent) (IntermittentSummary, error) {
+	var out IntermittentSummary
+	if len(rows) == 0 {
+		return out, fmt.Errorf("casestudy: no intermittent outcomes to summarize")
+	}
+	for _, r := range rows {
+		if err := r.Validate(); err != nil {
+			return out, err
+		}
+	}
+	out.Profiles = len(rows)
+	out.Best, out.Worst = rows[0], rows[0]
+	for _, r := range rows {
+		out.MeanWorkChange += r.WorkChange()
+		out.MeanTimeChange += r.TimeChange()
+		if r.WorkChange() > out.Best.WorkChange() {
+			out.Best = r
+		}
+		if r.WorkChange() < out.Worst.WorkChange() {
+			out.Worst = r
+		}
+	}
+	out.MeanWorkChange /= float64(len(rows))
+	out.MeanTimeChange /= float64(len(rows))
+	return out, nil
+}

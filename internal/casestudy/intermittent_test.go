@@ -1,0 +1,73 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntermittentChanges(t *testing.T) {
+	s := Intermittent{
+		Profile:           "steady",
+		BaselineWorkPerMJ: 1000, OptimizedWorkPerMJ: 1200,
+		BaselineTimeS: 2.0, OptimizedTimeS: 2.2,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.WorkChange(), 0.2, 1e-12) {
+		t.Fatalf("WorkChange = %v, want 0.2", s.WorkChange())
+	}
+	if !approx(s.TimeChange(), 0.1, 1e-12) {
+		t.Fatalf("TimeChange = %v, want 0.1", s.TimeChange())
+	}
+	if !approx(s.ExtraWorkPerCharge(5), 1000, 1e-9) {
+		t.Fatalf("ExtraWorkPerCharge(5) = %v, want 1000", s.ExtraWorkPerCharge(5))
+	}
+}
+
+func TestIntermittentValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Intermittent
+		want string
+	}{
+		{"zero baseline rate", Intermittent{OptimizedWorkPerMJ: 1, BaselineTimeS: 1, OptimizedTimeS: 1}, "work rates"},
+		{"negative optimized rate", Intermittent{BaselineWorkPerMJ: 1, OptimizedWorkPerMJ: -2, BaselineTimeS: 1, OptimizedTimeS: 1}, "work rates"},
+		{"zero time", Intermittent{BaselineWorkPerMJ: 1, OptimizedWorkPerMJ: 1, OptimizedTimeS: 1}, "times"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSummarizeIntermittent(t *testing.T) {
+	rows := []Intermittent{
+		{Profile: "steady", BaselineWorkPerMJ: 100, OptimizedWorkPerMJ: 110, BaselineTimeS: 1, OptimizedTimeS: 1.1},
+		{Profile: "bursty", BaselineWorkPerMJ: 100, OptimizedWorkPerMJ: 90, BaselineTimeS: 1, OptimizedTimeS: 1.2},
+		{Profile: "adversarial", BaselineWorkPerMJ: 100, OptimizedWorkPerMJ: 130, BaselineTimeS: 1, OptimizedTimeS: 0.9},
+	}
+	sum, err := SummarizeIntermittent(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Profiles != 3 {
+		t.Fatalf("Profiles = %d", sum.Profiles)
+	}
+	if sum.Best.Profile != "adversarial" || sum.Worst.Profile != "bursty" {
+		t.Fatalf("best/worst = %q/%q", sum.Best.Profile, sum.Worst.Profile)
+	}
+	if !approx(sum.MeanWorkChange, (0.1-0.1+0.3)/3, 1e-12) {
+		t.Fatalf("MeanWorkChange = %v", sum.MeanWorkChange)
+	}
+
+	if _, err := SummarizeIntermittent(nil); err == nil {
+		t.Fatal("empty summary accepted")
+	}
+	rows[1].BaselineTimeS = 0
+	if _, err := SummarizeIntermittent(rows); err == nil {
+		t.Fatal("invalid row accepted")
+	}
+}

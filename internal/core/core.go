@@ -82,6 +82,26 @@ type Options struct {
 	// the count budgets it is non-deterministic by nature; the ladder
 	// records a deterministic reason string, never the elapsed time.
 	SolveTimeout time.Duration
+
+	// PowerTrace selects the intermittent-computing environment
+	// (DESIGN.md §6l): a built-in harvest profile name (steady, bursty,
+	// adversarial — generated against the baseline run's cycle count) or
+	// inline trace text/JSON. Both images then also run trace-driven
+	// (sim.RunIntermittent) and Report.Intermittent compares them; the
+	// same concrete outage schedule is injected into baseline and
+	// optimized runs. "" (the default) is the always-powered pipeline,
+	// byte-identical to builds without this field.
+	PowerTrace string
+	// CheckpointCycles is the periodic checkpoint interval for the
+	// trace-driven runs (0 = sim.DefaultCheckpointCycles). Ignored
+	// without PowerTrace.
+	CheckpointCycles uint64
+	// CkptAware makes the placement solve intermittent-aware: the model
+	// objective charges each RAM-placed byte its journal traffic over
+	// the run's expected checkpoints and outages (model.Params.
+	// CkptNJPerByte). Off, the placement is checkpoint-oblivious and the
+	// trace only affects measurement. Ignored without PowerTrace.
+	CkptAware bool
 }
 
 func (o *Options) fill() {
@@ -147,6 +167,10 @@ type Report struct {
 	// Ke and Kt are the case-study factors of Eq. 11.
 	Ke, Kt float64
 
+	// Intermittent compares the two images under the injected power
+	// trace (nil unless Options.PowerTrace).
+	Intermittent *IntermittentComparison
+
 	// StartupCopyCycles and StartupCopyEnergyMJ estimate the one-time
 	// boot cost of the runtime's flash→RAM copy of .data and .ramcode
 	// ("loaded to RAM at start-up by the runtime", §5). The paper leaves
@@ -155,6 +179,36 @@ type Report struct {
 	// thousand cycles against millions per run.
 	StartupCopyCycles   uint64
 	StartupCopyEnergyMJ float64
+}
+
+// IntermittentComparison is the trace-driven half of a Report: both
+// images replayed against the same concrete outage schedule.
+type IntermittentComparison struct {
+	// Spec is the resolved schedule in canonical trace text ("at down"
+	// per line) — profile names resolve against the baseline cycle count
+	// before keying, so two spellings of one schedule share this value.
+	// Outages is the schedule length.
+	Spec    string
+	Outages int
+	// CheckpointCycles is the resolved periodic checkpoint interval.
+	CheckpointCycles uint64
+	// CkptAware and CkptNJPerByte record whether — and at what per-byte
+	// price — the placement solve saw the checkpoint term.
+	CkptAware     bool
+	CkptNJPerByte float64
+
+	Baseline  *sim.IntermittentReport
+	Optimized *sim.IntermittentReport
+}
+
+// WorkPerMJChange is the fractional change in completed work per
+// millijoule (optimized/baseline − 1); positive is an improvement.
+func (c *IntermittentComparison) WorkPerMJChange() float64 {
+	b := c.Baseline.WorkPerMJ()
+	if b == 0 {
+		return 0
+	}
+	return c.Optimized.WorkPerMJ()/b - 1
 }
 
 // Optimize runs the full pipeline on the program. It is a thin wrapper

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcc"
+	"repro/internal/sim"
+)
+
+// The intermittent tail of a Report: both images replayed under the same
+// schedule, deterministic across sessions, with forward progress equal
+// to the uninterrupted run on both sides.
+func TestOptimizeIntermittent(t *testing.T) {
+	s := sessionForTest(t, "int_matmult", mcc.O2)
+	ctx := context.Background()
+	opts := core.Options{PowerTrace: sim.ProfileSteady}
+	rep, err := s.Optimize(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := rep.Intermittent
+	if ic == nil {
+		t.Fatal("PowerTrace set but Report.Intermittent is nil")
+	}
+	if ic.Outages == 0 || ic.Spec == "" {
+		t.Fatalf("steady profile resolved to an empty schedule: %+v", ic)
+	}
+	if ic.CheckpointCycles != sim.DefaultCheckpointCycles {
+		t.Fatalf("CheckpointCycles = %d, want default %d", ic.CheckpointCycles, sim.DefaultCheckpointCycles)
+	}
+	if ic.CkptAware || ic.CkptNJPerByte != 0 {
+		t.Fatalf("oblivious run carries a checkpoint term: %+v", ic)
+	}
+	if got, want := ic.Baseline.UsefulInstructions(), rep.Baseline.Instructions; got != want {
+		t.Fatalf("baseline forward progress %d != uninterrupted %d", got, want)
+	}
+	if got, want := ic.Optimized.UsefulInstructions(), rep.Optimized.Instructions; got != want {
+		t.Fatalf("optimized forward progress %d != uninterrupted %d", got, want)
+	}
+	if ic.Baseline.TotalEnergyNJ() <= rep.Baseline.Stats.EnergyNJ {
+		t.Fatal("intermittent baseline cannot cost less than the plain run")
+	}
+
+	// Determinism across sessions: a fresh session under the same options
+	// produces a deeply equal comparison.
+	s2 := sessionForTest(t, "int_matmult", mcc.O2)
+	rep2, err := s2.Optimize(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Intermittent, rep2.Intermittent) {
+		t.Fatalf("intermittent comparison not deterministic:\n%+v\nvs\n%+v", rep.Intermittent, rep2.Intermittent)
+	}
+
+	// No trace ⇒ no intermittent section, and the always-powered halves
+	// of the report are untouched by the trace knob.
+	plain, err := s.Optimize(ctx, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Intermittent != nil {
+		t.Fatal("Intermittent present without PowerTrace")
+	}
+	if !reflect.DeepEqual(plain.Baseline, rep.Baseline) || !reflect.DeepEqual(plain.Optimized, rep.Optimized) {
+		t.Fatal("PowerTrace perturbed the always-powered measurements")
+	}
+}
+
+// CkptAware changes the solve's model (the checkpoint term prices RAM
+// residency) without touching the always-powered baseline, and records
+// the term in the comparison.
+func TestOptimizeCheckpointAware(t *testing.T) {
+	s := sessionForTest(t, "int_matmult", mcc.O2)
+	ctx := context.Background()
+	aware, err := s.Optimize(ctx, core.Options{PowerTrace: sim.ProfileAdversarial, CkptAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aware.Intermittent.CkptAware || aware.Intermittent.CkptNJPerByte <= 0 {
+		t.Fatalf("aware solve lost its checkpoint term: %+v", aware.Intermittent)
+	}
+	obl, err := s.Optimize(ctx, core.Options{PowerTrace: sim.ProfileAdversarial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obl.Intermittent.CkptNJPerByte != 0 {
+		t.Fatalf("oblivious solve carries a term: %+v", obl.Intermittent)
+	}
+	// Same schedule on both: baseline replay is shared (identical trace,
+	// identical image) and deeply equal.
+	if !reflect.DeepEqual(aware.Intermittent.Baseline, obl.Intermittent.Baseline) {
+		t.Fatal("baseline replay differs between aware and oblivious configurations")
+	}
+	if aware.Intermittent.Spec != obl.Intermittent.Spec {
+		t.Fatal("aware and oblivious resolved different schedules")
+	}
+
+	// An inline trace spec works end to end and an invalid one is a
+	// typed error.
+	inline, err := s.Optimize(ctx, core.Options{PowerTrace: "5000 200\n90000 1000\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline.Intermittent.Outages != 2 {
+		t.Fatalf("inline trace: %d outages, want 2", inline.Intermittent.Outages)
+	}
+	if _, err := s.Optimize(ctx, core.Options{PowerTrace: "10 0\n"}); err == nil {
+		t.Fatal("zero-length outage accepted by Optimize")
+	}
+}

@@ -79,6 +79,11 @@ type Session struct {
 	transforms memo[transformKey, *transformed]
 	optRuns    memo[optRunKey, *Measurement]
 	reports    memo[reportKey, *Report]
+	// intermits memoizes trace-driven runs per (image, trace, interval):
+	// the zero transform key is the baseline image, so an oblivious and
+	// an aware configuration that test the same image under the same
+	// schedule replay it once.
+	intermits memo[intermitKey, *sim.IntermittentReport]
 	// brackets memoizes the static energy/cycle bounds per placed image;
 	// the zero key is the all-in-flash baseline image.
 	brackets memo[transformKey, *bounds.Result]
@@ -185,14 +190,16 @@ type freqKey struct {
 }
 
 // modelKey carries every parameter that reaches model.Build: the Fb
-// source, the (resolved) RAM and time budgets, the candidate cap and
-// link-time visibility. EFlash/ERAM come from the session profile.
+// source, the (resolved) RAM and time budgets, the candidate cap,
+// link-time visibility, and the checkpoint term (0 = always-powered).
+// EFlash/ERAM come from the session profile.
 type modelKey struct {
 	freq          freqKey
 	rspare        float64
 	xlimit        float64
 	maxCandidates int
 	linkTime      bool
+	ckptNJPerByte float64
 }
 
 // solveKey is a modelKey plus the solver choice and its resource budget.
@@ -206,11 +213,25 @@ type solveKey struct {
 }
 
 // reportKey identifies a full Optimize outcome: the solve plus the
-// run-level knobs (tracing, instruction limit).
+// run-level knobs (tracing, instruction limit, injected power trace).
 type reportKey struct {
-	solve     solveKey
-	traced    bool
-	maxInstrs uint64
+	solve        solveKey
+	traced       bool
+	maxInstrs    uint64
+	intermittent intermittentSpec
+}
+
+// intermittentSpec is the resolved intermittent environment of one
+// configuration: the concrete outage schedule (canonical text form — a
+// profile name plus the measured horizon resolves to this before keying,
+// so identical schedules share memo slots however they were spelled),
+// the checkpoint interval, and whether the solve saw the checkpoint
+// term. The zero value is the always-powered pipeline.
+type intermittentSpec struct {
+	enabled    bool
+	trace      string
+	ckptCycles uint64
+	aware      bool
 }
 
 // transformKey identifies a transformed program: the chosen placement,
@@ -231,6 +252,16 @@ type optRunKey struct {
 	maxInstrs uint64
 }
 
+// intermitKey identifies one trace-driven run: the image (zero transform
+// key = the all-in-flash baseline), the canonical trace text, the
+// checkpoint interval and the instruction limit.
+type intermitKey struct {
+	transform  transformKey
+	trace      string
+	ckptCycles uint64
+	maxInstrs  uint64
+}
+
 func canonicalPlacement(inRAM map[string]bool) string {
 	if len(inRAM) == 0 {
 		return ""
@@ -247,8 +278,10 @@ func canonicalPlacement(inRAM map[string]bool) string {
 
 // resolve normalizes Options into stage keys, filling the same defaults
 // the monolithic path fills, so that e.g. Xlimit 0 and Xlimit 2.0 hit
-// the same cache slot.
-func (s *Session) resolve(opts Options) (reportKey, error) {
+// the same cache slot. With PowerTrace set, resolution includes the
+// baseline run (memoized — it is the trace horizon and the checkpoint
+// term's event-count basis), which is why it takes a context.
+func (s *Session) resolve(ctx context.Context, opts Options) (reportKey, error) {
 	if opts.Profile != nil && opts.Profile != s.profile {
 		return reportKey{}, fmt.Errorf("core: session profile mismatch (build a new Session for a different board)")
 	}
@@ -269,6 +302,10 @@ func (s *Session) resolve(opts Options) (reportKey, error) {
 	if mc == 0 {
 		mc = model.DefaultMaxCandidates
 	}
+	ispec, ckptNJ, err := s.resolveIntermittent(ctx, opts)
+	if err != nil {
+		return reportKey{}, err
+	}
 	return reportKey{
 		solve: solveKey{
 			model: modelKey{
@@ -277,6 +314,7 @@ func (s *Session) resolve(opts Options) (reportKey, error) {
 				xlimit:        opts.Xlimit,
 				maxCandidates: mc,
 				linkTime:      opts.LinkTime,
+				ckptNJPerByte: ckptNJ,
 			},
 			solver:      opts.Solver,
 			exhaustiveK: opts.ExhaustiveK,
@@ -286,9 +324,50 @@ func (s *Session) resolve(opts Options) (reportKey, error) {
 				Timeout:   opts.SolveTimeout,
 			},
 		},
-		traced:    opts.Trace,
-		maxInstrs: opts.MaxInstrs,
+		traced:       opts.Trace,
+		maxInstrs:    opts.MaxInstrs,
+		intermittent: ispec,
 	}, nil
+}
+
+// resolveIntermittent turns the PowerTrace/CheckpointCycles/CkptAware
+// knobs into the resolved spec plus the model's checkpoint term. The
+// horizon for profile generation is the baseline run's cycle count, so
+// the outage density scales with the workload; the same concrete trace
+// is injected into the baseline and optimized runs. The checkpoint term
+// prices each RAM-placed byte at its journal traffic over the run's
+// expected checkpoint count (baseline cycles / interval) and the
+// schedule's outage count — deterministic in the key inputs, so the
+// model memo stays exact.
+func (s *Session) resolveIntermittent(ctx context.Context, opts Options) (intermittentSpec, float64, error) {
+	if opts.PowerTrace == "" {
+		return intermittentSpec{}, 0, nil
+	}
+	base, err := s.Measure(ctx, nil, false, opts.MaxInstrs)
+	if err != nil {
+		return intermittentSpec{}, 0, err
+	}
+	tr, err := sim.ResolveTrace(opts.PowerTrace, base.Stats.Cycles)
+	if err != nil {
+		return intermittentSpec{}, 0, err
+	}
+	ispec := intermittentSpec{
+		enabled:    true,
+		trace:      tr.String(),
+		ckptCycles: opts.CheckpointCycles,
+		aware:      opts.CkptAware,
+	}
+	if ispec.ckptCycles == 0 {
+		ispec.ckptCycles = sim.DefaultCheckpointCycles
+	}
+	var ckptNJ float64
+	if opts.CkptAware {
+		perCkptNJ, perRestoreNJ := sim.CheckpointCostPerByteNJ(s.profile)
+		nCkpt := float64(base.Stats.Cycles / ispec.ckptCycles)
+		nOut := float64(len(tr.Outages))
+		ckptNJ = nCkpt*perCkptNJ + nOut*perRestoreNJ
+	}
+	return ispec, ckptNJ, nil
 }
 
 // profiledMaxInstrs keeps the static-estimate key independent of the
@@ -427,6 +506,9 @@ type ModelSpec struct {
 	// MaxInstrs only matters when UseProfile is set (it bounds the
 	// profiling run).
 	MaxInstrs uint64
+	// CkptNJPerByte is the intermittent checkpoint term passed through
+	// to model.Params (0 = always-powered).
+	CkptNJPerByte float64
 }
 
 func (s *Session) resolveModel(spec ModelSpec) modelKey {
@@ -442,6 +524,7 @@ func (s *Session) resolveModel(spec ModelSpec) modelKey {
 		xlimit:        spec.Xlimit,
 		maxCandidates: spec.MaxCandidates,
 		linkTime:      spec.LinkTime,
+		ckptNJPerByte: spec.CkptNJPerByte,
 	}
 }
 
@@ -466,6 +549,7 @@ func (s *Session) model(ctx context.Context, key modelKey) (*model.Model, error)
 			Rspare: key.rspare, Xlimit: key.xlimit,
 			MaxCandidates:  key.maxCandidates,
 			IncludeLibrary: key.linkTime,
+			CkptNJPerByte:  key.ckptNJPerByte,
 		})
 		if err != nil {
 			return nil, errs.Wrap(errs.StageModel, err)
@@ -738,6 +822,38 @@ func (s *Session) optRun(ctx context.Context, key optRunKey, tf *transformed) (*
 	})
 }
 
+// intermittentRun replays the key's power trace against one image,
+// memoized on the image's placement and the schedule. The trace is
+// re-parsed from its canonical text so the stage depends on nothing but
+// its key; parsing the canonical form cannot fail for keys produced by
+// resolveIntermittent, but a defensive error path keeps the invariant
+// visible.
+func (s *Session) intermittentRun(ctx context.Context, key intermitKey, img *layout.Image) (*sim.IntermittentReport, error) {
+	return s.intermits.do(&s.counters.intermit, key, func() (*sim.IntermittentReport, error) {
+		tr := &sim.PowerTrace{}
+		if key.trace != "" {
+			var err error
+			tr, err = sim.ParsePowerTrace([]byte(key.trace))
+			if err != nil {
+				return nil, errs.Wrap(errs.StageIntermittent, err)
+			}
+		}
+		machine := s.acquireMachine(img)
+		defer s.releaseMachine(machine)
+		machine.MaxInstrs = key.maxInstrs
+		rep, err := machine.RunIntermittent(ctx, sim.IntermittentConfig{
+			Trace:            tr,
+			CheckpointCycles: key.ckptCycles,
+		})
+		if err != nil {
+			return nil, errs.Wrap(errs.StageIntermittent, err)
+		}
+		s.counters.simRuns.Add(1)
+		s.counters.cyclesSimulated.Add(rep.Stats.Cycles)
+		return rep, nil
+	})
+}
+
 // boundsFor brackets (once per placement) the placed image's energy and
 // cycles without simulating it. The zero key is the all-in-flash
 // baseline; any other key reuses — or builds — the placement's
@@ -782,7 +898,7 @@ func (s *Session) BaselineBounds() (*bounds.Result, error) {
 // pruning primitive: an O(blocks) estimate of a cell that a simulated
 // run can never undercut.
 func (s *Session) StaticBounds(ctx context.Context, opts Options) (*bounds.Result, error) {
-	key, err := s.resolve(opts)
+	key, err := s.resolve(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -824,7 +940,7 @@ func (s *Session) PruneAgainst(ctx context.Context, opts Options, incumbentNJ fl
 // that failed with a cancellation is evicted from its memo, so a retry
 // with a live context recomputes instead of replaying the cancellation.
 func (s *Session) Optimize(ctx context.Context, opts Options) (*Report, error) {
-	key, err := s.resolve(opts)
+	key, err := s.resolve(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -904,6 +1020,41 @@ func (s *Session) optimize(ctx context.Context, key reportKey) (*Report, error) 
 		rep.PowerChange = rep.Optimized.PowerMW/rep.Baseline.PowerMW - 1
 	}
 	rep.StartupCopyCycles, rep.StartupCopyEnergyMJ = startupCopyCost(tf.img, s.profile)
+
+	// The intermittent tail: replay the same concrete outage schedule
+	// against both images. The baseline run shares the zero transform
+	// key across configurations; the optimized run keys on the chosen
+	// placement, so aware and oblivious solves that land on different
+	// placements measure separately while identical placements share.
+	if is := key.intermittent; is.enabled {
+		baseRep, err := s.intermittentRun(ctx, intermitKey{
+			trace: is.trace, ckptCycles: is.ckptCycles, maxInstrs: key.maxInstrs,
+		}, base.Image)
+		if err != nil {
+			return nil, err
+		}
+		optRep, err := s.intermittentRun(ctx, intermitKey{
+			transform: tkey, trace: is.trace, ckptCycles: is.ckptCycles, maxInstrs: key.maxInstrs,
+		}, tf.img)
+		if err != nil {
+			return nil, err
+		}
+		nOut := 0
+		if is.trace != "" {
+			if tr, err := sim.ParsePowerTrace([]byte(is.trace)); err == nil {
+				nOut = len(tr.Outages)
+			}
+		}
+		rep.Intermittent = &IntermittentComparison{
+			Spec:             is.trace,
+			Outages:          nOut,
+			CheckpointCycles: is.ckptCycles,
+			CkptAware:        is.aware,
+			CkptNJPerByte:    key.solve.model.ckptNJPerByte,
+			Baseline:         baseRep,
+			Optimized:        optRep,
+		}
+	}
 	return rep, nil
 }
 
@@ -1068,6 +1219,10 @@ func (c *stageCounter) snapshot() StageStats {
 type sessionCounters struct {
 	baseline, cfg, freq, model, solve, transform, optrun, optimize stageCounter
 	bounds                                                         stageCounter
+	// intermit ledgers the trace-driven run memo. Deliberately not part
+	// of SessionStats: that schema is golden-tested, and always-powered
+	// sweeps never touch this stage.
+	intermit stageCounter
 
 	simRuns, cyclesSimulated   atomic.Uint64
 	pruneChecked, pruneSkipped atomic.Uint64

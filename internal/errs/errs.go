@@ -41,6 +41,9 @@ const (
 	StageBaseline  Stage = "baseline-run"
 	StageOptRun    Stage = "optimized-run"
 	StageValidate  Stage = "validate"
+	// StageIntermittent is the trace-driven replay of an image under an
+	// injected power trace (DESIGN.md §6l).
+	StageIntermittent Stage = "intermittent-run"
 )
 
 // Error attributes a pipeline failure: which stage raised it and — once

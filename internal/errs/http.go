@@ -29,6 +29,12 @@ func (e *badInputError) Error() string { return e.err.Error() }
 
 func (e *badInputError) Unwrap() []error { return []error{ErrBadInput, e.err} }
 
+// ErrUnavailable is the sentinel for admission-gate rejections: the
+// server is draining and will not start new work. The daemon maps it to
+// 503 with a Retry-After header — the request was fine, this replica is
+// going away; retry elsewhere.
+var ErrUnavailable = errors.New("service unavailable")
+
 // StatusClientClosedRequest is nginx's conventional status for "the
 // client went away before the response was ready" — net/http has no
 // constant for it, but it is the accurate record of a cancelled request:
@@ -41,6 +47,8 @@ const StatusClientClosedRequest = 499
 //
 //	nil                       → 200 (the handler already wrote a body)
 //	ErrBadInput               → 400 bad request
+//	ErrUnavailable            → 503 service unavailable (the admission
+//	                            gate rejected the request: draining)
 //	ErrBudget                 → 504 gateway timeout (a resource budget
 //	                            tripped and the ladder could not absorb it)
 //	context.DeadlineExceeded  → 504 gateway timeout (the request's
@@ -60,6 +68,8 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrBadInput):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBudget), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

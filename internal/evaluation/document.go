@@ -22,6 +22,10 @@ type Document struct {
 	CaseStudy *ScenarioJSON       `json:"casestudy,omitempty"`
 	Fig9      []Figure9SeriesJSON `json:"fig9,omitempty"`
 	Selection []BestJSON          `json:"selection,omitempty"`
+	// Intermittent is the harvested-power sweep (DESIGN.md §6l): each
+	// benchmark × level replayed under each harvest profile, checkpoint-
+	// oblivious and checkpoint-aware.
+	Intermittent []IntermittentRowJSON `json:"intermittent,omitempty"`
 
 	// Shard is present exactly on fragment documents (`-shard i/n`): it
 	// records the shard coordinates and which sections were selected, so
@@ -213,6 +217,20 @@ func MergeShards(fragments []Document, names []string) (*Document, error) {
 		}
 		for j := 0; j < total; j++ {
 			out.Selection = append(out.Selection, byIndex[j%n].Selection[j/n])
+		}
+	}
+
+	if selected(fragments[0].Shard.Sections, "intermittent") {
+		lens := make([]int, n)
+		for i, f := range byIndex {
+			lens[i] = len(f.Intermittent)
+		}
+		total, err := interleave("intermittent", lens)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < total; j++ {
+			out.Intermittent = append(out.Intermittent, byIndex[j%n].Intermittent[j/n])
 		}
 	}
 	return out, nil

@@ -53,6 +53,18 @@ type Options struct {
 	// MaxInstrs bounds each simulated run (0 = simulator default).
 	MaxInstrs uint64
 
+	// PowerTrace schedules injected power failures for an intermittent
+	// replay of both images (DESIGN.md §6l): a harvest-profile name
+	// (sim.HarvestProfiles) or an inline trace spec. "" = always powered.
+	PowerTrace string
+	// CheckpointCycles is the periodic checkpoint interval in executed
+	// cycles (0 = sim.DefaultCheckpointCycles).
+	CheckpointCycles uint64
+	// CkptAware prices RAM residency's per-checkpoint journal traffic
+	// into the placement model (model.Params.CkptNJPerByte), so the
+	// solve trades flash fetch savings against checkpoint cost.
+	CkptAware bool
+
 	// SolveMaxNodes, SolveMaxLPIter and SolveTimeout bound the ILP solve
 	// (0 = unlimited); tripped budgets degrade down the placement ladder
 	// instead of failing, and each Report's Strategy names the rung.
@@ -65,16 +77,19 @@ type Options struct {
 // service's request handlers call it too).
 func (o Options) Core() core.Options {
 	return core.Options{
-		UseProfile:     o.UseProfile,
-		Solver:         o.Solver,
-		Xlimit:         o.Xlimit,
-		Rspare:         o.Rspare,
-		LinkTime:       o.LinkTime,
-		Trace:          o.Trace,
-		MaxInstrs:      o.MaxInstrs,
-		SolveMaxNodes:  o.SolveMaxNodes,
-		SolveMaxLPIter: o.SolveMaxLPIter,
-		SolveTimeout:   o.SolveTimeout,
+		UseProfile:       o.UseProfile,
+		Solver:           o.Solver,
+		Xlimit:           o.Xlimit,
+		Rspare:           o.Rspare,
+		LinkTime:         o.LinkTime,
+		Trace:            o.Trace,
+		MaxInstrs:        o.MaxInstrs,
+		PowerTrace:       o.PowerTrace,
+		CheckpointCycles: o.CheckpointCycles,
+		CkptAware:        o.CkptAware,
+		SolveMaxNodes:    o.SolveMaxNodes,
+		SolveMaxLPIter:   o.SolveMaxLPIter,
+		SolveTimeout:     o.SolveTimeout,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/casestudy"
 	"repro/internal/core"
 	"repro/internal/placement"
+	"repro/internal/sim"
 )
 
 // The types below are the machine-readable schema shared by the CLIs:
@@ -55,6 +56,11 @@ type RunJSON struct {
 	// byte-identical and warm solves emit the same bytes as cold ones.
 	Strategy       string `json:"strategy,omitempty"`
 	StrategyReason string `json:"strategy_reason,omitempty"`
+
+	// Intermittent is present exactly when the run carried a power trace
+	// (core.Options.PowerTrace); trace-free documents are byte-identical
+	// to the pre-intermittent schema.
+	Intermittent *IntermittentJSON `json:"intermittent,omitempty"`
 }
 
 // NewRunJSON converts a Run.
@@ -75,6 +81,116 @@ func NewRunJSON(r *Run) RunJSON {
 		rep.Strategy != placement.StrategyWarmILPOptimal {
 		out.Strategy = rep.Strategy
 		out.StrategyReason = rep.StrategyReason
+	}
+	if rep.Intermittent != nil {
+		j := NewIntermittentJSON(rep.Intermittent)
+		out.Intermittent = &j
+	}
+	return out
+}
+
+// IntermittentReplayJSON is one image's replay under an injected power
+// trace.
+type IntermittentReplayJSON struct {
+	UsefulInstructions   uint64  `json:"useful_instructions"`
+	ReplayedInstructions uint64  `json:"replayed_instructions"`
+	Checkpoints          int     `json:"checkpoints"`
+	EnergyMJ             float64 `json:"energy_mj"`
+	WorkPerMJ            float64 `json:"work_per_mj"`
+	WallMS               float64 `json:"wall_ms"`
+}
+
+// NewIntermittentReplayJSON converts a sim.IntermittentReport.
+func NewIntermittentReplayJSON(r *sim.IntermittentReport) IntermittentReplayJSON {
+	return IntermittentReplayJSON{
+		UsefulInstructions:   r.UsefulInstructions(),
+		ReplayedInstructions: r.ReplayedInstrs,
+		Checkpoints:          r.Checkpoints,
+		EnergyMJ:             r.TotalEnergyNJ() * 1e-6,
+		WorkPerMJ:            r.WorkPerMJ(),
+		WallMS:               1e3 * r.TimeToCompletionS(intermitClockHz()),
+	}
+}
+
+// IntermittentJSON is the intermittent tail of a run document: both
+// images replayed under one injected schedule.
+type IntermittentJSON struct {
+	Outages          int                    `json:"outages"`
+	CheckpointCycles uint64                 `json:"checkpoint_cycles"`
+	CkptAware        bool                   `json:"ckpt_aware,omitempty"`
+	CkptNJPerByte    float64                `json:"ckpt_nj_per_byte,omitempty"`
+	Baseline         IntermittentReplayJSON `json:"baseline"`
+	Optimized        IntermittentReplayJSON `json:"optimized"`
+	WorkChange       float64                `json:"work_change"`
+}
+
+// NewIntermittentJSON converts a core.IntermittentComparison.
+func NewIntermittentJSON(c *core.IntermittentComparison) IntermittentJSON {
+	return IntermittentJSON{
+		Outages:          c.Outages,
+		CheckpointCycles: c.CheckpointCycles,
+		CkptAware:        c.CkptAware,
+		CkptNJPerByte:    c.CkptNJPerByte,
+		Baseline:         NewIntermittentReplayJSON(c.Baseline),
+		Optimized:        NewIntermittentReplayJSON(c.Optimized),
+		WorkChange:       c.WorkPerMJChange(),
+	}
+}
+
+// IntermittentRowJSON is one benchmark × level × harvest-profile cell of
+// the intermittent sweep.
+type IntermittentRowJSON struct {
+	Bench              string  `json:"bench"`
+	Level              string  `json:"level"`
+	Profile            string  `json:"profile"`
+	Outages            int     `json:"outages"`
+	CheckpointCycles   uint64  `json:"checkpoint_cycles"`
+	BaselineWorkPerMJ  float64 `json:"baseline_work_per_mj"`
+	ObliviousWorkPerMJ float64 `json:"oblivious_work_per_mj"`
+	AwareWorkPerMJ     float64 `json:"aware_work_per_mj"`
+	BaselineTimeMS     float64 `json:"baseline_time_ms"`
+	ObliviousTimeMS    float64 `json:"oblivious_time_ms"`
+	AwareTimeMS        float64 `json:"aware_time_ms"`
+	// Work-rate changes versus the all-flash baseline under the same
+	// schedule (positive = more completed work per delivered mJ).
+	ObliviousWorkChange float64 `json:"oblivious_work_change"`
+	AwareWorkChange     float64 `json:"aware_work_change"`
+	AwareCkptNJPerByte  float64 `json:"aware_ckpt_nj_per_byte"`
+	// Incomplete marks a cell whose run failed or was cut off.
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// NewIntermittentRowsJSON converts an Intermittent sweep result.
+func NewIntermittentRowsJSON(rows []IntermittentRow) []IntermittentRowJSON {
+	hz := intermitClockHz()
+	out := make([]IntermittentRowJSON, len(rows))
+	for i, r := range rows {
+		out[i] = IntermittentRowJSON{
+			Bench:      r.Bench,
+			Level:      r.Level.String(),
+			Profile:    r.Profile,
+			Incomplete: r.Incomplete,
+		}
+		if r.Incomplete {
+			continue
+		}
+		change := func(rep *sim.IntermittentReport) float64 {
+			if b := r.Baseline.WorkPerMJ(); b != 0 {
+				return rep.WorkPerMJ()/b - 1
+			}
+			return 0
+		}
+		out[i].Outages = r.Outages
+		out[i].CheckpointCycles = r.CheckpointCycles
+		out[i].BaselineWorkPerMJ = r.Baseline.WorkPerMJ()
+		out[i].ObliviousWorkPerMJ = r.Oblivious.WorkPerMJ()
+		out[i].AwareWorkPerMJ = r.Aware.WorkPerMJ()
+		out[i].BaselineTimeMS = 1e3 * r.Baseline.TimeToCompletionS(hz)
+		out[i].ObliviousTimeMS = 1e3 * r.Oblivious.TimeToCompletionS(hz)
+		out[i].AwareTimeMS = 1e3 * r.Aware.TimeToCompletionS(hz)
+		out[i].ObliviousWorkChange = change(r.Oblivious)
+		out[i].AwareWorkChange = change(r.Aware)
+		out[i].AwareCkptNJPerByte = r.CkptNJPerByte
 	}
 	return out
 }

@@ -50,6 +50,14 @@ type Params struct {
 	// candidates too ("the optimization could be moved into the linker,
 	// allowing it to have a full view of the program", §8).
 	IncludeLibrary bool
+	// CkptNJPerByte is the intermittent-computing checkpoint term
+	// (DESIGN.md §6l): every byte placed in RAM is volatile, so it must
+	// be journaled to flash at each checkpoint and copied back on each
+	// restore. This is that journal traffic amortized over the run, in
+	// nJ per RAM-placed byte, derived from the expected checkpoint and
+	// outage counts. Zero (the default) is the always-powered model —
+	// the ILP and Evaluate are then bit-identical to the paper's Eq. 1.
+	CkptNJPerByte float64
 }
 
 // DefaultMaxCandidates bounds the branching variables of the ILP.
@@ -95,6 +103,9 @@ func Build(p *ir.Program, graphs map[string]*cfg.Graph, est freq.Estimate, param
 	if params.EFlash <= params.ERAM {
 		return nil, fmt.Errorf("model: EFlash %.3f ≤ ERAM %.3f leaves nothing to optimize",
 			params.EFlash, params.ERAM)
+	}
+	if params.CkptNJPerByte < 0 {
+		return nil, fmt.Errorf("model: negative checkpoint cost %.3f nJ/byte", params.CkptNJPerByte)
 	}
 	if params.MaxCandidates == 0 {
 		params.MaxCandidates = DefaultMaxCandidates
@@ -203,17 +214,30 @@ func (m *Model) BuildILP() (*lp.Problem, *Vars) {
 	prob := lp.NewProblem(next)
 	ef, er := m.Params.EFlash, m.Params.ERAM
 
-	// Objective: Σ F[C(Er−Ef)r + T·Ef·i + T(Er−Ef)p + L·Er·r].
+	// Objective: Σ F[C(Er−Ef)r + T·Ef·i + T(Er−Ef)p + L·Er·r], plus the
+	// checkpoint term Σ Q(S·r + K·p) — Q nJ per RAM-placed byte of
+	// journal traffic (instrumentation bytes join the journal exactly
+	// when they join the RAM footprint, i.e. on p). Q = 0 restores the
+	// paper's always-powered objective bit for bit.
+	q := m.Params.CkptNJPerByte
 	for _, bd := range m.Blocks {
 		lbl := bd.Block.Label
 		if j, ok := vars.R[lbl]; ok {
-			prob.SetObj(j, bd.F*(bd.C*(er-ef)+bd.L*er))
+			obj := bd.F * (bd.C*(er-ef) + bd.L*er)
+			if q != 0 {
+				obj += q * bd.S
+			}
+			prob.SetObj(j, obj)
 		}
 		if j, ok := vars.I[lbl]; ok {
 			prob.SetObj(j, bd.F*bd.T*ef)
 		}
 		if j, ok := vars.P[lbl]; ok {
-			prob.SetObj(j, bd.F*bd.T*(er-ef))
+			obj := bd.F * bd.T * (er - ef)
+			if q != 0 {
+				obj += q * bd.K
+			}
+			prob.SetObj(j, obj)
 		}
 	}
 
@@ -353,6 +377,15 @@ func (m *Model) Evaluate(inRAM map[string]bool) Outcome {
 			out.RAMBytes += bd.S
 			if instrumented {
 				out.RAMBytes += bd.K
+			}
+			// Checkpoint term, mirroring the ILP objective: RAM-placed
+			// bytes are journaled, instrumentation bytes included iff
+			// they are materialized (instrumented ∧ RAM, the p variable).
+			if q := m.Params.CkptNJPerByte; q != 0 {
+				out.EnergyNJ += q * bd.S
+				if instrumented {
+					out.EnergyNJ += q * bd.K
+				}
 			}
 		}
 	}

@@ -42,6 +42,7 @@ func TestBuildRejectsBadParams(t *testing.T) {
 		{Params{EFlash: 1, ERAM: 0.5, Xlimit: 0.9, Rspare: 100}, "Xlimit"},
 		{Params{EFlash: 1, ERAM: 0.5, Xlimit: 1.1, Rspare: -1}, "Rspare"},
 		{Params{EFlash: 0.5, ERAM: 1, Xlimit: 1.1, Rspare: 100}, "nothing to optimize"},
+		{Params{EFlash: 1, ERAM: 0.5, Xlimit: 1.1, Rspare: 100, CkptNJPerByte: -0.1}, "checkpoint"},
 	}
 	for _, c := range cases {
 		if _, err := Build(p, gs, est, c.params); err == nil || !strings.Contains(err.Error(), c.want) {
@@ -142,6 +143,67 @@ func TestEvaluateMatchesILPObjective(t *testing.T) {
 		if !prob.Feasible(x, 1e-6) && ev.Feasible {
 			t.Errorf("placement %v: Evaluate feasible but LP rows violated", inRAM)
 		}
+	}
+}
+
+// The checkpoint term keeps the ILP objective and Evaluate in lockstep,
+// and a zero term changes nothing — the always-powered model is the
+// bit-exact special case.
+func TestCheckpointTermSymmetry(t *testing.T) {
+	p := ir.Figure2Program()
+	params := defaultParams()
+	params.CkptNJPerByte = 0.75
+	m := buildModel(t, p, params)
+	prob, vars := m.BuildILP()
+	placements := []map[string]bool{
+		{},
+		{"fn_loop": true},
+		{"fn_loop": true, "fn_if": true},
+	}
+	for _, inRAM := range placements {
+		x := m.MaterializeX(vars, inRAM)
+		obj := prob.Objective(x)
+		ev := m.Evaluate(inRAM)
+		if math.Abs((ev.EnergyNJ-m.BaseEnergyNJ)-obj) > 1e-6 {
+			t.Errorf("placement %v: Evaluate−base = %v, LP obj = %v",
+				inRAM, ev.EnergyNJ-m.BaseEnergyNJ, obj)
+		}
+	}
+
+	// Zero term: objective coefficients and Evaluate bit-identical to a
+	// model built without the field.
+	base := buildModel(t, p, defaultParams())
+	bProb, bVars := base.BuildILP()
+	zero := buildModel(t, p, defaultParams())
+	zProb, zVars := zero.BuildILP()
+	for _, inRAM := range placements {
+		if got, want := zProb.Objective(zero.MaterializeX(zVars, inRAM)), bProb.Objective(base.MaterializeX(bVars, inRAM)); got != want {
+			t.Errorf("zero checkpoint term perturbed objective: %v != %v", got, want)
+		}
+		if got, want := zero.Evaluate(inRAM).EnergyNJ, base.Evaluate(inRAM).EnergyNJ; got != want {
+			t.Errorf("zero checkpoint term perturbed Evaluate: %v != %v", got, want)
+		}
+	}
+}
+
+// A checkpoint term large enough to outweigh a block's execution saving
+// flips its optimal placement back to flash: RAM residency is no longer
+// free under intermittent power.
+func TestCheckpointTermFlipsPlacement(t *testing.T) {
+	p := ir.Figure2Program()
+	m := buildModel(t, p, defaultParams())
+	inRAM := map[string]bool{"fn_loop": true}
+	// Without the term, the loop in RAM beats all-flash.
+	if m.Evaluate(inRAM).EnergyNJ >= m.Evaluate(nil).EnergyNJ {
+		t.Fatal("precondition: loop in RAM must save energy when always powered")
+	}
+	params := defaultParams()
+	// The loop is 8 bytes; its saving is a few hundred nJ. Price journal
+	// traffic far above that.
+	params.CkptNJPerByte = 1e6
+	hostile := buildModel(t, p, params)
+	if hostile.Evaluate(inRAM).EnergyNJ <= hostile.Evaluate(nil).EnergyNJ {
+		t.Error("checkpoint term failed to penalize RAM residency")
 	}
 }
 

@@ -220,6 +220,10 @@ func TestBadRequestsMapTo400(t *testing.T) {
 		{"negative timeout", `{"bench":"crc32","timeout_ms":-5}`},
 		{"uncompilable source", `{"source":"int main( {"}`},
 		{"malformed json", `{"bench":`},
+		{"non-numeric power trace", `{"bench":"crc32","power_trace":"nonsense trace"}`},
+		{"zero-length outage", `{"bench":"crc32","power_trace":"10 0\n"}`},
+		{"overlapping outages", `{"bench":"crc32","power_trace":"50 10\n20 5\n"}`},
+		{"malformed trace json", `{"bench":"crc32","power_trace":"{\"outages\":[{\"at\":1}]}"}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(tc.body))
@@ -235,6 +239,116 @@ func TestBadRequestsMapTo400(t *testing.T) {
 		if err := json.Unmarshal(body, &ed); err != nil || ed.Error == "" || ed.Status != http.StatusBadRequest {
 			t.Errorf("%s: malformed error envelope %s", tc.name, body)
 		}
+	}
+}
+
+// A power-trace request runs the intermittent replay and reports it in
+// the shared document schema; the trace knobs reach the ETag, so a
+// trace-free response can never be served for a traced request.
+func TestOptimizePowerTrace(t *testing.T) {
+	_, ts := newTestServer(t)
+	plain := OptimizeRequest{Bench: "crc32", Level: "O2"}
+	traced := OptimizeRequest{Bench: "crc32", Level: "O2", PowerTrace: "steady", CkptAware: true}
+
+	status, body := postJSON(t, ts.URL+"/v1/optimize", traced)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var doc evaluation.RunJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Intermittent == nil {
+		t.Fatalf("traced run carries no intermittent section: %s", body)
+	}
+	if doc.Intermittent.Outages == 0 || !doc.Intermittent.CkptAware {
+		t.Fatalf("intermittent section = %+v", doc.Intermittent)
+	}
+
+	if status, body := postJSON(t, ts.URL+"/v1/optimize", plain); status != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", status, body)
+	} else {
+		var pd evaluation.RunJSON
+		if err := json.Unmarshal(body, &pd); err != nil {
+			t.Fatal(err)
+		}
+		if pd.Intermittent != nil {
+			t.Fatalf("trace-free run grew an intermittent section: %+v", pd.Intermittent)
+		}
+	}
+
+	if optimizeETag(mustResolve(t, traced)) == optimizeETag(mustResolve(t, plain)) {
+		t.Fatal("traced and trace-free requests share an ETag")
+	}
+	ckpt := traced
+	ckpt.CheckpointCycles = 4096
+	if optimizeETag(mustResolve(t, ckpt)) == optimizeETag(mustResolve(t, traced)) {
+		t.Fatal("checkpoint interval does not reach the ETag")
+	}
+}
+
+func mustResolve(t *testing.T, r OptimizeRequest) evaluation.Cell {
+	t.Helper()
+	cell, err := r.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+// Retriable rejections carry Retry-After; terminal ones must not — a
+// client should not re-send a request the server called malformed.
+func TestRetryAfterOnRetriableRejections(t *testing.T) {
+	cases := []struct {
+		name       string
+		prep       func(srv *Server)
+		body       string
+		status     int
+		retryAfter bool
+	}{
+		{
+			name:       "drain 503",
+			prep:       func(srv *Server) { srv.StartDrain() },
+			body:       `{"bench":"crc32"}`,
+			status:     http.StatusServiceUnavailable,
+			retryAfter: true,
+		},
+		{
+			name:       "deadline 504",
+			body:       `{"bench":"float_matmult","level":"O0","timeout_ms":1}`,
+			status:     http.StatusGatewayTimeout,
+			retryAfter: true,
+		},
+		{
+			name:       "bad input 400",
+			body:       `{"bench":"crc32","power_trace":"10 0\n"}`,
+			status:     http.StatusBadRequest,
+			retryAfter: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts := newTestServer(t)
+			if tc.prep != nil {
+				tc.prep(srv)
+			}
+			resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			if got := resp.Header.Get("Retry-After") != ""; got != tc.retryAfter {
+				t.Fatalf("Retry-After present = %v, want %v (header %q)", got, tc.retryAfter, resp.Header.Get("Retry-After"))
+			}
+			var ed errorDoc
+			if err := json.Unmarshal(body, &ed); err != nil || ed.Status != tc.status {
+				t.Fatalf("malformed error envelope: %s", body)
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/evaluation"
 	"repro/internal/mcc"
+	"repro/internal/sim"
 )
 
 // Config fixes a Server's invariants.
@@ -134,6 +135,13 @@ type OptimizeRequest struct {
 	LinkTime   bool   `json:"link_time,omitempty"`
 	MaxInstrs  uint64 `json:"max_instrs,omitempty"`
 
+	// PowerTrace schedules injected power failures for an intermittent
+	// replay (DESIGN.md §6l): a harvest-profile name or an inline trace
+	// spec. CheckpointCycles and CkptAware mirror the flashram flags.
+	PowerTrace       string `json:"power_trace,omitempty"`
+	CheckpointCycles uint64 `json:"checkpoint_cycles,omitempty"`
+	CkptAware        bool   `json:"ckpt_aware,omitempty"`
+
 	SolveMaxNodes  int `json:"solve_max_nodes,omitempty"`
 	SolveMaxLPIter int `json:"solve_max_lp_iter,omitempty"`
 	SolveTimeoutMS int `json:"solve_timeout_ms,omitempty"`
@@ -203,16 +211,28 @@ func (r *OptimizeRequest) resolve() (evaluation.Cell, error) {
 	if r.Xlimit < 0 || r.Rspare < 0 || r.TimeoutMS < 0 || r.SolveTimeoutMS < 0 {
 		return cell, errs.BadInput(fmt.Errorf("negative knobs are invalid"))
 	}
+	if r.PowerTrace != "" {
+		// Resolve against a placeholder horizon: profile names generate
+		// lazily per program, but a malformed inline trace spec must fail
+		// here (400), not inside the pipeline. ResolveTrace's errors are
+		// already request-shaped; BadInput is idempotent.
+		if _, err := sim.ResolveTrace(r.PowerTrace, 1<<20); err != nil {
+			return cell, errs.BadInput(err)
+		}
+	}
 	cell.Opts = evaluation.Options{
-		UseProfile:     r.UseProfile,
-		Solver:         core.Solver(r.Solver),
-		Xlimit:         r.Xlimit,
-		Rspare:         r.Rspare,
-		LinkTime:       r.LinkTime,
-		MaxInstrs:      r.MaxInstrs,
-		SolveMaxNodes:  r.SolveMaxNodes,
-		SolveMaxLPIter: r.SolveMaxLPIter,
-		SolveTimeout:   time.Duration(r.SolveTimeoutMS) * time.Millisecond,
+		UseProfile:       r.UseProfile,
+		Solver:           core.Solver(r.Solver),
+		Xlimit:           r.Xlimit,
+		Rspare:           r.Rspare,
+		LinkTime:         r.LinkTime,
+		MaxInstrs:        r.MaxInstrs,
+		PowerTrace:       r.PowerTrace,
+		CheckpointCycles: r.CheckpointCycles,
+		CkptAware:        r.CkptAware,
+		SolveMaxNodes:    r.SolveMaxNodes,
+		SolveMaxLPIter:   r.SolveMaxLPIter,
+		SolveTimeout:     time.Duration(r.SolveTimeoutMS) * time.Millisecond,
 	}
 	return cell, nil
 }
@@ -234,11 +254,13 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context
 }
 
 // admit takes one execution slot, or fails when the server is draining
-// or the request's deadline expires while queued.
+// or the request's deadline expires while queued. A drain rejection is
+// errs.ErrUnavailable (→ 503 + Retry-After), not bad input: the request
+// was fine, this replica is going away.
 func (s *Server) admit(ctx context.Context) error {
 	if s.draining.Load() {
 		s.requests.rejected.Add(1)
-		return errs.BadInput(fmt.Errorf("server is draining"))
+		return fmt.Errorf("server is draining: %w", errs.ErrUnavailable)
 	}
 	select {
 	case s.sem <- struct{}{}:
@@ -282,9 +304,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	if s.draining.Load() {
-		s.countStatus(http.StatusServiceUnavailable)
 		s.requests.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining", Status: http.StatusServiceUnavailable})
+		s.writeError(w, fmt.Errorf("server is draining: %w", errs.ErrUnavailable))
 		return
 	}
 	if err := s.admit(ctx); err != nil {
@@ -320,6 +341,11 @@ func optimizeETag(cell evaluation.Cell) string {
 		string(o.Solver),
 		fmt.Sprintf("%g/%g", o.Xlimit, o.Rspare),
 		fmt.Sprintf("%v/%v/%d", o.UseProfile, o.LinkTime, o.MaxInstrs),
+		// The trace spec is its own part (it is free-form text; folding it
+		// into a printf row could collide with a crafted spec), the small
+		// intermittent knobs share one.
+		o.PowerTrace,
+		fmt.Sprintf("%d/%v", o.CheckpointCycles, o.CkptAware),
 		fmt.Sprintf("%d/%d/%d", o.SolveMaxNodes, o.SolveMaxLPIter, int64(o.SolveTimeout)),
 	) + `"`
 }
@@ -407,9 +433,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	if s.draining.Load() {
-		s.countStatus(http.StatusServiceUnavailable)
 		s.requests.rejected.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "server is draining", Status: http.StatusServiceUnavailable})
+		s.writeError(w, fmt.Errorf("server is draining: %w", errs.ErrUnavailable))
 		return
 	}
 	// One admission slot per sweep request; the cells then fan out over
@@ -590,10 +615,15 @@ func (s *Server) countStatus(status int) {
 }
 
 // writeError classifies err through errs.HTTPStatus and writes the
-// error envelope.
+// error envelope. Retriable rejections — drain 503s and deadline 504s —
+// carry a Retry-After header so well-behaved clients back off instead
+// of hammering a replica that is shutting down or saturated.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := errs.HTTPStatus(err)
 	s.countStatus(status)
+	if status == http.StatusServiceUnavailable || status == http.StatusGatewayTimeout {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, errorDoc{Error: err.Error(), Status: status})
 }
 

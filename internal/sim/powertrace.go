@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/errs"
+)
+
+// Harvested-power fault injection: a PowerTrace schedules power-failure
+// instants in simulated wall-clock time. RunIntermittent replays a trace
+// against a program — on each outage the machine loses its volatile RAM
+// state and registers, flash persists, and execution resumes from the
+// last flash checkpoint when power returns (DESIGN.md §6l).
+//
+// Traces come from two places: ParsePowerTrace reads the external text
+// or JSON format (CLI -powertrace files), and GenerateTrace derives the
+// named harvest profiles (steady, bursty, adversarial) from a cycle
+// horizon with pure arithmetic — no randomness, so a profile name plus a
+// horizon is a complete, replayable description of the environment.
+
+// Outage is one power failure: power is lost at wall-clock cycle At and
+// returns Down cycles later. Wall-clock time includes executed cycles,
+// checkpoint/restore overhead and earlier outages' down time.
+type Outage struct {
+	// At is the failure instant in wall-clock cycles.
+	At uint64 `json:"at_cycles"`
+	// Down is the outage length in cycles (≥ 1).
+	Down uint64 `json:"down_cycles"`
+}
+
+// PowerTrace is a validated, time-ordered schedule of power failures.
+type PowerTrace struct {
+	Outages []Outage `json:"outages"`
+}
+
+// Validate checks the trace invariants: every outage has positive
+// length, instants are in increasing order, intervals do not overlap
+// (each At is at least the previous At+Down), and no interval overflows
+// the cycle counter. All failures are errs.ErrBadInput.
+func (t *PowerTrace) Validate() error {
+	end := uint64(0)
+	for i, o := range t.Outages {
+		if o.Down == 0 {
+			return errs.BadInput(fmt.Errorf("power trace: outage %d at cycle %d has zero length", i, o.At))
+		}
+		if o.At > ^uint64(0)-o.Down {
+			return errs.BadInput(fmt.Errorf("power trace: outage %d at cycle %d overflows the cycle counter", i, o.At))
+		}
+		if i > 0 && o.At < end {
+			return errs.BadInput(fmt.Errorf("power trace: outage %d at cycle %d overlaps the previous outage ending at %d", i, o.At, end))
+		}
+		end = o.At + o.Down
+	}
+	return nil
+}
+
+// Empty reports whether the trace schedules no outages (nil-safe): the
+// condition under which every run is byte-identical to a plain Run.
+func (t *PowerTrace) Empty() bool { return t == nil || len(t.Outages) == 0 }
+
+// String renders the canonical text form ("at down" per line) — the
+// fingerprint session memos key on, and a valid ParsePowerTrace input.
+func (t *PowerTrace) String() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, o := range t.Outages {
+		fmt.Fprintf(&b, "%d %d\n", o.At, o.Down)
+	}
+	return b.String()
+}
+
+// ParsePowerTrace parses a power trace from its external form and
+// validates it. Two formats are accepted, distinguished by the first
+// non-space byte:
+//
+//   - JSON ('{' or '['): either {"outages":[{"at_cycles":A,"down_cycles":D},…]}
+//     or the bare outage array. Unknown fields are rejected.
+//   - Text (anything else): one "<at> <down>" pair per line, both in
+//     cycles; blank lines and '#' comments are ignored.
+//
+// Every failure — syntax, negative or non-numeric fields, zero-length or
+// overlapping outages — is a typed errs.ErrBadInput, never a panic, so
+// the daemon maps it to 400 and the CLIs exit without a stack trace.
+func ParsePowerTrace(data []byte) (*PowerTrace, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+		return parseTraceJSON(trimmed)
+	}
+	return parseTraceText(data)
+}
+
+func parseTraceJSON(data []byte) (*PowerTrace, error) {
+	t := &PowerTrace{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var err error
+	if data[0] == '[' {
+		err = dec.Decode(&t.Outages)
+	} else {
+		err = dec.Decode(t)
+	}
+	if err != nil {
+		return nil, errs.BadInput(fmt.Errorf("power trace: %w", err))
+	}
+	// A second document after the first is trailing garbage.
+	if dec.More() {
+		return nil, errs.BadInput(fmt.Errorf("power trace: trailing data after JSON document"))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseTraceText(data []byte) (*PowerTrace, error) {
+	t := &PowerTrace{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, errs.BadInput(fmt.Errorf("power trace line %d: want \"<at> <down>\", got %d fields", ln+1, len(fields)))
+		}
+		at, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, errs.BadInput(fmt.Errorf("power trace line %d: bad instant %q", ln+1, fields[0]))
+		}
+		down, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, errs.BadInput(fmt.Errorf("power trace line %d: bad length %q", ln+1, fields[1]))
+		}
+		t.Outages = append(t.Outages, Outage{At: at, Down: down})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Harvest profile names GenerateTrace accepts.
+const (
+	ProfileSteady      = "steady"
+	ProfileBursty      = "bursty"
+	ProfileAdversarial = "adversarial"
+)
+
+// HarvestProfiles lists the built-in profile names in report order.
+func HarvestProfiles() []string {
+	return []string{ProfileSteady, ProfileBursty, ProfileAdversarial}
+}
+
+// GenerateTrace derives a named harvest profile from a cycle horizon —
+// normally the uninterrupted run's executed-cycle count, so the outage
+// density scales with the workload. The schedules are pure arithmetic in
+// the horizon (no randomness, no clock), so identical inputs always
+// yield identical traces:
+//
+//   - steady: a regular charge/discharge rhythm — an outage every
+//     horizon/8 cycles, each lasting a quarter period. The friendly
+//     environment: few outages, long stretches of power.
+//   - bursty: power arrives in clusters — every horizon/6 cycles a
+//     burst of three closely spaced short outages. Models a harvester
+//     browning out repeatedly while its storage is near empty.
+//   - adversarial: many short outages, one every horizon/64 cycles —
+//     the schedule that maximizes checkpoint/replay overhead relative
+//     to delivered energy, so per-outage costs dominate.
+//
+// Schedules extend to roughly 4× the horizon because overhead and down
+// time stretch the wall clock past the uninterrupted run; outages the
+// program outruns simply never fire.
+func GenerateTrace(profile string, horizon uint64) (*PowerTrace, error) {
+	// A floor keeps the traces sane for tiny programs: below it the
+	// outage rhythm no longer scales down, the program just finishes
+	// inside the first power-on interval.
+	const minPeriod = 256
+	period := func(div uint64) uint64 {
+		p := horizon / div
+		if p < minPeriod {
+			p = minPeriod
+		}
+		return p
+	}
+	t := &PowerTrace{}
+	switch profile {
+	case ProfileSteady:
+		p := period(8)
+		for k := uint64(1); k <= 32; k++ {
+			t.Outages = append(t.Outages, Outage{At: k * p, Down: p / 4})
+		}
+	case ProfileBursty:
+		p := period(6)
+		for k := uint64(1); k <= 24; k++ {
+			c := k * p
+			t.Outages = append(t.Outages,
+				Outage{At: c, Down: p / 32},
+				Outage{At: c + p/8, Down: p / 32},
+				Outage{At: c + p/4, Down: p / 32})
+		}
+	case ProfileAdversarial:
+		p := period(64)
+		for k := uint64(1); k <= 256; k++ {
+			t.Outages = append(t.Outages, Outage{At: k * p, Down: p / 8})
+		}
+	default:
+		return nil, errs.BadInput(fmt.Errorf("power trace: unknown harvest profile %q (want %s)",
+			profile, strings.Join(HarvestProfiles(), ", ")))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ResolveTrace turns a -powertrace flag value into a trace: a built-in
+// harvest profile name is generated against the horizon, anything else
+// is parsed as inline trace text/JSON. Empty means no trace.
+func ResolveTrace(spec string, horizon uint64) (*PowerTrace, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case ProfileSteady, ProfileBursty, ProfileAdversarial:
+		return GenerateTrace(spec, horizon)
+	}
+	return ParsePowerTrace([]byte(spec))
+}

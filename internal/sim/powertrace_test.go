@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+func TestParsePowerTraceAccepts(t *testing.T) {
+	want := &PowerTrace{Outages: []Outage{{At: 100, Down: 20}, {At: 500, Down: 1}}}
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"text", "100 20\n500 1\n"},
+		{"text no trailing newline", "100 20\n500 1"},
+		{"text comments and blanks", "# harvest log\n\n100 20   # first dip\n500 1\n"},
+		{"text tabs", "100\t20\n500\t1\n"},
+		{"json object", `{"outages":[{"at_cycles":100,"down_cycles":20},{"at_cycles":500,"down_cycles":1}]}`},
+		{"json array", `[{"at_cycles":100,"down_cycles":20},{"at_cycles":500,"down_cycles":1}]`},
+		{"json leading space", "  \n\t" + `[{"at_cycles":100,"down_cycles":20},{"at_cycles":500,"down_cycles":1}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParsePowerTrace([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("ParsePowerTrace: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("got %+v want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestParsePowerTraceEmptyInputs(t *testing.T) {
+	for _, in := range []string{"", "\n\n", "# only a comment\n", `{"outages":[]}`, `[]`} {
+		got, err := ParsePowerTrace([]byte(in))
+		if err != nil {
+			t.Fatalf("ParsePowerTrace(%q): %v", in, err)
+		}
+		if !got.Empty() {
+			t.Fatalf("ParsePowerTrace(%q) = %+v, want empty", in, got)
+		}
+	}
+}
+
+func TestParsePowerTraceRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"one field", "100\n"},
+		{"three fields", "100 20 7\n"},
+		{"non-numeric instant", "abc 20\n"},
+		{"non-numeric length", "100 x\n"},
+		{"negative instant", "-1 20\n"},
+		{"float instant", "1.5 20\n"},
+		{"instant overflow", "18446744073709551616 20\n"},
+		{"zero length", "100 0\n"},
+		{"overlap", "100 20\n110 5\n"},
+		{"touching is fine but reorder is not", "500 1\n100 20\n"},
+		{"interval overflows counter", "18446744073709551615 1\n"},
+		{"json zero length", `{"outages":[{"at_cycles":100,"down_cycles":0}]}`},
+		{"json unknown field", `{"outages":[{"at_cycles":100,"down_cycles":20,"volts":3}]}`},
+		{"json unknown top-level field", `{"outages":[],"seed":7}`},
+		{"json trailing garbage", `[{"at_cycles":100,"down_cycles":20}] {"outages":[]}`},
+		{"json truncated", `{"outages":[{"at_cycles":100,`},
+		{"json wrong shape", `{"outages":{"at_cycles":100}}`},
+		{"json negative", `[{"at_cycles":-5,"down_cycles":20}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePowerTrace([]byte(tc.in))
+			if err == nil {
+				t.Fatal("ParsePowerTrace accepted malformed input")
+			}
+			if !errors.Is(err, errs.ErrBadInput) {
+				t.Fatalf("error is not ErrBadInput: %v", err)
+			}
+		})
+	}
+}
+
+// Back-to-back outages (At exactly at the previous interval's end) are
+// legal: the machine restores and immediately loses power again.
+func TestParsePowerTraceTouchingIntervals(t *testing.T) {
+	got, err := ParsePowerTrace([]byte("100 20\n120 5\n"))
+	if err != nil {
+		t.Fatalf("touching intervals rejected: %v", err)
+	}
+	if len(got.Outages) != 2 {
+		t.Fatalf("got %d outages, want 2", len(got.Outages))
+	}
+}
+
+func TestPowerTraceStringRoundTrip(t *testing.T) {
+	orig := &PowerTrace{Outages: []Outage{{At: 0, Down: 3}, {At: 100, Down: 20}, {At: 1 << 40, Down: 1}}}
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePowerTrace([]byte(orig.String()))
+	if err != nil {
+		t.Fatalf("re-parsing String(): %v", err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip changed the trace:\norig: %+v\nback: %+v", orig, back)
+	}
+}
+
+func TestGenerateTraceProfiles(t *testing.T) {
+	for _, prof := range HarvestProfiles() {
+		t.Run(prof, func(t *testing.T) {
+			a, err := GenerateTrace(prof, 1_000_000)
+			if err != nil {
+				t.Fatalf("GenerateTrace: %v", err)
+			}
+			if a.Empty() {
+				t.Fatal("profile generated an empty trace")
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("generated trace invalid: %v", err)
+			}
+			// Pure arithmetic: same inputs, same schedule.
+			b, err := GenerateTrace(prof, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("GenerateTrace is not deterministic")
+			}
+			// The floor keeps tiny horizons sane.
+			small, err := GenerateTrace(prof, 10)
+			if err != nil {
+				t.Fatalf("tiny horizon: %v", err)
+			}
+			if err := small.Validate(); err != nil {
+				t.Fatalf("tiny-horizon trace invalid: %v", err)
+			}
+		})
+	}
+	if _, err := GenerateTrace("solar-flare", 1000); !errors.Is(err, errs.ErrBadInput) {
+		t.Fatalf("unknown profile: got %v, want ErrBadInput", err)
+	}
+}
+
+func TestResolveTrace(t *testing.T) {
+	if tr, err := ResolveTrace("", 1000); err != nil || tr != nil {
+		t.Fatalf("empty spec: got %v, %v; want nil, nil", tr, err)
+	}
+	prof, err := ResolveTrace(ProfileSteady, 1_000_000)
+	if err != nil || prof.Empty() {
+		t.Fatalf("profile spec: got %+v, %v", prof, err)
+	}
+	gen, _ := GenerateTrace(ProfileSteady, 1_000_000)
+	if !reflect.DeepEqual(prof, gen) {
+		t.Fatal("ResolveTrace(steady) differs from GenerateTrace(steady)")
+	}
+	inline, err := ResolveTrace("100 20\n", 1_000_000)
+	if err != nil || len(inline.Outages) != 1 {
+		t.Fatalf("inline spec: got %+v, %v", inline, err)
+	}
+	if _, err := ResolveTrace("100 0\n", 1000); !errors.Is(err, errs.ErrBadInput) {
+		t.Fatalf("bad inline spec: got %v, want ErrBadInput", err)
+	}
+}
+
+// FuzzPowerTrace is the robustness property for the trace parser: any
+// byte string either parses to a trace that passes Validate and
+// round-trips through String, or fails with a typed errs.ErrBadInput —
+// never a panic, never an untyped error. The seed corpus under
+// testdata/fuzz covers both formats, comments, overlaps, zero lengths,
+// overflow-scale numbers and JSON trailing garbage; CI replays it under
+// -race like FuzzFusedVsSlot.
+func FuzzPowerTrace(f *testing.F) {
+	f.Add([]byte("100 20\n500 1\n"))
+	f.Add([]byte("# comment\n\n100 20\n"))
+	f.Add([]byte(`{"outages":[{"at_cycles":100,"down_cycles":20}]}`))
+	f.Add([]byte(`[{"at_cycles":100,"down_cycles":20}]`))
+	f.Add([]byte("100 20\n110 5\n"))
+	f.Add([]byte("100 0\n"))
+	f.Add([]byte("18446744073709551615 1\n"))
+	f.Add([]byte(`[{"at_cycles":100,"down_cycles":20}] junk`))
+	f.Add([]byte("not a trace at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParsePowerTrace(data)
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadInput) {
+				t.Fatalf("parse failure is not ErrBadInput: %v", err)
+			}
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parser returned an invalid trace: %v", err)
+		}
+		back, err := ParsePowerTrace([]byte(tr.String()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v", err)
+		}
+		if len(back.Outages) != len(tr.Outages) {
+			t.Fatalf("round trip changed outage count: %d vs %d", len(tr.Outages), len(back.Outages))
+		}
+		for i := range tr.Outages {
+			if back.Outages[i] != tr.Outages[i] {
+				t.Fatalf("round trip changed outage %d: %+v vs %+v", i, tr.Outages[i], back.Outages[i])
+			}
+		}
+	})
+}

@@ -98,6 +98,14 @@ type Machine struct {
 	ev    Event // reused event buffer when obs != nil
 	stats Stats
 
+	// stopCycles, when nonzero, pauses runFrom at the first instruction
+	// boundary whose executed-cycle count has reached it — the segment
+	// mechanism behind RunIntermittent (intermittent.go). pausePC holds
+	// the resume address of a paused run. Zero (the steady state outside
+	// intermittent runs) means no stop.
+	stopCycles uint64
+	pausePC    uint32
+
 	// polls counts cancellation-poll selects this run; the regression
 	// test beside TestSimCancellationOverhead pigeonholes it against the
 	// instruction count to prove no fused run stretched the poll
@@ -444,6 +452,13 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 	if maxInstrs == 0 {
 		maxInstrs = 500_000_000
 	}
+	// stop is the executed-cycle pause mark (intermittent segments);
+	// zero means none and degrades to a never-reached sentinel so the
+	// hot loop pays one compare either way.
+	stop := m.stopCycles
+	if stop == 0 {
+		stop = ^uint64(0)
+	}
 	done := ctx.Done() // nil for context.Background: poll compiles out
 	counts := m.eng.blockCounts
 	super := m.eng.super
@@ -473,8 +488,11 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 		if fuse && s.sb >= 0 {
 			sb := &super[s.sb]
 			// A run that would cross MaxInstrs falls through to slot
-			// dispatch so the limit faults on the exact instruction.
-			if m.stats.Instructions+sb.n <= maxInstrs {
+			// dispatch so the limit faults on the exact instruction; one
+			// whose worst-case cycle bound could reach the stop mark
+			// falls through so the boundary instruction slot-dispatches
+			// identically in both engines.
+			if m.stats.Instructions+sb.n <= maxInstrs && m.stats.Cycles+sb.maxCycles < stop {
 				if done != nil && m.stats.Instructions+sb.n > nextPoll {
 					m.polls++
 					select {
@@ -494,7 +512,7 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 				if done != nil && nextPoll < limit {
 					limit = nextPoll
 				}
-				next, tail, f := m.runSuperblock(sb, limit)
+				next, tail, f := m.runSuperblock(sb, limit, stop)
 				if f != nil {
 					return f // located by flushFault
 				}
@@ -502,6 +520,13 @@ func (m *Machine) runFrom(ctx context.Context, entry uint32) error {
 				pc = next
 				continue
 			}
+		}
+		// The pause rule: an instruction executes iff its pre-execution
+		// cycle count is below the stop mark. It depends only on Stats,
+		// so fused and slot dispatch pause at the same boundary.
+		if m.stats.Cycles >= stop {
+			m.pausePC = pc
+			return errStopCycles
 		}
 		if m.stats.Instructions >= maxInstrs {
 			f := &Fault{PC: pc, Reason: fmt.Sprintf("instruction limit %d exceeded", maxInstrs)}

@@ -176,8 +176,15 @@ type superblock struct {
 	// uniform across a run, so only the class dimension is needed).
 	staticCycles uint64
 	perClass     [isa.NumClasses]uint64
-	fetchMem     power.Memory
-	tail         *slot // last instruction — blames wild jumps out of the run
+	// maxCycles is the worst-case cycle cost of one execution of the
+	// run: staticCycles plus every possible dynamic load stall plus the
+	// dearer direction of a conditional terminal. runFrom and the chain
+	// gate compare it against the intermittent stop mark — a run that
+	// could reach the mark is declined, so the boundary instructions
+	// always slot-dispatch (intermittent.go).
+	maxCycles uint64
+	fetchMem  power.Memory
+	tail      *slot // last instruction — blames wild jumps out of the run
 
 	// Terminal extras (conditional terminals and link writes).
 	termImm2 uint32 // fall-through PC (uBCC/uCBZ/uCBNZ), link value (uBL/uBLX)
@@ -567,6 +574,25 @@ func (e *engine) fuseRegion(tbl []slot, base, codeLen uint32, fetchMem power.Mem
 			sb.perClass[u.cl] += uint64(u.cyc)
 			sb.staticCycles += uint64(u.cyc)
 		}
+		// Worst-case cycle bound for the intermittent stop gate: every
+		// stall-capable load stalls, and a conditional terminal takes
+		// its dearer direction.
+		sb.maxCycles = sb.staticCycles
+		for k := range uops {
+			u := &uops[k]
+			switch u.code {
+			case uBCC, uCBZ, uCBNZ:
+				mc := uint64(u.cyc)
+				if c2 := uint64(termCyc2); c2 > mc {
+					mc = c2
+				}
+				sb.maxCycles += mc
+			case uLDRI, uLDRR:
+				if u.fl&fStall != 0 {
+					sb.maxCycles += isa.RAMContentionStall
+				}
+			}
+		}
 		head.sb = int32(len(e.super))
 		e.super = append(e.super, sb)
 	}
@@ -585,7 +611,10 @@ func (e *engine) fuseRegion(tbl []slot, base, codeLen uint32, fetchMem power.Mem
 // limit is the instruction count the chain must not cross: the nearer of
 // the re-armed cancellation poll mark and MaxInstrs. The caller polls or
 // faults at the boundary, so chaining never stretches either guarantee.
-func (m *Machine) runSuperblock(sb *superblock, limit uint64) (uint32, *slot, *Fault) {
+// stop is the executed-cycle pause mark (never-reached sentinel outside
+// intermittent runs): a successor whose worst-case cycle bound could
+// reach it ends the chain, mirroring runFrom's entry gate.
+func (m *Machine) runSuperblock(sb *superblock, limit, stop uint64) (uint32, *slot, *Fault) {
 	st := &m.stats
 	e := st.EnergyNJ
 	super := m.eng.super
@@ -985,7 +1014,7 @@ chain:
 	}
 	m.fusedInstrs += sb.n
 	if sb.nextSB >= 0 {
-		if nb := &super[sb.nextSB]; st.Instructions+nb.n <= limit {
+		if nb := &super[sb.nextSB]; st.Instructions+nb.n <= limit && st.Cycles+nb.maxCycles < stop {
 			sb = nb
 			goto chain
 		}

@@ -9,6 +9,9 @@
 #   flashram bounds     static energy brackets validated against the
 #                       simulator (lower <= simulated <= upper) on the
 #                       full benchmark matrix, >= 15/20 cells finite
+#   flashram -powertrace  harvested-power replay smoke under -race on
+#                       two benchmarks, plus a determinism diff: two
+#                       identical trace runs must emit identical JSON
 #
 # Exits non-zero on the first failure.
 set -e
@@ -107,5 +110,25 @@ done
 # 15 of the 20 cells (DESIGN.md §6h). Default levels are O2 and Os, so
 # one invocation covers the full matrix.
 /tmp/flashram.check bounds -all -minfinite 15 > /dev/null
+
+# Harvested-power fault injection (DESIGN.md §6l). Built with -race: the
+# intermittent replay shares the session's memoized stages, and a data
+# race there corrupts silently before it fails loudly. Two benchmarks,
+# one checkpoint-aware, cover both solve paths.
+go build -race -o /tmp/flashram.race ./cmd/flashram
+trap 'rm -f /tmp/flashram.check /tmp/flashram.race /tmp/powertrace.a.json /tmp/powertrace.b.json' EXIT
+/tmp/flashram.race -bench crc32 -powertrace steady > /dev/null
+/tmp/flashram.race -bench 2dfir -powertrace bursty -ckptaware > /dev/null
+
+# Determinism: an identical trace + configuration must reproduce the
+# document byte-for-byte (the replay contract the service's ETags and
+# the sharded sweeps rely on).
+/tmp/flashram.check -bench 2dfir -powertrace adversarial -ckptaware -json > /tmp/powertrace.a.json
+/tmp/flashram.check -bench 2dfir -powertrace adversarial -ckptaware -json > /tmp/powertrace.b.json
+if ! cmp -s /tmp/powertrace.a.json /tmp/powertrace.b.json; then
+    echo "powertrace determinism: two identical trace runs emitted different JSON" >&2
+    diff /tmp/powertrace.a.json /tmp/powertrace.b.json >&2 || true
+    exit 1
+fi
 
 echo "check.sh: all clean"
